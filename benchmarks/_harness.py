@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each bench regenerates one experiment row of DESIGN.md: it rebuilds the
+paper artifact (figure dag / boxed claim), verifies the claim, renders
+the reproduced rows/series with :mod:`repro.analysis.reporting`, and
+writes them to ``benchmarks/out/<experiment>.txt`` (also echoed to
+stdout, visible with ``pytest -s``).  pytest-benchmark times the
+representative kernel of each experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(experiment: str, text: str) -> None:
+    """Persist (and echo) one experiment's regenerated artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {experiment} ===\n{text}")
+
+
+def policy_table(dag, schedule, clients=8, seed=0):
+    """The standard IC-OPT-vs-baselines simulation table used by
+    several experiments."""
+    from repro.analysis import render_table
+    from repro.sim import compare_policies
+
+    cmp = compare_policies(dag, schedule, clients=clients, seed=seed)
+    n = clients if isinstance(clients, int) else len(clients)
+    return render_table(
+        ["policy", "makespan", "starvation", "idle", "util", "headroom"],
+        cmp.table_rows(),
+        title=f"{dag.name}: {n} clients",
+    )

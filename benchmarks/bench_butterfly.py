@@ -1,0 +1,39 @@
+"""E-F8-10 — Figs. 8-10: butterfly networks.
+
+Regenerates: B_d as iterated compositions of B (block counts per
+Fig. 10), the paired-source schedule characterization, profiles, and
+exhaustive verification for B_2; times scheduling of B_8 (2304 nodes).
+"""
+
+from repro.analysis import render_series, render_table
+from repro.core import Certificate, is_ic_optimal, schedule_dag
+from repro.families import butterfly_net as bf
+
+from _harness import write_report
+
+
+def test_butterfly_schedules(benchmark):
+    def run():
+        return schedule_dag(bf.butterfly_chain(8))
+
+    result = benchmark(run)
+    assert result.certificate is Certificate.COMPOSITION
+
+    rows = []
+    for d in (1, 2, 3, 4):
+        ch = bf.butterfly_chain(d)
+        r = schedule_dag(ch)
+        paired = bf.paired_schedule_orders(r.schedule, ch)
+        verified = is_ic_optimal(r.schedule) if d <= 2 else "-"
+        rows.append(
+            (f"B_{d}", len(ch.dag), len(ch), r.certificate.value, paired, verified)
+        )
+    report = render_table(
+        ["network", "nodes", "B copies", "certificate", "paired-src", "exhaustive"],
+        rows,
+        title="Figs. 8-10: butterfly networks as ▷-linear compositions of B",
+    )
+    ch2 = bf.butterfly_chain(2)
+    r2 = schedule_dag(ch2)
+    report += "\n" + render_series("B_2 IC-optimal E(t)", r2.schedule.profile)
+    write_report("E-F8-10_butterfly", report)

@@ -1,0 +1,72 @@
+"""E-S5.2b — §5.2 convolutions: FFT on the butterfly network.
+
+Regenerates: FFT correctness vs the direct DFT and numpy, polynomial
+multiplication via the convolution theorem (transformation 5.2), and
+the Θ(n log n) vs Θ(n²) crossover; times the dag-engine FFT of 64
+points.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.compute.convolution import (
+    direct_convolution,
+    fft_convolution,
+    polynomial_multiply,
+)
+from repro.compute.fft import direct_dft, fft
+
+from _harness import write_report
+
+
+def test_fft_convolution(benchmark):
+    rng = random.Random(1)
+    x64 = [complex(rng.random(), rng.random()) for _ in range(64)]
+
+    def run():
+        return fft(x64)
+
+    out = benchmark(run)
+    assert max(abs(a - b) for a, b in zip(out, np.fft.fft(np.array(x64)))) < 1e-9
+
+    rows = []
+    for n in (4, 8, 16, 32):
+        x = [complex(rng.random(), rng.random()) for _ in range(n)]
+        ours = fft(x)
+        err_np = max(abs(a - b) for a, b in zip(ours, np.fft.fft(np.array(x))))
+        err_direct = max(abs(a - b) for a, b in zip(ours, direct_dft(x)))
+        rows.append((n, f"{err_np:.1e}", f"{err_direct:.1e}"))
+    report = render_table(
+        ["n", "max err vs numpy", "max err vs O(n²) DFT"],
+        rows,
+        title="§5.2 FFT on B_d with the convolution transformation (5.2)",
+    )
+
+    # polynomial multiplication correctness + shape of the crossover
+    a = [float(rng.randint(-9, 9)) for _ in range(12)]
+    b = [float(rng.randint(-9, 9)) for _ in range(9)]
+    got = polynomial_multiply(a, b)
+    ref = [c.real for c in direct_convolution(a, b)]
+    poly_err = max(abs(x - y) for x, y in zip(got, ref))
+    report += f"\npolynomial product (deg 11 × deg 8) max err: {poly_err:.2e}"
+
+    timing_rows = []
+    for n in (16, 64, 256):
+        va = [1.0] * n
+        t0 = time.perf_counter()
+        direct_convolution(va, va)
+        t_direct = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fft_convolution(va, va)
+        t_fft = time.perf_counter() - t0
+        timing_rows.append((n, f"{t_direct*1e3:.2f}", f"{t_fft*1e3:.2f}"))
+    report += "\n" + render_table(
+        ["n", "direct O(n²) ms", "FFT Θ(n log n) ms"],
+        timing_rows,
+        title="convolution scaling (dag-engine FFT; absolute times are "
+        "engine-bound, the shape is the point)",
+    )
+    write_report("E-S5.2b_fft", report)

@@ -1,0 +1,44 @@
+"""E-F11/12 — Figs. 11-12: parallel-prefix dags.
+
+Regenerates: the N-dag decomposition of P_8 exactly as §6.2.1 states
+it, the nonincreasing-source-order schedule and its profile, and
+exhaustive verification for small n; times scheduling of P_64.
+"""
+
+from repro.analysis import render_series, render_table
+from repro.core import Certificate, is_ic_optimal, schedule_dag
+from repro.families import prefix as px
+
+from _harness import write_report
+
+
+def test_prefix_schedules(benchmark):
+    def run():
+        return schedule_dag(px.prefix_chain(64))
+
+    result = benchmark(run)
+    assert result.certificate is Certificate.COMPOSITION
+
+    report = (
+        "Fig. 12 / §6.2.1(b): P_8 composite type: "
+        + " ⇑ ".join(f"N_{s}" for s in px.prefix_ndag_sizes(8))
+    )
+    rows = []
+    for n in (2, 4, 5, 8, 16):
+        ch = px.prefix_chain(n)
+        r = schedule_dag(ch)
+        verified = is_ic_optimal(r.schedule) if n <= 5 else "-"
+        nonincr = px.prefix_ndag_sizes(n) == sorted(
+            px.prefix_ndag_sizes(n), reverse=True
+        )
+        rows.append(
+            (f"P_{n}", len(ch.dag), r.certificate.value, nonincr, verified)
+        )
+    report += "\n" + render_table(
+        ["dag", "nodes", "certificate", "nonincreasing N order", "exhaustive"],
+        rows,
+        title="§6.1 box: N-dags executed in nonincreasing source order",
+    )
+    r8 = schedule_dag(px.prefix_chain(8))
+    report += "\n" + render_series("P_8 IC-optimal E(t)", r8.schedule.profile)
+    write_report("E-F11-12_prefix", report)

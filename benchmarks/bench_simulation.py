@@ -1,0 +1,227 @@
+"""E-SIM — the assessment substrate: IC-optimal schedules vs heuristic
+baselines on the simulated IC server (standing in for the studies the
+paper cites as its evaluation arm, [15] and [19]; see DESIGN.md).
+
+Regenerates, per dag family: the policy comparison table (makespan,
+starvation, idle time, utilization, headroom) with heterogeneous
+clients, the single-client headroom ranking (where IC-OPT provably
+maximizes E(t) pointwise), and the §2.2 batch-satisfaction metric;
+times one full simulation sweep.
+"""
+
+from repro.analysis import render_table
+from repro.core import schedule_dag
+from repro.families import diamond, dlt, mesh, prefix
+from repro.families.butterfly_net import butterfly_chain
+from repro.sim import ClientSpec, batch_satisfaction, compare_policies
+from repro.sim.workloads import random_diamond, random_layered_dag
+
+from _harness import policy_table, write_report
+
+FAMILIES = [
+    ("diamond d=5", lambda: diamond.complete_diamond(5)),
+    ("out-mesh d=12", lambda: mesh.out_mesh_chain(12)),
+    ("butterfly B_5", lambda: butterfly_chain(5)),
+    ("prefix P_32", lambda: prefix.prefix_chain(32)),
+    ("DLT L_16", lambda: dlt.dlt_prefix_chain(16)),
+    ("random diamond", lambda: random_diamond(40, seed=11)),
+]
+
+HETERO = [ClientSpec(speed=s, dropout=0.15) for s in (0.5, 0.5, 1, 1, 1, 2, 2, 4)]
+
+
+def test_policy_comparison_per_family(benchmark):
+    ch = mesh.out_mesh_chain(12)
+    sched = schedule_dag(ch).schedule
+
+    def run():
+        return compare_policies(ch.dag, sched, clients=HETERO, seed=1)
+
+    benchmark(run)
+
+    sections = []
+    for name, build in FAMILIES:
+        chain = build()
+        s = schedule_dag(chain).schedule
+        sections.append(policy_table(chain.dag, s, clients=HETERO, seed=1))
+    write_report(
+        "E-SIM_policies",
+        "IC-OPT vs baselines, 8 heterogeneous flaky clients\n\n"
+        + "\n\n".join(sections),
+    )
+
+
+def test_headroom_and_batches(benchmark):
+    """Scenario metrics of §2.2: (1) headroom/starvation with many
+    clients, (2) batch satisfaction directly from the eligibility
+    profile, where IC-optimality gives a per-step guarantee."""
+    ch0 = diamond.complete_diamond(5)
+    s0 = schedule_dag(ch0).schedule
+    benchmark(lambda: batch_satisfaction(s0.profile, 8))
+    rows = []
+    agg_ic_best = 0
+    for name, build in FAMILIES:
+        chain = build()
+        s = schedule_dag(chain).schedule
+        cmp = compare_policies(chain.dag, s, clients=1, seed=0)
+        ic = cmp.results["IC-OPT"].mean_headroom
+        best_other = max(
+            r.mean_headroom for k, r in cmp.results.items() if k != "IC-OPT"
+        )
+        agg_ic_best += ic >= best_other - 1e-9
+        bs = {
+            b: round(batch_satisfaction(s.profile, b), 4) for b in (2, 4, 8)
+        }
+        rows.append(
+            (
+                name,
+                round(ic, 3),
+                round(best_other, 3),
+                bs[2],
+                bs[4],
+                bs[8],
+            )
+        )
+    report = render_table(
+        [
+            "family",
+            "IC-OPT headroom",
+            "best baseline",
+            "batch-2",
+            "batch-4",
+            "batch-8",
+        ],
+        rows,
+        title="single-client headroom (IC-OPT maximizes E(t) pointwise) and "
+        "§2.2 batch satisfaction of the IC-optimal profile",
+    )
+    report += (
+        f"\nfamilies where IC-OPT headroom >= every baseline: "
+        f"{agg_ic_best}/{len(FAMILIES)}"
+    )
+    write_report("E-SIM_headroom", report)
+    assert agg_ic_best == len(FAMILIES)
+
+
+def test_aggregate_over_random_dags(benchmark):
+    """The [15]-style aggregate: many artificially generated dags, mean
+    rank of each policy by starvation events."""
+
+    def run():
+        ranks: dict[str, list[int]] = {}
+        for seed in range(8):
+            dag = random_layered_dag(6, 6, arc_prob=0.3, seed=seed)
+            sched = schedule_dag(dag, exhaustive_limit=0).schedule
+            cmp = compare_policies(dag, sched, clients=6, seed=seed)
+            ordered = sorted(
+                cmp.results.items(),
+                key=lambda kv: (kv[1].starvation_events, kv[1].makespan),
+            )
+            for rank, (name, _res) in enumerate(ordered):
+                ranks.setdefault(name, []).append(rank)
+        return {k: sum(v) / len(v) for k, v in ranks.items()}
+
+    mean_ranks = benchmark(run)
+    rows = sorted(mean_ranks.items(), key=lambda kv: kv[1])
+    report = render_table(
+        ["policy", "mean rank (starvation, lower better)"],
+        [(k, round(v, 2)) for k, v in rows],
+        title="aggregate over 8 random layered dags, 6 clients "
+        "(IC-OPT uses the greedy max-eligibility schedule here: these "
+        "dags have no certified decomposition — matching [15]'s setup "
+        "of the scheduler-vs-heuristics comparison)",
+    )
+    write_report("E-SIM_aggregate", report)
+
+
+def test_gridlock_under_client_loss(benchmark):
+    """The paper's gridlock motivation made concrete: with lossy
+    clients (results that never return), reallocations multiply; the
+    comparison shows how each policy's eligibility headroom absorbs
+    the churn."""
+    from repro.sim import make_policy, simulate
+
+    lossy = [ClientSpec(speed=s, loss=0.25) for s in (0.5, 1, 1, 2, 2, 4)]
+    ch = diamond.complete_diamond(5)
+    sched = schedule_dag(ch).schedule
+
+    def run():
+        return simulate(ch.dag, make_policy("IC-OPT", sched), lossy, seed=4)
+
+    benchmark(run)
+
+    rows = []
+    for name in ("IC-OPT", "FIFO", "LIFO", "RANDOM", "MAXOUT", "CRITPATH"):
+        policy = make_policy(name, sched if name == "IC-OPT" else None)
+        res = simulate(ch.dag, policy, lossy, seed=4)
+        rows.append(
+            (
+                name,
+                round(res.makespan, 2),
+                res.lost_allocations,
+                round(res.wasted_work, 2),
+                res.starvation_events,
+                round(res.utilization, 4),
+            )
+        )
+    report = render_table(
+        ["policy", "makespan", "losses", "wasted work", "starvation", "util"],
+        rows,
+        title="diamond d=5 on 6 lossy clients (25% result loss, "
+        "reallocation on detection)",
+    )
+    write_report("E-SIM_gridlock_loss", report)
+
+
+def test_scientific_workflows(benchmark):
+    """The [19]-style evaluation rebuilt: policy comparison on the four
+    scientific-workflow replicas (see DESIGN.md substitutions)."""
+    from repro.sim import make_policy, simulate
+    from repro.sim.scientific import SCIENTIFIC_WORKFLOWS
+
+    clients = [ClientSpec(speed=s, dropout=0.1) for s in (0.5, 1, 1, 2, 2, 4)]
+    dag0, work0 = SCIENTIFIC_WORKFLOWS["cybershake"]()
+    sched0 = schedule_dag(dag0, exhaustive_limit=0).schedule
+
+    def run():
+        return simulate(
+            dag0, make_policy("IC-OPT", sched0), clients, work=work0, seed=2
+        )
+
+    benchmark(run)
+
+    rows = []
+    wins = 0
+    for name in sorted(SCIENTIFIC_WORKFLOWS):
+        dag, work = SCIENTIFIC_WORKFLOWS[name]()
+        sched = schedule_dag(dag, exhaustive_limit=0).schedule
+        cmp = compare_policies(dag, sched, clients=clients, work=work, seed=2)
+        ic = cmp.results["IC-OPT"]
+        fifo = cmp.results["FIFO"]
+        wins += ic.makespan <= fifo.makespan
+        rows.append(
+            (
+                dag.name,
+                len(dag),
+                round(ic.makespan, 2),
+                round(fifo.makespan, 2),
+                ic.starvation_events,
+                fifo.starvation_events,
+            )
+        )
+    report = render_table(
+        [
+            "workflow",
+            "tasks",
+            "IC-OPT makespan",
+            "FIFO makespan",
+            "IC-OPT starv.",
+            "FIFO starv.",
+        ],
+        rows,
+        title="[19] substitution: IC-greedy scheduler vs DAGMan-style "
+        "FIFO on four scientific-workflow replicas, 6 heterogeneous "
+        "flaky clients",
+    )
+    report += f"\nIC-OPT matches-or-beats FIFO makespan on {wins}/4 workflows"
+    write_report("E-SIM_scientific", report)

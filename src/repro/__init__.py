@@ -1,0 +1,90 @@
+"""repro — a reproduction of *Applying IC-Scheduling Theory to Familiar
+Classes of Computations* (Cordasco, Malewicz, Rosenberg; IPPS 2007).
+
+The package implements IC-Scheduling Theory — scheduling
+computation-dags for Internet-based computing so that ELIGIBLE tasks
+are produced at the maximum possible rate — together with every dag
+family, computation, multi-granularity transform, and simulation
+baseline the paper discusses.
+
+Quick start::
+
+    from repro import families, core
+
+    mesh = families.mesh.out_mesh_chain(6)          # Fig. 5/6 out-mesh
+    result = core.schedule_dag(mesh)                # Theorem 2.1
+    assert result.ic_optimal
+    print(result.schedule.profile)                  # eligibility E(t)
+
+Subpackages
+-----------
+``repro.core``
+    Dags, execution/eligibility model, schedules, exhaustive
+    IC-optimality, the ▷ relation, composition ⇑, duality (Section 2).
+``repro.blocks``
+    The building-block catalog: V, Λ, W, M, N, cycle, butterfly blocks
+    with their known IC-optimal schedules.
+``repro.families``
+    The paper's dag families: trees, diamonds (Section 3), meshes
+    (Section 4), butterfly networks (Section 5), parallel-prefix
+    (Section 6.1), DLT dags (Section 6.2.1), graph-paths (Section
+    6.2.2), matrix-multiply (Section 7).
+``repro.compute``
+    Value-level task semantics: adaptive quadrature, FFT/convolution,
+    comparator sorting, scans, DLT, block matrix multiply, wavefront
+    dynamic programming.
+``repro.granularity``
+    Task clustering / multi-granularity transforms (coarsening).
+``repro.sim``
+    The event-driven IC server/client simulator with heuristic
+    baselines (FIFO, LIFO, random, greedy, critical-path).
+``repro.analysis``
+    Eligibility-profile analytics and report rendering.
+"""
+
+from . import analysis, blocks, compute, core, families, granularity, sim
+from .core import (
+    CompositionChain,
+    ComputationDag,
+    Schedule,
+    schedule_dag,
+)
+from .exceptions import (
+    ClusteringError,
+    CompositionError,
+    ComputeError,
+    CycleError,
+    DagStructureError,
+    OptimalityError,
+    PriorityError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositionChain",
+    "ComputationDag",
+    "Schedule",
+    "schedule_dag",
+    "analysis",
+    "blocks",
+    "compute",
+    "core",
+    "families",
+    "granularity",
+    "sim",
+    "ReproError",
+    "DagStructureError",
+    "CycleError",
+    "ScheduleError",
+    "CompositionError",
+    "PriorityError",
+    "OptimalityError",
+    "ClusteringError",
+    "SimulationError",
+    "ComputeError",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Eligibility-profile analytics and plain-text report rendering for
+the benchmark harness."""
+
+from . import ascii_dag, profiles, reporting
+from . import dot
+from .ascii_dag import render_dag, render_gantt, render_profile_bars
+from .dot import to_dot
+from .profiles import (
+    dominance_relation,
+    profile_area,
+    profile_summary,
+    time_to_k_eligible,
+)
+from .reporting import render_kv, render_series, render_table
+
+__all__ = [
+    "ascii_dag",
+    "dominance_relation",
+    "dot",
+    "render_dag",
+    "render_gantt",
+    "render_profile_bars",
+    "profile_area",
+    "profile_summary",
+    "profiles",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "reporting",
+    "to_dot",
+    "time_to_k_eligible",
+]

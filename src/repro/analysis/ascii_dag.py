@@ -1,0 +1,97 @@
+"""Plain-text dag rendering.
+
+Draws a dag level by level (longest-path depth), one line of node
+labels per level with arc fan-in annotations — enough to eyeball the
+structures of Figs. 1-17 in a terminal and in the bench reports.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationDag, Node
+
+__all__ = ["render_dag", "render_profile_bars", "render_gantt"]
+
+
+def _short(v: Node, width: int = 12) -> str:
+    s = str(v)
+    return s if len(s) <= width else s[: width - 1] + "…"
+
+
+def render_dag(dag: ComputationDag, max_width: int = 100) -> str:
+    """Render ``dag`` as one line per depth level.
+
+    Each node shows as ``label(<parents)`` where the parent list is
+    elided to its count for fan-in above 2.  Lines longer than
+    ``max_width`` are truncated with an ellipsis and a node count.
+    """
+    levels: dict[int, list[Node]] = {}
+    for v, lv in dag.node_levels().items():
+        levels.setdefault(lv, []).append(v)
+    lines = [f"{dag.name}: {len(dag)} nodes, depth {dag.depth()}"]
+    for lv in sorted(levels):
+        cells = []
+        for v in levels[lv]:
+            parents = dag.parents(v)
+            if not parents:
+                cells.append(_short(v))
+            elif len(parents) <= 2:
+                ps = ",".join(_short(p, 8) for p in parents)
+                cells.append(f"{_short(v)}(<{ps})")
+            else:
+                cells.append(f"{_short(v)}(<{len(parents)}p)")
+        line = f"  L{lv}: " + "  ".join(cells)
+        if len(line) > max_width:
+            line = line[: max_width - 16] + f"… [{len(levels[lv])} nodes]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_profile_bars(
+    profile: list[int], width: int = 50, label: str = "E(t)"
+) -> str:
+    """A horizontal bar chart of an eligibility profile."""
+    if not profile:
+        return f"{label}: (empty)"
+    peak = max(max(profile), 1)
+    lines = [f"{label} (peak {peak}):"]
+    for t, e in enumerate(profile):
+        bar = "#" * round(e / peak * width)
+        lines.append(f"  t={t:<4d} {e:>4d} |{bar}")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    trace: list[tuple],
+    n_clients: int,
+    width: int = 72,
+    max_label: int = 6,
+) -> str:
+    """An ASCII Gantt chart of a simulation trace (one row per client).
+
+    ``trace`` rows are ``(client, task, start, end, outcome)`` as
+    produced by ``simulate(..., record_trace=True)``; lost allocations
+    render in lowercase-x fill, completed ones with ``=``.
+    """
+    if not trace:
+        return "(empty trace)"
+    horizon = max(end for _c, _t, _s, end, _k in trace)
+    if horizon <= 0:
+        return "(zero-length trace)"
+    scale = width / horizon
+    lines = [f"gantt (horizon {horizon:g}, {len(trace)} allocations):"]
+    for cid in range(n_clients):
+        row = [" "] * (width + 1)
+        for c, task, start, end, kind in trace:
+            if c != cid:
+                continue
+            a = int(start * scale)
+            b = max(a + 1, int(end * scale))
+            fill = "x" if kind == "lost" else "="
+            for i in range(a, min(b, width)):
+                row[i] = fill
+            label = str(task)[:max_label]
+            for i, ch in enumerate(label):
+                if a + i < width:
+                    row[a + i] = ch
+        lines.append(f"  c{cid:<2d} |{''.join(row)}|")
+    return "\n".join(lines)

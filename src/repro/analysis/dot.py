@@ -1,0 +1,69 @@
+"""Graphviz DOT export.
+
+Emits plain DOT text (no graphviz dependency) for dags, optionally
+annotated with a schedule's execution order or a clustering's
+supertask grouping — paste into any DOT renderer to draw the paper's
+figures from the live objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+
+__all__ = ["to_dot"]
+
+
+def _ident(v: Node) -> str:
+    return '"' + str(v).replace('"', "'") + '"'
+
+
+def to_dot(
+    dag: ComputationDag,
+    schedule: Schedule | None = None,
+    clusters: Mapping[Node, Node] | None = None,
+    rankdir: str = "TB",
+) -> str:
+    """DOT text for ``dag``.
+
+    ``schedule`` annotates each node with its execution step;
+    ``clusters`` groups nodes into DOT subgraph clusters (the
+    granularity view).  Sources render as doublecircles, sinks as
+    boxes.
+    """
+    lines = [f"digraph {_ident(dag.name)} {{", f"  rankdir={rankdir};"]
+    step = (
+        {v: i for i, v in enumerate(schedule.order)} if schedule else {}
+    )
+
+    def node_line(v: Node, indent: str = "  ") -> str:
+        attrs = []
+        if dag.is_source(v):
+            attrs.append("shape=doublecircle")
+        elif dag.is_sink(v):
+            attrs.append("shape=box")
+        label = str(v)
+        if v in step:
+            label += f"\\n#{step[v]}"
+        attrs.append(f'label="{label}"')
+        return f"{indent}{_ident(v)} [{', '.join(attrs)}];"
+
+    if clusters:
+        grouped: dict[Node, list[Node]] = {}
+        for v in dag.nodes:
+            grouped.setdefault(clusters.get(v, v), []).append(v)
+        for i, (cid, members) in enumerate(grouped.items()):
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append(f'    label="{cid}";')
+            for v in members:
+                lines.append(node_line(v, indent="    "))
+            lines.append("  }")
+    else:
+        for v in dag.nodes:
+            lines.append(node_line(v))
+    for u, v in dag.arcs:
+        lines.append(f"  {_ident(u)} -> {_ident(v)};")
+    lines.append("}")
+    return "\n".join(lines)

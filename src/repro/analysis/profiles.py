@@ -1,0 +1,65 @@
+"""Eligibility-profile analytics.
+
+Helpers the benches and experiments use to compare schedules along the
+paper's quality measure: pointwise dominance, aggregate area (total
+eligibility headroom over the run), and time-to-k-eligible (how fast a
+schedule can feed k parallel clients).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule, dominates
+
+__all__ = [
+    "profile_area",
+    "time_to_k_eligible",
+    "dominance_relation",
+    "profile_summary",
+]
+
+
+def profile_area(profile: Sequence[int]) -> int:
+    """Sum of the eligibility profile — total headroom integrated over
+    (event-driven) time.  An IC-optimal schedule maximizes every term,
+    hence also this aggregate."""
+    return sum(profile)
+
+
+def time_to_k_eligible(profile: Sequence[int], k: int) -> int | None:
+    """The first step ``t`` with ``E(t) >= k`` — the earliest moment a
+    size-k client burst could be fully served — or ``None`` if the
+    profile never reaches ``k``."""
+    for t, e in enumerate(profile):
+        if e >= k:
+            return t
+    return None
+
+
+def dominance_relation(a: Sequence[int], b: Sequence[int]) -> str:
+    """Classify two equal-length profiles: ``"equal"``, ``"a"`` /
+    ``"b"`` (strict pointwise dominance), or ``"incomparable"``."""
+    ge = dominates(a, b)
+    le = dominates(b, a)
+    if ge and le:
+        return "equal"
+    if ge:
+        return "a"
+    if le:
+        return "b"
+    return "incomparable"
+
+
+def profile_summary(schedule: Schedule) -> dict:
+    """A compact numeric summary of a schedule's profile."""
+    prof = schedule.profile
+    return {
+        "name": schedule.name,
+        "dag": schedule.dag.name,
+        "steps": len(prof) - 1,
+        "peak": max(prof),
+        "area": profile_area(prof),
+        "time_to_peak": prof.index(max(prof)),
+    }

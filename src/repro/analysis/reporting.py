@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints, for every figure/claim of the paper, the
+regenerated rows in a uniform ASCII format so EXPERIMENTS.md entries
+can be pasted straight from bench output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """A fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, series: Sequence, max_items: int = 40
+) -> str:
+    """One labelled series line, elided in the middle when long."""
+    vals = [str(v) for v in series]
+    if len(vals) > max_items:
+        half = max_items // 2
+        vals = vals[:half] + ["..."] + vals[-half:]
+    return f"{name}: [{', '.join(vals)}]"
+
+
+def render_kv(pairs: dict, title: str | None = None) -> str:
+    """Key/value block."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{str(k).ljust(width)} : {v}" for k, v in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Building-block dags of IC-Scheduling Theory with their catalogued
+IC-optimal schedules: Vee/Lambda (Fig. 1, Fig. 14), W-/M-dags
+(Section 4), N-dags (Section 6.1), bipartite cycle-dags (Section 7),
+and the butterfly block (Fig. 8)."""
+
+from .butterfly import (
+    bsnk,
+    bsrc,
+    butterfly_block,
+    butterfly_block_schedule,
+)
+from .catalog import BLOCK_KINDS, PAPER_PRIORITY_FACTS, block
+from .clique import clique_dag, clique_schedule, qsnk, qsrc
+from .cycle import csnk, csrc, cycle_dag, cycle_schedule
+from .n_dag import anchor, n_dag, n_schedule, nsnk, nsrc
+from .vee_lambda import (
+    ROOT,
+    SINK,
+    lambda_dag,
+    lambda_schedule,
+    leaf,
+    source,
+    vee_dag,
+    vee_schedule,
+)
+from .w_m import m_dag, m_schedule, w_dag, w_schedule, wsnk, wsrc
+
+__all__ = [
+    "BLOCK_KINDS",
+    "PAPER_PRIORITY_FACTS",
+    "ROOT",
+    "SINK",
+    "anchor",
+    "block",
+    "bsnk",
+    "bsrc",
+    "butterfly_block",
+    "butterfly_block_schedule",
+    "csnk",
+    "csrc",
+    "clique_dag",
+    "clique_schedule",
+    "cycle_dag",
+    "cycle_schedule",
+    "lambda_dag",
+    "lambda_schedule",
+    "leaf",
+    "m_dag",
+    "m_schedule",
+    "n_dag",
+    "n_schedule",
+    "nsnk",
+    "nsrc",
+    "qsnk",
+    "qsrc",
+    "source",
+    "vee_dag",
+    "vee_schedule",
+    "w_dag",
+    "w_schedule",
+    "wsnk",
+    "wsrc",
+]

@@ -1,0 +1,48 @@
+"""The butterfly building block B (Fig. 8).
+
+``B`` has two sources and two sinks wired completely (each source feeds
+both sinks): it computes ``(y₀, y₁)`` from ``(x₀, x₁)``.  Iterated
+compositions of ``B`` yield the d-dimensional butterfly networks of
+Section 5, whose instantiations include comparator sorting networks
+(transformation 5.1) and the FFT (transformation 5.2).
+
+``B ▷ B`` (verified in tests), so every iterated composition of B is
+▷-linear; the schedule characterization ("IC-optimal iff the two
+sources of each copy of B execute consecutively", from [23]) is
+verified exhaustively for B₂ and B₃.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+
+__all__ = ["butterfly_block", "butterfly_block_schedule", "bsrc", "bsnk"]
+
+
+def bsrc(i: int):
+    """Label of source *i* (0 or 1) of the butterfly block."""
+    return ("src", i)
+
+
+def bsnk(j: int):
+    """Label of sink *j* (0 or 1) of the butterfly block."""
+    return ("snk", j)
+
+
+def butterfly_block() -> ComputationDag:
+    """The butterfly building block ``B = B₁``: K_{2,2} oriented
+    sources-to-sinks."""
+    d = ComputationDag(name="B")
+    for i in range(2):
+        for j in range(2):
+            d.add_arc(bsrc(i), bsnk(j))
+    return d
+
+
+def butterfly_block_schedule(dag: ComputationDag) -> Schedule:
+    """IC-optimal schedule of B: both sources (consecutively — they are
+    the only nonsinks), then both sinks."""
+    return Schedule(
+        dag, [bsrc(0), bsrc(1), bsnk(0), bsnk(1)], name=f"opt({dag.name})"
+    )

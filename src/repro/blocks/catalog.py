@@ -1,0 +1,96 @@
+"""A registry of the paper's building blocks with their canonical
+IC-optimal schedules.
+
+:func:`block` returns a ``(dag, schedule)`` pair for a named block;
+:data:`PAPER_PRIORITY_FACTS` lists every ▷ fact the paper asserts, in
+machine-checkable form.  The test-suite re-derives each fact from
+equation (2.1) and re-verifies each canonical schedule exhaustively —
+the catalog is a convenience, not a source of truth.
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+from .butterfly import butterfly_block, butterfly_block_schedule
+from .clique import clique_dag, clique_schedule
+from .cycle import cycle_dag, cycle_schedule
+from .n_dag import n_dag, n_schedule
+from .vee_lambda import lambda_dag, lambda_schedule, vee_dag, vee_schedule
+from .w_m import m_dag, m_schedule, w_dag, w_schedule
+
+__all__ = ["block", "BLOCK_KINDS", "PAPER_PRIORITY_FACTS"]
+
+#: kinds accepted by :func:`block` and the parameter each takes.
+BLOCK_KINDS = {
+    "V": "degree (default 2)",
+    "Λ": "degree (default 2)",
+    "W": "number of sources",
+    "M": "number of sinks",
+    "N": "number of sources",
+    "C": "number of sources (>= 2)",
+    "B": "no parameter",
+    "Q": "side size s (builds the square clique Q_{s,s})",
+}
+
+_FACTORIES = {
+    "V": (vee_dag, vee_schedule),
+    "Λ": (lambda_dag, lambda_schedule),
+    "W": (w_dag, w_schedule),
+    "M": (m_dag, m_schedule),
+    "N": (n_dag, n_schedule),
+    "C": (cycle_dag, cycle_schedule),
+    "B": (lambda: butterfly_block(), butterfly_block_schedule),
+    "Q": (lambda s=2: clique_dag(s, s), clique_schedule),
+}
+
+# ASCII aliases for keyboards without Λ.
+_ALIASES = {"L": "Λ", "lambda": "Λ", "vee": "V", "butterfly": "B"}
+
+
+def block(kind: str, param: int | None = None) -> tuple[ComputationDag, Schedule]:
+    """Build the named block and its canonical IC-optimal schedule.
+
+    ``kind`` is one of ``V``, ``Λ`` (alias ``L``/``lambda``), ``W``,
+    ``M``, ``N``, ``C``, ``B``; ``param`` is the size parameter listed
+    in :data:`BLOCK_KINDS` (ignored for ``B``).
+    """
+    kind = _ALIASES.get(kind, kind)
+    if kind not in _FACTORIES:
+        raise KeyError(
+            f"unknown block kind {kind!r}; known: {sorted(_FACTORIES)}"
+        )
+    make, sched = _FACTORIES[kind]
+    if kind == "B":
+        dag = make()
+    elif param is None:
+        dag = make()  # V/Λ default to degree 2
+    else:
+        dag = make(param)
+    return dag, sched(dag)
+
+
+#: Every priority fact asserted in the paper, as
+#: ``(lhs_spec, rhs_spec, holds)`` with specs ``(kind, param)``.
+#: The negative entry ¬(Λ ▷ V) is from Section 3.1 ("the converse does
+#: not hold").
+PAPER_PRIORITY_FACTS: list[tuple[tuple[str, int | None], tuple[str, int | None], bool]] = [
+    (("V", 2), ("V", 2), True),      # §3.1: V ▷ V
+    (("V", 2), ("Λ", 2), True),      # §3.1: V ▷ Λ
+    (("Λ", 2), ("Λ", 2), True),      # §6.2.1 fact (3): Λ ▷ Λ
+    (("Λ", 2), ("V", 2), False),     # §3.1: the converse does not hold
+    (("B", None), ("B", None), True),  # §5.1: B ▷ B
+    (("W", 1), ("W", 2), True),      # §4: smaller W-dags ▷ larger
+    (("W", 2), ("W", 3), True),
+    (("W", 2), ("W", 5), True),
+    (("W", 3), ("W", 3), True),
+    (("N", 2), ("N", 4), True),      # §6.1 fact: N_s ▷ N_t for all s, t
+    (("N", 4), ("N", 2), True),
+    (("N", 8), ("N", 8), True),
+    (("N", 3), ("Λ", 2), True),      # §6.2.1 fact (2): N_s ▷ Λ
+    (("N", 8), ("Λ", 2), True),
+    (("V", 3), ("V", 3), True),      # §6.2.1 chain V₃ ▷ V₃ ▷ Λ ▷ Λ
+    (("V", 3), ("Λ", 2), True),
+    (("C", 4), ("C", 4), True),      # §7 chain C₄ ▷ C₄ ▷ Λ ▷ Λ
+    (("C", 4), ("Λ", 2), True),
+]

@@ -1,0 +1,48 @@
+"""Bipartite clique blocks Q_{s,t}.
+
+The complete bipartite dag — every one of ``s`` sources feeding every
+one of ``t`` sinks — rounds out the block repertoire of [21]: the
+butterfly block is ``Q_{2,2}``, the Vee is ``Q_{1,d}`` and the Lambda
+``Q_{d,1}``.  No sink becomes ELIGIBLE before the last source executes,
+so every schedule of a clique has the same profile
+``s, s-1, ..., 1, t, t-1, ..., 0`` — all of them IC-optimal.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+
+__all__ = ["clique_dag", "clique_schedule", "qsrc", "qsnk"]
+
+
+def qsrc(i: int):
+    """Label of the *i*-th source of a clique block."""
+    return ("src", i)
+
+
+def qsnk(j: int):
+    """Label of the *j*-th sink of a clique block."""
+    return ("snk", j)
+
+
+def clique_dag(s: int, t: int) -> ComputationDag:
+    """The (s, t)-bipartite clique ``Q_{s,t}`` (``s·t`` arcs)."""
+    if s < 1 or t < 1:
+        raise DagStructureError(
+            f"clique needs >= 1 source and sink, got ({s}, {t})"
+        )
+    d = ComputationDag(name=f"Q{s},{t}")
+    for i in range(s):
+        for j in range(t):
+            d.add_arc(qsrc(i), qsnk(j))
+    return d
+
+
+def clique_schedule(dag: ComputationDag) -> Schedule:
+    """The canonical (every-schedule-is-optimal) clique schedule:
+    sources then sinks, each in index order."""
+    srcs = sorted((v for v in dag.nodes if v[0] == "src"), key=lambda v: v[1])
+    snks = sorted((v for v in dag.nodes if v[0] == "snk"), key=lambda v: v[1])
+    return Schedule(dag, srcs + snks, name=f"opt({dag.name})")

@@ -1,0 +1,63 @@
+"""N-dags (Section 6.1).
+
+For each integer ``s > 0`` the *s-source N-dag* ``N_s`` has ``s``
+sources and ``s`` sinks; its ``2s - 1`` arcs connect source *v* to sink
+*v*, and to sink *v+1* when that exists.  The leftmost source is the
+dag's **anchor** — its child ``snk_0`` has no other parent.
+
+Parallel-prefix dags are iterated compositions of N-dags (Fig. 12).
+Facts from [21] verified in tests: executing the sources sequentially
+starting with the anchor is IC-optimal, and ``N_s ▷ N_t`` for *all*
+``s`` and ``t`` (also ``N_s ▷ Λ``).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+
+__all__ = ["n_dag", "n_schedule", "nsrc", "nsnk", "anchor"]
+
+
+def nsrc(i: int):
+    """Label of the *i*-th source of an N-dag."""
+    return ("src", i)
+
+
+def nsnk(j: int):
+    """Label of the *j*-th sink of an N-dag."""
+    return ("snk", j)
+
+
+def anchor(dag: ComputationDag):
+    """The anchor (leftmost source) of an N-dag built by :func:`n_dag`."""
+    return nsrc(0)
+
+
+def n_dag(s: int) -> ComputationDag:
+    """The s-source N-dag ``N_s``.
+
+    Arcs (0-based): ``src_i -> snk_i`` for all *i*, and
+    ``src_i -> snk_{i+1}`` for ``i < s - 1`` — ``2s - 1`` arcs total.
+    """
+    if s < 1:
+        raise DagStructureError(f"N-dag needs >= 1 source, got {s}")
+    d = ComputationDag(name=f"N{s}")
+    for i in range(s):
+        d.add_arc(nsrc(i), nsnk(i))
+        if i + 1 < s:
+            d.add_arc(nsrc(i), nsnk(i + 1))
+    return d
+
+
+def n_schedule(dag: ComputationDag) -> Schedule:
+    """IC-optimal N-dag schedule: sources sequentially from the anchor.
+
+    After ``x`` sources the eligible count is ``(s-x) + x = s`` at
+    every step — the maximum (sink *v* needs sources *v-1* and *v*, so
+    a prefix of sources completes a prefix of sinks).
+    """
+    srcs = sorted((v for v in dag.nodes if v[0] == "src"), key=lambda v: v[1])
+    snks = sorted((v for v in dag.nodes if v[0] == "snk"), key=lambda v: v[1])
+    return Schedule(dag, srcs + snks, name=f"opt({dag.name})")

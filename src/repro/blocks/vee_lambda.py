@@ -1,0 +1,95 @@
+"""The Vee dag V and the Lambda dag Λ (Fig. 1), plus their degree-d
+generalizations (footnote 7: "any fixed degree works"; Section 6.2.1
+uses the 3-prong Vee V₃ of Fig. 14).
+
+* ``V_d`` — one source (the *root*) with ``d`` sink children; the
+  building block of *expansive* computations (out-trees, the "divide"
+  phase of divide-and-conquer).
+* ``Λ_d`` — ``d`` sources feeding one sink; the building block of
+  *reductive* computations (in-trees, the recombination phase).
+
+The two are dual to one another.  Facts used by the paper and verified
+in the test-suite: every schedule of ``V_d`` is IC-optimal; ``Λ``'s
+IC-optimal schedules are those executing its sources consecutively;
+``V ▷ V``, ``V ▷ Λ``, ``Λ ▷ Λ`` but not ``Λ ▷ V``;
+``V₃ ▷ V₃ ▷ Λ ▷ Λ``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+
+__all__ = [
+    "ROOT",
+    "vee_dag",
+    "vee_schedule",
+    "lambda_dag",
+    "lambda_schedule",
+    "leaf",
+    "source",
+    "SINK",
+]
+
+#: label of the unique source of a Vee dag.
+ROOT = "root"
+#: label of the unique sink of a Lambda dag.
+SINK = "sink"
+
+
+def leaf(i: int):
+    """Label of the *i*-th sink of a Vee dag."""
+    return ("leaf", i)
+
+
+def source(i: int):
+    """Label of the *i*-th source of a Lambda dag."""
+    return ("src", i)
+
+
+def vee_dag(degree: int = 2) -> ComputationDag:
+    """The Vee dag ``V_degree``: ``root -> leaf_0..leaf_{d-1}``.
+
+    ``degree=2`` is the paper's V (Fig. 1, left); ``degree=3`` is V₃
+    (Fig. 14).
+    """
+    if degree < 1:
+        raise DagStructureError(f"Vee degree must be >= 1, got {degree}")
+    d = ComputationDag(name="V" if degree == 2 else f"V{degree}")
+    d.add_node(ROOT)
+    for i in range(degree):
+        d.add_arc(ROOT, leaf(i))
+    return d
+
+
+def vee_schedule(dag: ComputationDag) -> Schedule:
+    """The canonical IC-optimal schedule of a Vee dag.
+
+    The root is the only nonsink, so *every* schedule of V is
+    IC-optimal (Section 3.1); this one runs root, then leaves in index
+    order.
+    """
+    order = [ROOT] + [v for v in dag.nodes if v != ROOT]
+    return Schedule(dag, order, name=f"opt({dag.name})")
+
+
+def lambda_dag(degree: int = 2) -> ComputationDag:
+    """The Lambda dag ``Λ_degree``: ``src_0..src_{d-1} -> sink``.
+
+    ``degree=2`` is the paper's Λ (Fig. 1, right).  Dual to ``V_d``.
+    """
+    if degree < 1:
+        raise DagStructureError(f"Lambda degree must be >= 1, got {degree}")
+    d = ComputationDag(name="Λ" if degree == 2 else f"Λ{degree}")
+    for i in range(degree):
+        d.add_arc(source(i), SINK)
+    return d
+
+
+def lambda_schedule(dag: ComputationDag) -> Schedule:
+    """The canonical IC-optimal schedule of a Lambda dag: sources in
+    index order (consecutively — the characterization from [23]), then
+    the sink."""
+    srcs = [v for v in dag.nodes if v != SINK]
+    return Schedule(dag, srcs + [SINK], name=f"opt({dag.name})")

@@ -1,0 +1,134 @@
+"""W-dags and M-dags (Section 4, footnote 10).
+
+The *s-source W-dag* ``W_s`` has sources ``src_0..src_{s-1}`` and sinks
+``snk_0..snk_s``; source *i* feeds sinks *i* and *i+1*.  ``W_1`` is the
+Vee dag.  Out-meshes are ▷-linear compositions of W-dags with
+increasing numbers of sources (Fig. 6, left).
+
+The *s-sink M-dag* ``M_s`` is the dual: sources ``src_0..src_s``, sinks
+``snk_0..snk_{s-1}``, sink *i* fed by sources *i* and *i+1*.  ``M_1``
+is the Lambda dag.  In-meshes decompose into M-dags.
+
+Facts from [21] used by the paper and verified in tests: the schedule
+executing a W-dag's sources consecutively (left to right) is
+IC-optimal, and smaller W-dags have ▷-priority over larger ones
+(``W_s ▷ W_t`` for ``s <= t``).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+
+__all__ = [
+    "w_dag",
+    "w_schedule",
+    "m_dag",
+    "m_schedule",
+    "wsrc",
+    "wsnk",
+    "generalized_w_dag",
+    "generalized_m_dag",
+]
+
+
+def wsrc(i: int):
+    """Label of the *i*-th source of a W-dag / M-dag."""
+    return ("src", i)
+
+
+def wsnk(j: int):
+    """Label of the *j*-th sink of a W-dag / M-dag."""
+    return ("snk", j)
+
+
+def w_dag(s: int) -> ComputationDag:
+    """The s-source W-dag: ``src_i -> snk_i, snk_{i+1}``; s+1 sinks."""
+    if s < 1:
+        raise DagStructureError(f"W-dag needs >= 1 source, got {s}")
+    d = ComputationDag(name=f"W{s}")
+    for i in range(s):
+        d.add_arc(wsrc(i), wsnk(i))
+        d.add_arc(wsrc(i), wsnk(i + 1))
+    return d
+
+
+def w_schedule(dag: ComputationDag) -> Schedule:
+    """IC-optimal W-dag schedule: sources left to right, then sinks.
+
+    After executing sources ``0..x-1`` the eligible count is
+    ``(s - x) + x = s`` for every ``x >= 1`` and ``s + 1`` at the end —
+    the maximum at every step ([21]; re-verified exhaustively in the
+    tests).
+    """
+    srcs = sorted(
+        (v for v in dag.nodes if v[0] == "src"), key=lambda v: v[1]
+    )
+    snks = sorted(
+        (v for v in dag.nodes if v[0] == "snk"), key=lambda v: v[1]
+    )
+    return Schedule(dag, srcs + snks, name=f"opt({dag.name})")
+
+
+def m_dag(s: int) -> ComputationDag:
+    """The s-sink M-dag (dual of ``W_s``): ``src_i, src_{i+1} -> snk_i``."""
+    if s < 1:
+        raise DagStructureError(f"M-dag needs >= 1 sink, got {s}")
+    d = ComputationDag(name=f"M{s}")
+    for i in range(s):
+        d.add_arc(wsrc(i), wsnk(i))
+        d.add_arc(wsrc(i + 1), wsnk(i))
+    return d
+
+
+def m_schedule(dag: ComputationDag) -> Schedule:
+    """IC-optimal M-dag schedule: sources left to right (each pair of
+    consecutive sources completes a sink), then sinks."""
+    srcs = sorted(
+        (v for v in dag.nodes if v[0] == "src"), key=lambda v: v[1]
+    )
+    snks = sorted(
+        (v for v in dag.nodes if v[0] == "snk"), key=lambda v: v[1]
+    )
+    return Schedule(dag, srcs + snks, name=f"opt({dag.name})")
+
+
+def generalized_w_dag(s: int, fan: int) -> ComputationDag:
+    """The (fan, s)-W-dag: the d-ary analogue of ``W_s`` that
+    footnote 7 / [21] allude to.
+
+    ``s`` sources, each with ``fan`` sink children; consecutive
+    sources' child runs overlap by one sink, giving
+    ``s (fan - 1) + 1`` sinks: source *i* feeds sinks
+    ``i (fan-1) .. i (fan-1) + fan - 1``.  ``fan = 2`` recovers the
+    classic W-dag; ``s = 1`` recovers the ``fan``-ary Vee.  The
+    left-to-right source schedule (:func:`w_schedule` works unchanged)
+    is IC-optimal — verified exhaustively in the tests.
+    """
+    if s < 1:
+        raise DagStructureError(f"W-dag needs >= 1 source, got {s}")
+    if fan < 2:
+        raise DagStructureError(f"fan must be >= 2, got {fan}")
+    d = ComputationDag(name=f"W({fan},{s})")
+    for i in range(s):
+        base = i * (fan - 1)
+        for j in range(fan):
+            d.add_arc(wsrc(i), wsnk(base + j))
+    return d
+
+
+def generalized_m_dag(s: int, fan: int) -> ComputationDag:
+    """The (fan, s)-M-dag: dual of :func:`generalized_w_dag` —
+    ``s`` sinks each fed by ``fan`` sources with single-source
+    overlaps; ``fan = 2`` recovers the classic M-dag."""
+    if s < 1:
+        raise DagStructureError(f"M-dag needs >= 1 sink, got {s}")
+    if fan < 2:
+        raise DagStructureError(f"fan must be >= 2, got {fan}")
+    d = ComputationDag(name=f"M({fan},{s})")
+    for i in range(s):
+        base = i * (fan - 1)
+        for j in range(fan):
+            d.add_arc(wsrc(base + j), wsnk(i))
+    return d

@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+::
+
+    python -m repro families
+    python -m repro schedule mesh 6
+    python -m repro schedule diamond 3 --show-dag
+    python -m repro verify prefix 4
+    python -m repro simulate butterfly 4 --clients 8 --seed 1
+    python -m repro priority N4 L
+    python -m repro batch mesh 4 --capacity 3
+
+Family names: ``diamond DEPTH``, ``mesh DEPTH``, ``in-mesh DEPTH``,
+``butterfly DIM``, ``prefix WIDTH``, ``dlt WIDTH``, ``dlt-tree WIDTH``,
+``matmul`` (no parameter), ``out-tree DEPTH``, ``in-tree DEPTH``,
+``paths K``.  Block names for ``priority``: V, V3, L (Λ), W4, M3, N8,
+C4, B, ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections.abc import Sequence
+
+from .analysis import render_series, render_table
+from .analysis.ascii_dag import render_dag
+from .blocks import block
+from .core import is_ic_optimal, schedule_dag
+from .core.batched import coffman_graham_batches, hu_batches, level_batches
+from .core.priority import has_priority
+from .core.quality import quality_report
+
+__all__ = ["main", "build_family"]
+
+FAMILY_HELP = {
+    "diamond": "complete binary diamond of the given depth (Fig. 2)",
+    "mesh": "out-mesh of the given depth (Fig. 5)",
+    "in-mesh": "in-mesh / pyramid of the given depth (Fig. 5)",
+    "butterfly": "butterfly network B_d (Figs. 8-10)",
+    "prefix": "parallel-prefix dag P_n (Fig. 11)",
+    "dlt": "DLT dag L_n = P_n ⇑ T_n (Fig. 13)",
+    "dlt-tree": "ternary-tree DLT dag L'_n (Fig. 15)",
+    "matmul": "matrix-multiplication dag M (Fig. 17; no parameter)",
+    "out-tree": "complete binary out-tree of the given depth",
+    "in-tree": "complete binary in-tree of the given depth",
+    "paths": "graph-paths dag for K powers (Fig. 16)",
+    "sorting": "bitonic sorting network on n wires (§5.2)",
+}
+
+
+def build_family(name: str, param: int | None):
+    """Construct the named family chain (CLI surface of
+    :mod:`repro.families`)."""
+    from .families import (
+        butterfly_net,
+        diamond,
+        dlt,
+        matmul_dag,
+        mesh,
+        paths,
+        prefix,
+        trees,
+    )
+    from .compute.sorting import sorting_network_chain
+
+    need_param = name != "matmul"
+    if need_param and param is None:
+        raise SystemExit(f"family {name!r} needs a size parameter")
+    builders = {
+        "diamond": lambda: diamond.complete_diamond(param),
+        "mesh": lambda: mesh.out_mesh_chain(param),
+        "in-mesh": lambda: mesh.in_mesh_chain(param),
+        "butterfly": lambda: butterfly_net.butterfly_chain(param),
+        "prefix": lambda: prefix.prefix_chain(param),
+        "dlt": lambda: dlt.dlt_prefix_chain(param),
+        "dlt-tree": lambda: dlt.dlt_tree_chain(param),
+        "matmul": matmul_dag.matmul_chain,
+        "out-tree": lambda: trees.complete_out_tree(param),
+        "in-tree": lambda: trees.complete_in_tree(param),
+        "paths": lambda: paths.graph_paths_chain(param),
+        "sorting": lambda: sorting_network_chain(param),
+    }
+    if name not in builders:
+        raise SystemExit(
+            f"unknown family {name!r}; known: {', '.join(sorted(builders))}"
+        )
+    return builders[name]()
+
+
+def _parse_block(spec: str):
+    m = re.fullmatch(r"([A-Za-zΛ]+?)(\d+)?", spec)
+    if not m:
+        raise SystemExit(f"bad block spec {spec!r} (try V, L, W4, N8, C4, B)")
+    kind, num = m.group(1), m.group(2)
+    return block(kind, int(num) if num else None)
+
+
+def cmd_families(_args) -> int:
+    rows = sorted(FAMILY_HELP.items())
+    print(render_table(["family", "description"], rows))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    chain = build_family(args.family, args.param)
+    result = schedule_dag(chain)
+    print(chain.dag.summary())
+    print("composite type:", chain.type_string())
+    print("certificate:", result.certificate.value)
+    print(render_series("E(t)", result.schedule.profile, max_items=40))
+    if args.show_dag:
+        print(render_dag(chain.dag))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    chain = build_family(args.family, args.param)
+    result = schedule_dag(chain)
+    rep = quality_report(result.schedule)
+    print("certificate:", result.certificate.value)
+    print(
+        f"exhaustive check: ratio={rep.ratio:.3f} deficit={rep.deficit} "
+        f"ic_optimal={rep.ic_optimal}"
+    )
+    return 0 if rep.ic_optimal else 1
+
+
+def cmd_simulate(args) -> int:
+    from .sim import ClientSpec, compare_policies
+
+    chain = build_family(args.family, args.param)
+    result = schedule_dag(chain)
+    clients = [
+        ClientSpec(speed=s, dropout=args.dropout)
+        for s in ([1.0] * args.clients if not args.hetero else
+                  [0.5, 1.0, 2.0, 4.0] * ((args.clients + 3) // 4))
+    ][: args.clients]
+    cmp = compare_policies(
+        chain.dag, result.schedule, clients=clients, seed=args.seed
+    )
+    print(
+        render_table(
+            ["policy", "makespan", "starvation", "idle", "util", "headroom"],
+            cmp.table_rows(),
+            title=f"{chain.dag.name}: {args.clients} clients "
+            f"(seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def cmd_priority(args) -> int:
+    g1, s1 = _parse_block(args.block1)
+    g2, s2 = _parse_block(args.block2)
+    fwd = has_priority(g1, g2, s1, s2)
+    bwd = has_priority(g2, g1, s2, s1)
+    print(f"{g1.name} ▷ {g2.name}: {fwd}")
+    print(f"{g2.name} ▷ {g1.name}: {bwd}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    chain = build_family(args.family, args.param)
+    dag = chain.dag
+    rows = [("levels (cap ∞)", level_batches(dag).rounds, "-")]
+    hu = hu_batches(dag, args.capacity)
+    cg = coffman_graham_batches(dag, args.capacity)
+    rows.append(("hu", hu.rounds, f"{hu.utilization:.3f}"))
+    rows.append(("coffman-graham", cg.rounds, f"{cg.utilization:.3f}"))
+    print(
+        render_table(
+            ["batcher", "rounds", "utilization"],
+            rows,
+            title=f"{dag.name}, capacity {args.capacity}",
+        )
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IC-Scheduling Theory reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list buildable dag families")
+
+    p = sub.add_parser("schedule", help="build and schedule a family dag")
+    p.add_argument("family")
+    p.add_argument("param", nargs="?", type=int)
+    p.add_argument("--show-dag", action="store_true")
+
+    p = sub.add_parser("verify", help="exhaustively verify IC-optimality")
+    p.add_argument("family")
+    p.add_argument("param", nargs="?", type=int)
+
+    p = sub.add_parser("simulate", help="IC server policy comparison")
+    p.add_argument("family")
+    p.add_argument("param", nargs="?", type=int)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dropout", type=float, default=0.0)
+    p.add_argument("--hetero", action="store_true")
+
+    p = sub.add_parser("priority", help="test the ▷ relation on blocks")
+    p.add_argument("block1")
+    p.add_argument("block2")
+
+    p = sub.add_parser("batch", help="batched scheduling (cf. [20])")
+    p.add_argument("family")
+    p.add_argument("param", nargs="?", type=int)
+    p.add_argument("--capacity", type=int, default=4)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "families": cmd_families,
+        "schedule": cmd_schedule,
+        "verify": cmd_verify,
+        "simulate": cmd_simulate,
+        "priority": cmd_priority,
+        "batch": cmd_batch,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Value-level task semantics for the paper's computations: adaptive
+quadrature (§3.2), wavefront sweeps (§4), FFT / convolutions / sorting
+(§5.2), scans (§6.1), the DLT (§6.2.1), graph paths (§6.2.2), and
+matrix multiplication (§7) — all executed through the
+:class:`~repro.compute.engine.TaskGraph` engine under the IC-optimal
+schedules the theory derives."""
+
+from . import (
+    carry_lookahead,
+    convolution,
+    dlt,
+    engine,
+    fft,
+    graph_paths,
+    integral_image,
+    integration,
+    matmul,
+    scan,
+    sorting,
+    strassen,
+    wavefront,
+)
+from .engine import TaskGraph
+
+__all__ = [
+    "TaskGraph",
+    "carry_lookahead",
+    "integral_image",
+    "strassen",
+    "convolution",
+    "dlt",
+    "engine",
+    "fft",
+    "graph_paths",
+    "integration",
+    "matmul",
+    "scan",
+    "sorting",
+    "wavefront",
+]

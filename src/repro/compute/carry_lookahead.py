@@ -1,0 +1,81 @@
+"""Carry-lookahead addition via the parallel-prefix operator.
+
+Section 6.1 names carry-lookahead addition among the computations the
+scan enables "automatically" (citing Blelloch [3] and Leighton [18]).
+The classical construction: for bit position *i* with addend bits
+``a_i, b_i`` define generate ``g_i = a_i AND b_i`` and propagate
+``p_i = a_i XOR b_i``; carries satisfy ``c_{i+1} = g_i OR (p_i AND
+c_i)``, which is the scan of the (g, p) pairs under the associative
+(not commutative!) operator
+
+    (g2, p2) * (g1, p1) = (g2 OR (p2 AND g1), p2 AND p1)
+
+applied MSB-on-the-left — so the whole carry chain computes in the
+log-depth prefix dag ``P_n`` under its IC-optimal schedule, and the sum
+bits are ``s_i = p_i XOR c_i``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ComputeError
+from .scan import parallel_scan
+
+__all__ = ["gp_combine", "carry_lookahead_add", "add_bits"]
+
+GP = tuple[bool, bool]
+
+
+def gp_combine(left: GP, right: GP) -> GP:
+    """The generate/propagate operator (associative, non-commutative).
+
+    ``left`` is the (g, p) summary of the *more significant* span,
+    ``right`` of the less significant one: the combined span generates
+    a carry if the high part does, or if the high part propagates a
+    carry the low part generates.
+    """
+    g2, p2 = left
+    g1, p1 = right
+    return (g2 or (p2 and g1), p2 and p1)
+
+
+def carry_lookahead_add(
+    a_bits: list[int], b_bits: list[int], carry_in: int = 0
+) -> tuple[list[int], int]:
+    """Add two little-endian bit vectors with the prefix-dag carry
+    chain; returns ``(sum_bits, carry_out)``.
+
+    The (g, p) scan runs on ``P_n`` via
+    :func:`~repro.compute.scan.parallel_scan`; each scanned prefix
+    ``y_i`` summarizes bit span ``0..i``, so
+    ``c_{i+1} = g(y_i) OR (p(y_i) AND carry_in)``.
+    """
+    if len(a_bits) != len(b_bits) or not a_bits:
+        raise ComputeError("addends must be equal-length, non-empty")
+    if any(x not in (0, 1) for x in a_bits + b_bits):
+        raise ComputeError("bit vectors must contain only 0/1")
+    pairs: list[GP] = [
+        (bool(x & y), bool(x ^ y)) for x, y in zip(a_bits, b_bits)
+    ]
+    # scan with the *new* element on the left (more significant side):
+    # running * x_i  means  x_i combines above the running summary,
+    # matching (6.3) read with our non-commutative operator
+    spans = parallel_scan(pairs, lambda acc, x: gp_combine(x, acc))
+    cin = bool(carry_in)
+    carries = [cin] + [g or (p and cin) for g, p in spans]
+    sum_bits = [
+        int(p ^ c) for (_g, p), c in zip(pairs, carries[:-1])
+    ]
+    return sum_bits, int(carries[-1])
+
+
+def add_bits(a: int, b: int, width: int = 32) -> int:
+    """Integer addition through the carry-lookahead prefix dag
+    (used by the tests to cross-check against Python's ``+``)."""
+    if a < 0 or b < 0:
+        raise ComputeError("non-negative integers only")
+    if max(a, b) >= 1 << width:
+        raise ComputeError(f"operands exceed width {width}")
+    a_bits = [(a >> i) & 1 for i in range(width)]
+    b_bits = [(b >> i) & 1 for i in range(width)]
+    s_bits, carry = carry_lookahead_add(a_bits, b_bits)
+    return sum(bit << i for i, bit in enumerate(s_bits)) + (carry << width)

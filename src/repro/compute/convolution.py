@@ -1,0 +1,61 @@
+"""Convolutions and polynomial multiplication (Section 5.2).
+
+The product of degree-n polynomials f and g has coefficients
+``A_k = Σ_i a_i b_{k-i}`` — convolutions.  Via the convolution theorem
+these are computable in Θ(n log n) with three FFTs, each of which runs
+IC-optimally on the butterfly network (Section 5.2's point).  A direct
+O(n²) convolution is provided as the reference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import ComputeError
+from .fft import fft, inverse_fft
+
+__all__ = ["direct_convolution", "fft_convolution", "polynomial_multiply"]
+
+
+def direct_convolution(
+    a: Sequence[complex], b: Sequence[complex]
+) -> list[complex]:
+    """The reference O(n²) convolution:
+    ``out[k] = Σ_{i+j=k} a[i] b[j]`` with ``len(out) = len(a)+len(b)-1``.
+    """
+    if not a or not b:
+        raise ComputeError("convolution operands must be non-empty")
+    out = [0j] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        for j, bj in enumerate(b):
+            out[i + j] += complex(ai) * complex(bj)
+    return out
+
+
+def fft_convolution(
+    a: Sequence[complex], b: Sequence[complex]
+) -> list[complex]:
+    """Convolution via the butterfly-network FFT.
+
+    Operands are zero-padded to the next power of two at least
+    ``len(a) + len(b) - 1``; the result is trimmed back to that length.
+    """
+    if not a or not b:
+        raise ComputeError("convolution operands must be non-empty")
+    out_len = len(a) + len(b) - 1
+    size = 1
+    while size < max(out_len, 2):
+        size <<= 1
+    fa = fft(list(a) + [0j] * (size - len(a)))
+    fb = fft(list(b) + [0j] * (size - len(b)))
+    prod = [x * y for x, y in zip(fa, fb)]
+    return inverse_fft(prod)[:out_len]
+
+
+def polynomial_multiply(
+    a: Sequence[float], b: Sequence[float]
+) -> list[float]:
+    """Multiply real polynomials (coefficient lists, lowest degree
+    first) via :func:`fft_convolution`, rounding away the imaginary
+    residue."""
+    return [c.real for c in fft_convolution(a, b)]

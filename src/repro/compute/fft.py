@@ -1,0 +1,123 @@
+"""The Fast Fourier Transform on the butterfly network (Section 5.2).
+
+The d-dimensional FFT's data dependencies form exactly the butterfly
+network ``B_d``; every butterfly block applies the convolution
+transformation (5.2)
+
+    y₀ = x₀ + ω x₁        y₁ = x₀ - ω x₁
+
+with ω a block-specific power of the primitive 2^d-th root of unity.
+This module builds the :class:`~repro.compute.engine.TaskGraph` over
+:func:`~repro.families.butterfly_net.butterfly_dag` implementing the
+iterative decimation-in-time FFT (inputs in bit-reversed order), and
+executes it under the IC-optimal butterfly schedule.
+
+The implementation is from scratch (no ``numpy.fft``); the tests
+cross-check it against both a direct O(n²) DFT and numpy's FFT.
+"""
+
+from __future__ import annotations
+
+import cmath
+from collections.abc import Sequence
+
+from ..exceptions import ComputeError
+from ..core.composition import linear_composition_schedule
+from ..families.butterfly_net import bf_node, butterfly_chain
+from .engine import TaskGraph
+
+__all__ = [
+    "bit_reverse",
+    "direct_dft",
+    "fft_task_graph",
+    "fft",
+    "inverse_fft",
+]
+
+
+def bit_reverse(i: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``i``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def direct_dft(x: Sequence[complex], inverse: bool = False) -> list[complex]:
+    """The O(n²) reference DFT: ``X_k = Σ_j x_j e^{∓2πi jk/n}``
+    (unnormalized; the inverse variant flips the exponent sign and
+    divides by n)."""
+    n = len(x)
+    sign = 1.0 if inverse else -1.0
+    out = []
+    for k in range(n):
+        acc = 0j
+        for j, xj in enumerate(x):
+            acc += xj * cmath.exp(sign * 2j * cmath.pi * j * k / n)
+        out.append(acc / n if inverse else acc)
+    return out
+
+
+def fft_task_graph(
+    x: Sequence[complex], inverse: bool = False
+) -> tuple[TaskGraph, int]:
+    """The FFT of ``x`` (length ``2^d``, ``d >= 1``) as a task graph on
+    ``B_d``.
+
+    Returns ``(task_graph, d)``.  Level-0 node ``(0, r)`` loads
+    ``x[bit_reverse(r, d)]`` (decimation in time); the level
+    ``lv -> lv+1`` transition applies (5.2) on each pair
+    ``{r, r | 2^lv}`` with ``ω = e^{∓2πi j / 2^{lv+1}}``,
+    ``j = r mod 2^lv``.  Output ``X_k`` is the value of node ``(d, k)``.
+    """
+    n = len(x)
+    d = n.bit_length() - 1
+    if n < 2 or (1 << d) != n:
+        raise ComputeError(f"FFT size must be a power of two >= 2, got {n}")
+    chain = butterfly_chain(d)
+    tg = TaskGraph(chain.dag)
+    sign = 1j if inverse else -1j
+    for r in range(n):
+        tg.set_constant(bf_node(0, r), complex(x[bit_reverse(r, d)]))
+    for lv in range(d):
+        bit = 1 << lv
+        for r in range(n):
+            lo = r & ~bit
+            j = r & (bit - 1)
+            # W_{2·bit}^j = e^{∓πi j / bit}
+            omega = cmath.exp(sign * cmath.pi * j / bit)
+            parents = [bf_node(lv, lo), bf_node(lv, lo | bit)]
+            if r & bit:
+                tg.set_task(
+                    bf_node(lv + 1, r),
+                    lambda x0, x1, w=omega: x0 - w * x1,
+                    parents=parents,
+                )
+            else:
+                tg.set_task(
+                    bf_node(lv + 1, r),
+                    lambda x0, x1, w=omega: x0 + w * x1,
+                    parents=parents,
+                )
+    return tg, d
+
+
+def fft(x: Sequence[complex], inverse: bool = False) -> list[complex]:
+    """Compute the (unnormalized forward / normalized inverse) DFT of
+    ``x`` by executing the butterfly task graph under the IC-optimal
+    Theorem 2.1 schedule of ``B_d``."""
+    tg, d = fft_task_graph(x, inverse)
+    chain = butterfly_chain(d)
+    sched = linear_composition_schedule(chain)
+    values = tg.run(sched.order)
+    n = len(x)
+    out = [values[bf_node(d, k)] for k in range(n)]
+    if inverse:
+        out = [v / n for v in out]
+    return out
+
+
+def inverse_fft(x: Sequence[complex]) -> list[complex]:
+    """The inverse DFT (normalized by 1/n)."""
+    return fft(x, inverse=True)

@@ -1,0 +1,182 @@
+"""Adaptive-quadrature numerical integration (Section 3.2).
+
+The paper's exemplar expansion-reduction computation: an interval task
+compares the one-panel approximation ``A₀ = A(a, b)`` with the split
+approximation ``A₁ = A(a, m) + A(m, b)`` (``m`` the midpoint).  If
+``|A₀ - A₁|`` is within tolerance the task is a leaf contributing its
+panel area; otherwise it spawns two child tasks for the half
+intervals.  The resulting (possibly quite irregular) binary out-tree is
+then composed with its dual in-tree, which accumulates the panel areas
+— a diamond dag, scheduled IC-optimally by Theorem 2.1.
+
+Both the Trapezoid Rule (linear panels) and Simpson's Rule (quadratic
+panels) are provided.  Tolerances are split across children, so the
+total error is bounded by the requested tolerance in the usual adaptive
+fashion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..exceptions import ComputeError
+from ..core.composition import CompositionChain
+from ..families.diamond import diamond_chain
+from .engine import TaskGraph
+
+__all__ = [
+    "panel_area",
+    "build_quadrature_tree",
+    "quadrature_diamond",
+    "integrate",
+    "QuadratureResult",
+]
+
+Fn = Callable[[float], float]
+
+
+def panel_area(f: Fn, a: float, b: float, rule: str) -> float:
+    """The one-panel approximation ``A(a, b)`` under the given rule.
+
+    ``"trapezoid"``: ``(f(a) + f(b)) (b - a) / 2``;
+    ``"simpson"``: the quadratic three-point rule.
+    """
+    if rule == "trapezoid":
+        return 0.5 * (f(a) + f(b)) * (b - a)
+    if rule == "simpson":
+        m = 0.5 * (a + b)
+        return (f(a) + 4.0 * f(m) + f(b)) * (b - a) / 6.0
+    raise ComputeError(f"unknown quadrature rule {rule!r}")
+
+
+def build_quadrature_tree(
+    f: Fn,
+    a: float,
+    b: float,
+    tol: float = 1e-8,
+    rule: str = "trapezoid",
+    max_depth: int = 40,
+) -> tuple[dict, tuple, dict]:
+    """Run the adaptive refinement and return the out-tree it induces.
+
+    Returns ``(children, root, leaf_area)``: the tree spec over
+    interval nodes ``("iv", a, b)``, its root, and the accepted panel
+    area per leaf.  The tree shape is data-dependent — exactly the
+    irregular out-tree of Section 3.2.
+    """
+    if not b > a:
+        raise ComputeError(f"empty interval [{a}, {b}]")
+    if tol <= 0:
+        raise ComputeError(f"tolerance must be positive, got {tol}")
+    children: dict = {}
+    leaf_area: dict = {}
+
+    def refine(lo: float, hi: float, budget: float, depth: int):
+        node = ("iv", lo, hi)
+        mid = 0.5 * (lo + hi)
+        a0 = panel_area(f, lo, hi, rule)
+        a1 = panel_area(f, lo, mid, rule) + panel_area(f, mid, hi, rule)
+        if abs(a0 - a1) <= budget or depth >= max_depth:
+            leaf_area[node] = a1  # the refined value is the better one
+            return node
+        left = refine(lo, mid, budget / 2.0, depth + 1)
+        right = refine(mid, hi, budget / 2.0, depth + 1)
+        children[node] = [left, right]
+        return node
+
+    root = refine(a, b, tol, 0)
+    return children, root, leaf_area
+
+
+@dataclass
+class QuadratureResult:
+    """Outcome of :func:`integrate`."""
+
+    value: float
+    chain: CompositionChain | None
+    task_graph: TaskGraph | None
+    panels: int
+
+
+def quadrature_diamond(
+    f: Fn,
+    a: float,
+    b: float,
+    tol: float = 1e-8,
+    rule: str = "trapezoid",
+    max_depth: int = 40,
+) -> tuple[CompositionChain, TaskGraph]:
+    """The diamond dag of the adaptive integration plus its tasks.
+
+    The out-tree nodes carry their interval (the if-then prescription
+    of Section 3.2); the in-tree is the out-tree's dual (the Fig. 3
+    simplification), with its leaf-level nodes computing panel areas
+    and interior nodes summing (the Λ prescription ``z = y₀ + y₁``).
+    The value at the in-tree root ``("acc", root)`` is the integral.
+    """
+    children, root, leaf_area = build_quadrature_tree(
+        f, a, b, tol, rule, max_depth
+    )
+    return _diamond_tasks(children, root, leaf_area, f"quadrature[{a},{b}]")
+
+
+def _diamond_tasks(
+    children: dict, root: tuple, leaf_area: dict, name: str
+) -> tuple[CompositionChain, TaskGraph]:
+    if not children:
+        raise ComputeError(
+            "integration converged on the whole interval; no tree to "
+            "build — tighten tol to exercise the diamond"
+        )
+    chain = diamond_chain(children, root, name=name)
+    tg = TaskGraph(chain.dag)
+    internal = set(children)
+    for v in chain.dag.nodes:
+        if v in internal:
+            # expansive phase: pass the interval down
+            tg.set_task(v, lambda *ivs, _v=v: _v[1:])
+        elif isinstance(v, tuple) and v and v[0] == "iv":
+            # a leaf: merged out-tree sink / in-tree source; its task
+            # evaluates the accepted panel area
+            tg.set_task(v, lambda *ivs, _a=leaf_area[v]: _a)
+        else:
+            # ("acc", node): reductive phase sums child areas
+            tg.set_task(v, lambda *areas: sum(areas))
+    return chain, tg
+
+
+def integrate(
+    f: Fn,
+    a: float,
+    b: float,
+    tol: float = 1e-8,
+    rule: str = "trapezoid",
+    max_depth: int = 40,
+) -> QuadratureResult:
+    """Adaptively integrate ``f`` over ``[a, b]`` by executing the
+    Section 3.2 diamond dag under its Theorem 2.1 schedule.
+
+    Falls back to the single accepted panel when the tolerance is met
+    without refinement (no dag needed).
+    """
+    children, root, leaf_area = build_quadrature_tree(
+        f, a, b, tol, rule, max_depth
+    )
+    if not children:
+        return QuadratureResult(
+            value=leaf_area[root], chain=None, task_graph=None, panels=1
+        )
+    chain, tg = _diamond_tasks(
+        children, root, leaf_area, f"quadrature[{a},{b}]"
+    )
+    from ..core.composition import linear_composition_schedule
+
+    sched = linear_composition_schedule(chain)
+    values = tg.run(sched)
+    return QuadratureResult(
+        value=values[("acc", root)],
+        chain=chain,
+        task_graph=tg,
+        panels=len(leaf_area),
+    )

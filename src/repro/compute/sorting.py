@@ -1,0 +1,141 @@
+"""Comparator-network sorting (Section 5.2).
+
+Each comparator is a butterfly building block with the comparator
+transformation (5.1): ``y₀ = min(x₀, x₁)``, ``y₁ = max(x₀, x₁)``
+(descending comparators swap the roles).  Batcher's bitonic network —
+an iterated composition of butterfly blocks, hence IC-optimally
+schedulable — sorts any key sequence presented at its sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from ..exceptions import ComputeError
+from ..core.composition import CompositionChain, linear_composition_schedule
+from ..families.butterfly_net import (
+    bitonic_stages,
+    comparator_network_chain,
+    odd_even_merge_stages,
+)
+from .engine import TaskGraph
+
+__all__ = [
+    "bitonic_comparators",
+    "sorting_network_chain",
+    "sorting_task_graph",
+    "bitonic_sort",
+    "odd_even_merge_sort",
+]
+
+
+def bitonic_comparators(n: int) -> list[list[tuple[int, int, bool]]]:
+    """The bitonic network's comparators with directions.
+
+    Stage list parallel to
+    :func:`~repro.families.butterfly_net.bitonic_stages`; each entry is
+    ``(lo, hi, ascending)`` where ``ascending`` means the smaller key
+    exits on wire ``lo``.  Phase ``p`` (block size ``2^p``) sorts
+    ascending exactly when bit ``p`` of ``lo`` is 0.
+    """
+    k = n.bit_length() - 1
+    if 1 << k != n or k < 1:
+        raise ComputeError(f"bitonic sort needs a power-of-two size, got {n}")
+    out: list[list[tuple[int, int, bool]]] = []
+    for p in range(1, k + 1):
+        for j in range(p - 1, -1, -1):
+            bit = 1 << j
+            stage = []
+            for lo in range(n):
+                if lo & bit:
+                    continue
+                ascending = (lo >> p) & 1 == 0
+                stage.append((lo, lo | bit, ascending))
+            out.append(stage)
+    return out
+
+
+def sorting_network_chain(n: int) -> CompositionChain:
+    """The bitonic sorting network on ``n`` wires as a ▷-linear
+    iterated composition of butterfly blocks."""
+    return comparator_network_chain(
+        n, bitonic_stages(n), name=f"bitonic_{n}"
+    )
+
+
+def sorting_task_graph(keys: Sequence[Any]) -> tuple[TaskGraph, CompositionChain, int]:
+    """The task graph sorting ``keys`` on the bitonic network.
+
+    Returns ``(task_graph, chain, n_stages)``; after running, the
+    sorted keys are the values of nodes ``(n_stages, wire)`` for wires
+    ``0..n-1``.
+    """
+    n = len(keys)
+    chain = sorting_network_chain(n)
+    comparators = bitonic_comparators(n)
+    tg = TaskGraph(chain.dag)
+    for w, key in enumerate(keys):
+        tg.set_constant((0, w), key)
+    # Wire values thread through stages; a wire's input at stage s is
+    # the node where it was last written.
+    current = {w: (0, w) for w in range(n)}
+    for s, stage in enumerate(comparators):
+        for lo, hi, ascending in stage:
+            parents = [current[lo], current[hi]]
+            if ascending:
+                tg.set_task(
+                    (s + 1, lo), lambda a, b: min(a, b), parents=parents
+                )
+                tg.set_task(
+                    (s + 1, hi), lambda a, b: max(a, b), parents=parents
+                )
+            else:
+                tg.set_task(
+                    (s + 1, lo), lambda a, b: max(a, b), parents=parents
+                )
+                tg.set_task(
+                    (s + 1, hi), lambda a, b: min(a, b), parents=parents
+                )
+            current[lo] = (s + 1, lo)
+            current[hi] = (s + 1, hi)
+    return tg, chain, len(comparators)
+
+
+def bitonic_sort(keys: Sequence[Any]) -> list[Any]:
+    """Sort ``keys`` (length a power of two) by executing the bitonic
+    network under its IC-optimal Theorem 2.1 schedule."""
+    n = len(keys)
+    if n <= 1:
+        return list(keys)
+    tg, chain, n_stages = sorting_task_graph(keys)
+    sched = linear_composition_schedule(chain)
+    values = tg.run(sched)
+    return [values[(n_stages, w)] for w in range(n)]
+
+
+def odd_even_merge_sort(keys: Sequence[Any]) -> list[Any]:
+    """Sort via Batcher's odd-even merge network — the §5.2 remark that
+    *any* comparator-based network works; this one uses fewer
+    comparators than the bitonic network and only ascending
+    comparators, yet is scheduled by exactly the same ▷-linear
+    butterfly-block machinery."""
+    n = len(keys)
+    if n <= 1:
+        return list(keys)
+    stages = odd_even_merge_stages(n)
+    chain = comparator_network_chain(n, stages, name=f"oem_{n}")
+    tg = TaskGraph(chain.dag)
+    for w, key in enumerate(keys):
+        tg.set_constant((0, w), key)
+    current = {w: (0, w) for w in range(n)}
+    for s, stage in enumerate(stages):
+        for lo, hi in stage:
+            parents = [current[lo], current[hi]]
+            tg.set_task((s + 1, lo), lambda a, b: min(a, b), parents=parents)
+            tg.set_task((s + 1, hi), lambda a, b: max(a, b), parents=parents)
+            current[lo] = (s + 1, lo)
+            current[hi] = (s + 1, hi)
+    sched = linear_composition_schedule(chain)
+    values = tg.run(sched)
+    return [values[current[w]] for w in range(n)]

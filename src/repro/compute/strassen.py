@@ -1,0 +1,137 @@
+"""Strassen matrix multiplication executed on its computation-dag.
+
+The value-level counterpart of
+:func:`repro.families.matmul_dag.strassen_dag`: operand-combination
+tasks compute the signed sums, product tasks multiply (scalars or
+blocks — Strassen's identities, like (7.1), never commute factors),
+and output tasks accumulate the signed product combinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ComputeError
+from ..families.matmul_dag import (
+    STRASSEN_OUTPUTS,
+    STRASSEN_PRODUCTS,
+    strassen_dag,
+)
+from .engine import TaskGraph
+
+__all__ = ["strassen_multiply_2x2", "strassen_multiply"]
+
+_QUADRANT = {
+    "A": ("a", 0, 0),
+    "B": ("a", 0, 1),
+    "C": ("a", 1, 0),
+    "D": ("a", 1, 1),
+    "E": ("b", 0, 0),
+    "F": ("b", 0, 1),
+    "G": ("b", 1, 0),
+    "H": ("b", 1, 1),
+}
+
+
+def _signed_sum(args, signs):
+    acc = None
+    for val, sign in zip(args, signs):
+        term = val if sign > 0 else -val
+        acc = term if acc is None else acc + term
+    return acc
+
+
+def strassen_multiply_2x2(a_blocks, b_blocks):
+    """Multiply 2×2 block matrices by executing the Strassen dag.
+
+    Returns the 2×2 nested list of result blocks; blocks may be
+    numbers or numpy arrays.
+    """
+    operands = {}
+    for letter, (which, i, j) in _QUADRANT.items():
+        src = a_blocks if which == "a" else b_blocks
+        operands[letter] = np.asarray(src[i][j], dtype=float)
+    dag = strassen_dag()
+    tg = TaskGraph(dag)
+    for letter in "ABCDEFGH":
+        tg.set_constant(letter, operands[letter])
+    for pname, (left, right) in STRASSEN_PRODUCTS.items():
+        parents = []
+        for side, combo in (("L", left), ("R", right)):
+            if len(combo) == 1:
+                parents.append(combo[0][0])
+            else:
+                lin = ("lin", pname, side)
+                letters = [c[0] for c in combo]
+                signs = [c[1] for c in combo]
+                tg.set_task(
+                    lin,
+                    lambda *vals, _s=tuple(signs): _signed_sum(vals, _s),
+                    parents=letters,
+                )
+                parents.append(lin)
+        tg.set_task(
+            pname,
+            lambda lv, rv: lv @ rv if lv.ndim == 2 else lv * rv,
+            parents=parents,
+        )
+    for out, combo in STRASSEN_OUTPUTS.items():
+        pnames = [c[0] for c in combo]
+        signs = [c[1] for c in combo]
+        tg.set_task(
+            out,
+            lambda *vals, _s=tuple(signs): _signed_sum(vals, _s),
+            parents=pnames,
+        )
+    values = tg.run()
+    return [
+        [values["r00"], values["r01"]],
+        [values["r10"], values["r11"]],
+    ]
+
+
+def strassen_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply n×n matrices (n a power of two >= 2) by recursive
+    Strassen block decomposition, with each level executed on the
+    Strassen dag."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ComputeError(
+            f"need equal square operands, got {a.shape}, {b.shape}"
+        )
+    n = a.shape[0]
+    if n & (n - 1) or n < 2:
+        raise ComputeError(f"size must be a power of two >= 2, got {n}")
+    if n == 2:
+        blocks = strassen_multiply_2x2(a.tolist(), b.tolist())
+        return np.array(blocks, dtype=float)
+    h = n // 2
+
+    def quad(m):
+        return [[m[:h, :h], m[:h, h:]], [m[h:, :h], m[h:, h:]]]
+
+    # recursion: the 7 products are themselves Strassen multiplies; the
+    # combination/accumulation layers run on the dag per level
+    qa, qb = quad(a), quad(b)
+    letters = {
+        "A": qa[0][0], "B": qa[0][1], "C": qa[1][0], "D": qa[1][1],
+        "E": qb[0][0], "F": qb[0][1], "G": qb[1][0], "H": qb[1][1],
+    }
+    products = {}
+    for pname, (left, right) in STRASSEN_PRODUCTS.items():
+        lv = _signed_sum([letters[c] for c, _s in left], [s for _c, s in left])
+        rv = _signed_sum([letters[c] for c, _s in right], [s for _c, s in right])
+        products[pname] = strassen_multiply(lv, rv)
+    out = np.zeros((n, n))
+    slices = {
+        "r00": (slice(0, h), slice(0, h)),
+        "r01": (slice(0, h), slice(h, n)),
+        "r10": (slice(h, n), slice(0, h)),
+        "r11": (slice(h, n), slice(h, n)),
+    }
+    for name, combo in STRASSEN_OUTPUTS.items():
+        out[slices[name]] = _signed_sum(
+            [products[c] for c, _s in combo], [s for _c, s in combo]
+        )
+    return out

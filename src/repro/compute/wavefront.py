@@ -1,0 +1,107 @@
+"""Wavefront computations on mesh dags (Section 4).
+
+Two exemplars of the out-mesh's "each interior node combines its two
+level-(k-1) neighbours" dependency pattern:
+
+* :func:`pascal_triangle` — the binomial-coefficient table: node
+  ``(k, m)`` holds C(k, m) = C(k-1, m-1) + C(k-1, m); the canonical
+  fine-grained wavefront.
+* :func:`wavefront_relaxation` — a finite-element-flavoured sweep:
+  each node averages its available upstream neighbours and adds a
+  source term (any 2-point stencil works; the dag, and hence the
+  IC-optimal by-diagonal schedule, is identical).
+
+Both run on :func:`~repro.families.mesh.out_mesh_dag` under the
+IC-optimal :func:`~repro.families.mesh.diagonal_schedule`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..exceptions import ComputeError
+from ..families.mesh import diagonal_schedule, mesh_node, out_mesh_dag
+from .engine import TaskGraph
+
+__all__ = ["pascal_triangle", "wavefront_relaxation", "mesh_task_graph"]
+
+
+def mesh_task_graph(
+    depth: int,
+    apex_value: float,
+    combine: Callable[[int, int, float, float], float],
+    edge: Callable[[int, int, float], float],
+) -> TaskGraph:
+    """A task graph on the depth-``d`` out-mesh.
+
+    ``combine(k, m, left, right)`` computes interior node ``(k, m)``
+    from its two parents (``left`` is ``(k-1, m-1)``, ``right`` is
+    ``(k-1, m)``); ``edge(k, m, parent)`` computes the border nodes
+    (``m == 0`` or ``m == k``), which have a single parent.
+    """
+    dag = out_mesh_dag(depth)
+    tg = TaskGraph(dag)
+    tg.set_constant(mesh_node(0, 0), apex_value)
+    for k in range(1, depth + 1):
+        for m in range(k + 1):
+            if m == 0:
+                tg.set_task(
+                    mesh_node(k, m),
+                    lambda p, _k=k, _m=m, _e=edge: _e(_k, _m, p),
+                    parents=[mesh_node(k - 1, 0)],
+                )
+            elif m == k:
+                tg.set_task(
+                    mesh_node(k, m),
+                    lambda p, _k=k, _m=m, _e=edge: _e(_k, _m, p),
+                    parents=[mesh_node(k - 1, k - 1)],
+                )
+            else:
+                tg.set_task(
+                    mesh_node(k, m),
+                    lambda a, b, _k=k, _m=m, _c=combine: _c(_k, _m, a, b),
+                    parents=[mesh_node(k - 1, m - 1), mesh_node(k - 1, m)],
+                )
+    return tg
+
+
+def pascal_triangle(depth: int) -> list[list[int]]:
+    """Rows 0..depth of Pascal's triangle, computed by executing the
+    out-mesh under the IC-optimal by-diagonal schedule."""
+    if depth < 1:
+        raise ComputeError(f"depth must be >= 1, got {depth}")
+    tg = mesh_task_graph(
+        depth,
+        apex_value=1,
+        combine=lambda k, m, a, b: a + b,
+        edge=lambda k, m, p: p,  # borders stay 1
+    )
+    sched = diagonal_schedule(tg.dag)
+    values = tg.run(sched)
+    return [
+        [values[mesh_node(k, m)] for m in range(k + 1)]
+        for k in range(depth + 1)
+    ]
+
+
+def wavefront_relaxation(
+    depth: int,
+    source: Callable[[int, int], float],
+    apex_value: float = 0.0,
+) -> dict:
+    """A finite-element-style wavefront sweep: interior node value is
+    the mean of its two upstream neighbours plus ``source(k, m)``;
+    border nodes copy their single neighbour plus the source term.
+
+    Returns the node -> value map.
+    """
+    if depth < 1:
+        raise ComputeError(f"depth must be >= 1, got {depth}")
+    tg = mesh_task_graph(
+        depth,
+        apex_value=apex_value,
+        combine=lambda k, m, a, b: 0.5 * (a + b) + source(k, m),
+        edge=lambda k, m, p: p + source(k, m),
+    )
+    sched = diagonal_schedule(tg.dag)
+    return tg.run(sched)

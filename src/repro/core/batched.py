@@ -1,0 +1,285 @@
+"""Batched scheduling — the companion regimen of [20]
+(Malewicz–Rosenberg, Euro-Par 2005), discussed in the paper's related
+work: the server allocates *batches* of tasks periodically instead of
+individual tasks as they become eligible.  Within this framework an
+optimal schedule always exists, "but achieving it may entail a
+prohibitively complex computation" — with a per-batch capacity ``c``
+the problem is exactly unit-time precedence-constrained multiprocessor
+scheduling (NP-hard in general), which this module makes concrete:
+
+* :func:`level_batches` — unlimited capacity: allocate every ELIGIBLE
+  task each round; always round-optimal (rounds = depth + 1);
+* :func:`hu_batches` — Hu's critical-path (level) algorithm; provably
+  round-optimal on in-/out-forests, a strong heuristic elsewhere;
+* :func:`coffman_graham_batches` — the Coffman–Graham labeling;
+  provably round-optimal for capacity 2;
+* :func:`optimal_batches` — exact branch-and-bound for small dags (the
+  "prohibitively complex computation" made runnable);
+* :class:`BatchSchedule` — the validated batch sequence with its
+  round count and utilization metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import OptimalityError, ScheduleError
+from .dag import ComputationDag, Node
+
+__all__ = [
+    "BatchSchedule",
+    "level_batches",
+    "hu_batches",
+    "coffman_graham_batches",
+    "optimal_batches",
+    "min_rounds_lower_bound",
+]
+
+
+@dataclass
+class BatchSchedule:
+    """A sequence of task batches executed round by round.
+
+    Validated on construction: every node exactly once; every batch
+    only contains tasks whose parents lie in strictly earlier batches;
+    no batch exceeds ``capacity`` (if given).
+    """
+
+    dag: ComputationDag
+    batches: list[list[Node]]
+    capacity: int | None = None
+    name: str = "batched"
+
+    def __post_init__(self) -> None:
+        seen: set[Node] = set()
+        for i, batch in enumerate(self.batches):
+            if not batch:
+                raise ScheduleError(f"batch {i} is empty")
+            if self.capacity is not None and len(batch) > self.capacity:
+                raise ScheduleError(
+                    f"batch {i} has {len(batch)} tasks > capacity "
+                    f"{self.capacity}"
+                )
+            for v in batch:
+                if v in seen:
+                    raise ScheduleError(f"node {v!r} scheduled twice")
+                for p in self.dag.parents(v):
+                    if p not in seen:
+                        raise ScheduleError(
+                            f"batch {i} runs {v!r} before parent {p!r}"
+                        )
+            seen.update(batch)
+        if len(seen) != len(self.dag):
+            raise ScheduleError(
+                f"batches cover {len(seen)} of {len(self.dag)} nodes"
+            )
+
+    @property
+    def rounds(self) -> int:
+        """Number of allocation periods."""
+        return len(self.batches)
+
+    @property
+    def utilization(self) -> float:
+        """Mean batch fill fraction (1.0 = every batch at capacity;
+        undefined capacity counts the largest batch as full)."""
+        cap = self.capacity or max(len(b) for b in self.batches)
+        return sum(len(b) for b in self.batches) / (cap * self.rounds)
+
+    def flat_order(self) -> list[Node]:
+        """The induced sequential order (batches concatenated)."""
+        return [v for batch in self.batches for v in batch]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSchedule(name={self.name!r}, rounds={self.rounds}, "
+            f"capacity={self.capacity})"
+        )
+
+
+def level_batches(dag: ComputationDag, name: str = "levels") -> BatchSchedule:
+    """Unlimited-capacity batching: every ELIGIBLE task, every round.
+
+    Round-optimal among all batched schedules (each round can only
+    advance the longest path by one), with rounds = depth + 1.
+    """
+    dag.validate()
+    levels: dict[int, list[Node]] = {}
+    for v, lv in dag.node_levels().items():
+        levels.setdefault(lv, []).append(v)
+    batches = [levels[k] for k in sorted(levels)]
+    return BatchSchedule(dag, batches, capacity=None, name=name)
+
+
+def _height_map(dag: ComputationDag) -> dict[Node, int]:
+    height: dict[Node, int] = {}
+    for v in reversed(dag.topological_order()):
+        height[v] = 1 + max((height[c] for c in dag.children(v)), default=-1)
+    return height
+
+
+def hu_batches(
+    dag: ComputationDag, capacity: int, name: str = "hu"
+) -> BatchSchedule:
+    """Hu's algorithm: each round, run the ``capacity`` eligible tasks
+    of greatest height (longest path to a sink), ties by insertion
+    order.  Round-optimal when the precedence graph is an in-forest or
+    out-forest; a classic heuristic otherwise.
+    """
+    if capacity < 1:
+        raise ScheduleError(f"capacity must be >= 1, got {capacity}")
+    dag.validate()
+    height = _height_map(dag)
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    pending = {v: dag.indegree(v) for v in dag.nodes}
+    eligible = [v for v in dag.nodes if pending[v] == 0]
+    batches: list[list[Node]] = []
+    done = 0
+    while done < len(dag):
+        eligible.sort(key=lambda v: (-height[v], index[v]))
+        batch = eligible[:capacity]
+        eligible = eligible[capacity:]
+        for v in batch:
+            for c in dag.children(v):
+                pending[c] -= 1
+                if pending[c] == 0:
+                    eligible.append(c)
+        batches.append(batch)
+        done += len(batch)
+    return BatchSchedule(dag, batches, capacity=capacity, name=name)
+
+
+def coffman_graham_batches(
+    dag: ComputationDag, capacity: int, name: str = "coffman-graham"
+) -> BatchSchedule:
+    """Coffman–Graham list scheduling.
+
+    Labels nodes 1..n bottom-up: next label goes to the unlabeled node
+    whose children are all labeled and whose descending sequence of
+    child labels is lexicographically smallest; the descending-label
+    list order then feeds a greedy batcher.  Round-optimal for
+    ``capacity == 2``.
+    """
+    if capacity < 1:
+        raise ScheduleError(f"capacity must be >= 1, got {capacity}")
+    dag.validate()
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    label: dict[Node, int] = {}
+    unlabeled = set(dag.nodes)
+    for next_label in range(1, len(dag) + 1):
+        ready = [
+            v
+            for v in unlabeled
+            if all(c in label for c in dag.children(v))
+        ]
+        ready.sort(
+            key=lambda v: (
+                sorted((label[c] for c in dag.children(v)), reverse=True),
+                index[v],
+            )
+        )
+        pick = ready[0]
+        label[pick] = next_label
+        unlabeled.discard(pick)
+
+    # list-schedule by decreasing label
+    priority = sorted(dag.nodes, key=lambda v: -label[v])
+    rank = {v: i for i, v in enumerate(priority)}
+    pending = {v: dag.indegree(v) for v in dag.nodes}
+    eligible = [v for v in dag.nodes if pending[v] == 0]
+    batches: list[list[Node]] = []
+    done = 0
+    while done < len(dag):
+        eligible.sort(key=rank.__getitem__)
+        batch = eligible[:capacity]
+        eligible = eligible[capacity:]
+        for v in batch:
+            for c in dag.children(v):
+                pending[c] -= 1
+                if pending[c] == 0:
+                    eligible.append(c)
+        batches.append(batch)
+        done += len(batch)
+    return BatchSchedule(dag, batches, capacity=capacity, name=name)
+
+
+def min_rounds_lower_bound(dag: ComputationDag, capacity: int) -> int:
+    """A cheap lower bound on the optimal round count:
+    ``max(depth + 1, ceil(|N| / c))`` refined by the level-suffix
+    bound: a task at level L has L ancestors on some path, so tasks at
+    levels >= L can only run from round L + 1 onward; with R rounds
+    total they get ``(R - L) * c`` slots, hence
+    ``R >= L + ceil(m_L / c)`` where ``m_L`` counts them."""
+    n = len(dag)
+    depth = dag.depth()
+    bound = max(depth + 1, -(-n // capacity))
+    levels: dict[int, int] = {}
+    for _v, lv in dag.node_levels().items():
+        levels[lv] = levels.get(lv, 0) + 1
+    suffix = 0
+    for lv in sorted(levels, reverse=True):
+        suffix += levels[lv]
+        bound = max(bound, lv + -(-suffix // capacity))
+    return bound
+
+
+def optimal_batches(
+    dag: ComputationDag,
+    capacity: int,
+    node_limit: int = 16,
+    name: str = "optimal-batched",
+) -> BatchSchedule:
+    """Exact minimum-round batching by memoized branch-and-bound.
+
+    Exhaustive over antichains of eligible tasks per round (capped by
+    ``capacity``), memoizing executed sets; exact but exponential —
+    refused above ``node_limit`` nodes (that is the point the paper's
+    related-work discussion makes about the batched framework).
+    """
+    if len(dag) > node_limit:
+        raise OptimalityError(
+            f"exact batched optimization limited to {node_limit} nodes; "
+            f"dag has {len(dag)} (use hu_batches/coffman_graham_batches)"
+        )
+    dag.validate()
+    lower = min_rounds_lower_bound(dag, capacity)
+    # iterative deepening on round budget
+    nodes = dag.nodes
+    full = frozenset(nodes)
+
+    def eligible_of(executed: frozenset) -> list[Node]:
+        return [
+            v
+            for v in nodes
+            if v not in executed
+            and all(p in executed for p in dag.parents(v))
+        ]
+
+    for budget in range(lower, len(dag) + 1):
+        seen: set[tuple[frozenset, int]] = set()
+        batches: list[list[Node]] = []
+
+        def dfs(executed: frozenset, rounds_left: int) -> bool:
+            if executed == full:
+                return True
+            if rounds_left == 0:
+                return False
+            key = (executed, rounds_left)
+            if key in seen:
+                return False
+            elig = eligible_of(executed)
+            take = min(capacity, len(elig))
+            # never helps to run fewer than min(c, |eligible|) tasks
+            for combo in itertools.combinations(elig, take):
+                batches.append(list(combo))
+                if dfs(executed | frozenset(combo), rounds_left - 1):
+                    return True
+                batches.pop()
+            seen.add(key)
+            return False
+
+        if dfs(frozenset(), budget):
+            return BatchSchedule(dag, batches, capacity=capacity, name=name)
+    raise OptimalityError("unreachable: |N| rounds always suffice")

@@ -1,0 +1,61 @@
+"""Duality-based scheduling tools (Section 2.3.2).
+
+The *dual* of a dag ``G`` reverses every arc, interchanging sources and
+sinks.  Two theorems let us transfer results across duality:
+
+* **Theorem 2.2** — if Σ is IC-optimal for ``G``, then any schedule of
+  the dual that executes Σ's eligibility "packets" in reverse order
+  (arbitrary order within a packet) is IC-optimal for the dual.
+* **Theorem 2.3** — ``G1 ▷ G2`` iff ``dual(G2) ▷ dual(G1)``.
+
+This is how the paper derives in-tree schedules from out-tree
+schedules and in-mesh schedules from out-mesh schedules.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ScheduleError
+from .dag import ComputationDag
+from .schedule import Schedule
+
+__all__ = ["dual_dag", "dual_schedule"]
+
+
+def dual_dag(dag: ComputationDag, name: str | None = None) -> ComputationDag:
+    """The dual of ``dag`` (all arcs reversed); labels are preserved."""
+    return dag.dual(name=name)
+
+
+def dual_schedule(
+    schedule: Schedule,
+    dual: ComputationDag | None = None,
+    name: str | None = None,
+) -> Schedule:
+    """A schedule for the dual dag that is *dual to* ``schedule``.
+
+    Construction (Section 2.3.2): let Σ execute the nonsinks of ``G``
+    in some order; the *j*-th execution renders ELIGIBLE a packet
+    ``P_j`` of nonsources of ``G``.  The nonsources of ``G`` are the
+    nonsinks of the dual, and the dual schedule executes them packet by
+    packet in reverse order ``P_n, ..., P_1`` (within a packet, in the
+    recorded order), then the dual's sinks (= ``G``'s sources), in
+    Σ's reverse nonsink order so the result is deterministic.
+
+    By Theorem 2.2, if ``schedule`` is IC-optimal for ``G``, the result
+    is IC-optimal for the dual.  The result is validated structurally
+    on construction either way.
+    """
+    g = schedule.dag
+    d = dual if dual is not None else g.dual()
+    if set(d.nodes) != set(g.nodes):
+        raise ScheduleError(
+            "provided dual dag does not share the node set of the "
+            "schedule's dag"
+        )
+    packets = schedule.packets()
+    order = [v for packet in reversed(packets) for v in packet]
+    # Sinks of the dual are the sources of G.  Any order is allowed;
+    # reversing Σ's order keeps dual(dual(Σ)) well-behaved.
+    g_sources = [v for v in reversed(schedule.order) if g.is_source(v)]
+    order.extend(g_sources)
+    return Schedule(d, order, name=name or f"dual({schedule.name})")

@@ -1,0 +1,154 @@
+"""The event-driven execution model and ELIGIBLE-node tracking.
+
+Section 2.2 of the paper defines the quality model:
+
+* a node is **ELIGIBLE** once all of its parents have been executed
+  (sources are ELIGIBLE from the start);
+* executing a node removes its ELIGIBLE status permanently (no
+  recomputation) and may render children ELIGIBLE;
+* time is event-driven — step *t* means *t* nodes have been executed;
+* the quality of an execution at step *t* is ``E(t)``, the number of
+  ELIGIBLE unexecuted nodes after the *t*-th execution.
+
+:class:`ExecutionState` is the incremental engine used by schedules,
+the optimality search, the priority relation and the server simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..exceptions import ScheduleError
+from .dag import ComputationDag, Node
+
+__all__ = ["ExecutionState", "eligibility_profile", "run_order"]
+
+
+class ExecutionState:
+    """Mutable execution state of a dag.
+
+    Tracks, per node, the number of unexecuted parents, and maintains
+    the ELIGIBLE set incrementally: each :meth:`execute` call is
+    ``O(out-degree)``.
+
+    The state can be :meth:`snapshot`-ed and :meth:`restore`-d cheaply,
+    which the exhaustive optimality search relies on.
+    """
+
+    def __init__(self, dag: ComputationDag) -> None:
+        self.dag = dag
+        self._pending_parents: dict[Node, int] = {
+            v: dag.indegree(v) for v in dag.nodes
+        }
+        self._eligible: dict[Node, None] = {
+            v: None for v in dag.nodes if dag.indegree(v) == 0
+        }
+        self._executed: dict[Node, None] = {}
+        #: eligibility profile so far; E(0) = number of sources.
+        self.profile: list[int] = [len(self._eligible)]
+
+    # ------------------------------------------------------------------
+    @property
+    def eligible(self) -> list[Node]:
+        """Currently ELIGIBLE (unexecuted, all-parents-executed) nodes."""
+        return list(self._eligible)
+
+    @property
+    def executed(self) -> list[Node]:
+        """Nodes executed so far, in execution order."""
+        return list(self._executed)
+
+    @property
+    def steps(self) -> int:
+        """Number of nodes executed so far (event-driven clock)."""
+        return len(self._executed)
+
+    def is_eligible(self, v: Node) -> bool:
+        return v in self._eligible
+
+    def is_executed(self, v: Node) -> bool:
+        return v in self._executed
+
+    def is_finished(self) -> bool:
+        """True when every node has been executed."""
+        return len(self._executed) == len(self.dag)
+
+    def eligible_count(self) -> int:
+        return len(self._eligible)
+
+    # ------------------------------------------------------------------
+    def execute(self, v: Node) -> list[Node]:
+        """Execute ELIGIBLE node ``v``; return newly ELIGIBLE children.
+
+        Raises :class:`ScheduleError` if ``v`` is not currently
+        ELIGIBLE (either unexecuted parents remain, or it was already
+        executed — the model forbids recomputation).
+        """
+        if v not in self._eligible:
+            if v in self._executed:
+                raise ScheduleError(f"node {v!r} was already executed")
+            raise ScheduleError(
+                f"node {v!r} is not ELIGIBLE: "
+                f"{self._pending_parents.get(v, '?')} parent(s) pending"
+            )
+        del self._eligible[v]
+        self._executed[v] = None
+        newly: list[Node] = []
+        for c in self.dag.children(v):
+            self._pending_parents[c] -= 1
+            if self._pending_parents[c] == 0:
+                self._eligible[c] = None
+                newly.append(c)
+        self.profile.append(len(self._eligible))
+        return newly
+
+    def execute_all(self, order: Iterable[Node]) -> None:
+        """Execute each node of ``order`` in turn."""
+        for v in order:
+            self.execute(v)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """An opaque, restorable copy of the current state."""
+        return (
+            dict(self._pending_parents),
+            dict(self._eligible),
+            dict(self._executed),
+            list(self.profile),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a state previously captured by :meth:`snapshot`."""
+        pending, eligible, executed, profile = snap
+        self._pending_parents = dict(pending)
+        self._eligible = dict(eligible)
+        self._executed = dict(executed)
+        self.profile = list(profile)
+
+    def executed_frozenset(self) -> frozenset:
+        """The executed set as a hashable key (for memoized searches)."""
+        return frozenset(self._executed)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionState(dag={self.dag.name!r}, steps={self.steps}, "
+            f"eligible={len(self._eligible)})"
+        )
+
+
+def eligibility_profile(dag: ComputationDag, order: Sequence[Node]) -> list[int]:
+    """The eligibility profile ``[E(0), E(1), ..., E(len(order))]``.
+
+    ``order`` must be a valid execution prefix (each node ELIGIBLE when
+    executed); it need not cover the whole dag.
+    """
+    state = ExecutionState(dag)
+    state.execute_all(order)
+    return list(state.profile)
+
+
+def run_order(dag: ComputationDag, order: Sequence[Node]) -> ExecutionState:
+    """Execute ``order`` on a fresh state and return the final state."""
+    state = ExecutionState(dag)
+    state.execute_all(order)
+    return state

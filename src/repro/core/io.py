@@ -1,0 +1,97 @@
+"""Serialization of dags, schedules, and composition chains.
+
+Node labels throughout the library are arbitrary hashable Python
+objects (tuples, strings, ints), so serialization is *index-based*:
+nodes are numbered in insertion order, arcs/orders refer to indices,
+and a human-readable ``repr`` legend travels alongside.  Round-tripping
+through :func:`dag_from_dict` therefore yields a dag whose labels are
+the integer indices (with the legend attached as ``label_reprs``) —
+isomorphic and schedule-compatible, but not label-identical unless the
+original labels already were JSON-native.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..exceptions import DagStructureError
+from .dag import ComputationDag
+from .schedule import Schedule
+
+__all__ = [
+    "dag_to_dict",
+    "dag_from_dict",
+    "dag_to_json",
+    "dag_from_json",
+    "schedule_to_dict",
+    "schedule_from_dict",
+]
+
+FORMAT_VERSION = 1
+
+
+def dag_to_dict(dag: ComputationDag) -> dict[str, Any]:
+    """A JSON-able description of ``dag`` (index-based; see module
+    docstring)."""
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    return {
+        "format": FORMAT_VERSION,
+        "name": dag.name,
+        "n": len(dag),
+        "label_reprs": [repr(v) for v in dag.nodes],
+        "arcs": [[index[u], index[v]] for u, v in dag.arcs],
+    }
+
+
+def dag_from_dict(data: dict[str, Any]) -> ComputationDag:
+    """Rebuild a dag from :func:`dag_to_dict` output.
+
+    Node labels are the integer indices 0..n-1; the original labels'
+    reprs are stored on the returned dag as ``label_reprs``.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise DagStructureError(
+            f"unsupported dag format {data.get('format')!r}"
+        )
+    n = data["n"]
+    dag = ComputationDag(nodes=range(n), name=data.get("name", "dag"))
+    for u, v in data["arcs"]:
+        if not (0 <= u < n and 0 <= v < n):
+            raise DagStructureError(f"arc index out of range: ({u}, {v})")
+        dag.add_arc(u, v)
+    dag.validate()
+    dag.label_reprs = list(data.get("label_reprs", []))  # type: ignore[attr-defined]
+    return dag
+
+
+def dag_to_json(dag: ComputationDag, indent: int | None = None) -> str:
+    """JSON text for ``dag``."""
+    return json.dumps(dag_to_dict(dag), indent=indent)
+
+
+def dag_from_json(text: str) -> ComputationDag:
+    """Rebuild a dag from :func:`dag_to_json` text."""
+    return dag_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """A JSON-able description of a schedule, bundling its dag."""
+    index = {v: i for i, v in enumerate(schedule.dag.nodes)}
+    return {
+        "format": FORMAT_VERSION,
+        "name": schedule.name,
+        "dag": dag_to_dict(schedule.dag),
+        "order": [index[v] for v in schedule.order],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild (and re-validate) a schedule from
+    :func:`schedule_to_dict` output; the dag comes back index-labeled."""
+    if data.get("format") != FORMAT_VERSION:
+        raise DagStructureError(
+            f"unsupported schedule format {data.get('format')!r}"
+        )
+    dag = dag_from_dict(data["dag"])
+    return Schedule(dag, data["order"], name=data.get("name", "schedule"))

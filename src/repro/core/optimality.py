@@ -1,0 +1,262 @@
+"""Exhaustive IC-optimality machinery.
+
+Section 2.2: a schedule is **IC-optimal** when the number of ELIGIBLE
+nodes after step *t* is the maximum achievable over *all* schedules,
+simultaneously for every *t*.  Many dags admit no IC-optimal schedule,
+so the theory needs three primitives, all provided here:
+
+* :func:`max_eligibility_profile` — the pointwise ceiling
+  ``M(t) = max over valid t-step execution prefixes of E(t)``;
+* :func:`is_ic_optimal` — does a given schedule meet the ceiling at
+  every step;
+* :func:`find_ic_optimal_schedule` — search for a schedule meeting the
+  ceiling everywhere, or report that none exists.
+
+Complexity and the nonsink reduction
+------------------------------------
+A *t*-step execution prefix is exactly an order ideal (downset) of the
+dag's precedence order, so ``M(t)`` maximizes over ideals of size *t* —
+exponentially many in general.  Two standard reductions (both from the
+development in [21], proved in the docstrings below) keep the search
+tractable for the block/family sizes the paper works with:
+
+1. **Sinks last.** Executing a sink never renders a node ELIGIBLE
+   (sinks have no children) and removes an eligible node, so for every
+   mixed ideal there is a nonsink-only ideal of the same size with at
+   least as many eligible nodes (swap each executed sink for an
+   eligible unexecuted nonsink; one always exists while nonsinks
+   remain because every parent is a nonsink).  Hence for
+   ``t <= n := #nonsinks``, ``M(t)`` is attained on ideals containing
+   only nonsinks, and for ``t >= n``, ``M(t) = |N| - t`` exactly (all
+   sinks are eligible once every nonsink is executed).
+
+2. **Swap propagation.** If any IC-optimal schedule exists, a
+   *nonsink-first* IC-optimal schedule exists: moving the first
+   prematurely-executed sink to the position of a later-executed
+   eligible nonsink (and vice versa) keeps the schedule valid and
+   never lowers the profile.  The existence search therefore explores
+   only nonsink-first orders.
+
+The ideal enumeration is a level-synchronous BFS over executed-set
+states with memoized eligible sets; a configurable state budget guards
+against accidentally exploding dags.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import OptimalityError
+from .dag import ComputationDag, Node
+from .schedule import Schedule
+
+__all__ = [
+    "max_eligibility_profile",
+    "is_ic_optimal",
+    "find_ic_optimal_schedule",
+    "ic_optimal_exists",
+    "all_ic_optimal_nonsink_orders",
+]
+
+#: default cap on distinct ideal states explored per dag.
+DEFAULT_STATE_BUDGET = 2_000_000
+
+
+def max_eligibility_profile(
+    dag: ComputationDag,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> list[int]:
+    """Compute ``[M(0), M(1), ..., M(|N|)]`` for ``dag``.
+
+    ``M(t)`` is the maximum, over all valid length-``t`` execution
+    prefixes, of the number of ELIGIBLE unexecuted nodes.
+
+    Raises
+    ------
+    OptimalityError
+        If the BFS would exceed ``state_budget`` distinct states.
+    """
+    dag.validate()
+    total = len(dag)
+    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
+    n = len(nonsinks)
+    nonsink_set = set(nonsinks)
+
+    # Children restricted to the dag; parent counts for incremental
+    # eligibility updates.
+    parents_count = {v: dag.indegree(v) for v in dag.nodes}
+
+    # State: executed frozenset (nonsinks only) -> eligible frozenset.
+    init_eligible = frozenset(v for v in dag.nodes if parents_count[v] == 0)
+    profile: list[int] = [len(init_eligible)]
+    frontier: dict[frozenset, frozenset] = {frozenset(): init_eligible}
+    states_seen = 1
+
+    for _t in range(1, n + 1):
+        nxt: dict[frozenset, frozenset] = {}
+        for executed, eligible in frontier.items():
+            for u in eligible:
+                if u not in nonsink_set:
+                    continue
+                new_exec = executed | {u}
+                if new_exec in nxt:
+                    continue
+                newly = [
+                    c
+                    for c in dag.children(u)
+                    if all(p in new_exec for p in dag.parents(c))
+                ]
+                nxt[new_exec] = (eligible - {u}) | frozenset(newly)
+                states_seen += 1
+                if states_seen > state_budget:
+                    raise OptimalityError(
+                        f"ideal enumeration for dag {dag.name!r} exceeded "
+                        f"state budget {state_budget}"
+                    )
+        if not nxt:
+            # No eligible nonsink although nonsinks remain: impossible
+            # in an acyclic dag (a minimal unexecuted nonsink is
+            # eligible), so this is a defensive invariant check.
+            raise OptimalityError(
+                f"dag {dag.name!r}: no eligible nonsink at step {_t}"
+            )
+        profile.append(max(len(e) for e in nxt.values()))
+        frontier = nxt
+
+    # Once all nonsinks are executed, every remaining node is an
+    # eligible sink; executing sinks decrements the count by one.
+    for t in range(n + 1, total + 1):
+        profile.append(total - t)
+    return profile
+
+
+def is_ic_optimal(
+    schedule: Schedule,
+    max_profile: Sequence[int] | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> bool:
+    """True iff ``schedule`` attains the maximum eligible count at
+    every step of the execution.
+
+    ``max_profile`` may be passed to reuse a previously computed
+    ceiling (it must come from the same dag).
+    """
+    ceiling = (
+        list(max_profile)
+        if max_profile is not None
+        else max_eligibility_profile(schedule.dag, state_budget)
+    )
+    prof = schedule.profile
+    if len(prof) != len(ceiling):
+        raise OptimalityError(
+            "max profile length does not match schedule profile length"
+        )
+    return all(e == m for e, m in zip(prof, ceiling))
+
+
+def find_ic_optimal_schedule(
+    dag: ComputationDag,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+    name: str = "ic-optimal",
+) -> Schedule | None:
+    """Search for an IC-optimal schedule of ``dag``.
+
+    Returns a nonsink-first IC-optimal :class:`Schedule`, or ``None``
+    when the dag admits no IC-optimal schedule (by reduction 2 in the
+    module docstring, searching nonsink-first orders is complete).
+
+    The search is a DFS that only follows steps keeping the running
+    profile equal to the ceiling ``M``; visited dead states are
+    memoized so each ideal is expanded at most once.
+    """
+    ceiling = max_eligibility_profile(dag, state_budget)
+    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
+    n = len(nonsinks)
+    nonsink_set = set(nonsinks)
+
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    dead: set[frozenset] = set()
+    order: list[Node] = []
+
+    def dfs(executed: frozenset, eligible: frozenset, t: int) -> bool:
+        if t == n:
+            return True
+        if executed in dead:
+            return False
+        for u in sorted(eligible, key=index.__getitem__):
+            if u not in nonsink_set:
+                continue
+            new_exec = executed | {u}
+            newly = [
+                c
+                for c in dag.children(u)
+                if all(p in new_exec for p in dag.parents(c))
+            ]
+            new_elig = (eligible - {u}) | frozenset(newly)
+            if len(new_elig) != ceiling[t + 1]:
+                continue
+            order.append(u)
+            if dfs(new_exec, new_elig, t + 1):
+                return True
+            order.pop()
+        dead.add(executed)
+        return False
+
+    init_eligible = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
+    if not dfs(frozenset(), init_eligible, 0):
+        return None
+    sinks = [v for v in dag.nodes if dag.is_sink(v)]
+    return Schedule(dag, order + sinks, name=name)
+
+
+def ic_optimal_exists(
+    dag: ComputationDag, state_budget: int = DEFAULT_STATE_BUDGET
+) -> bool:
+    """Decide whether ``dag`` admits an IC-optimal schedule."""
+    return find_ic_optimal_schedule(dag, state_budget) is not None
+
+
+def all_ic_optimal_nonsink_orders(
+    dag: ComputationDag,
+    limit: int = 10_000,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> list[tuple[Node, ...]]:
+    """Enumerate every nonsink order whose prefixes all meet ``M``.
+
+    Intended for small dags in tests (e.g. verifying the paper's
+    "optimal iff consecutive-source" characterizations for in-trees and
+    butterflies).  Stops after ``limit`` orders.
+    """
+    ceiling = max_eligibility_profile(dag, state_budget)
+    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
+    n = len(nonsinks)
+    nonsink_set = set(nonsinks)
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    out: list[tuple[Node, ...]] = []
+    order: list[Node] = []
+
+    def dfs(executed: frozenset, eligible: frozenset, t: int) -> None:
+        if len(out) >= limit:
+            return
+        if t == n:
+            out.append(tuple(order))
+            return
+        for u in sorted(eligible, key=index.__getitem__):
+            if u not in nonsink_set:
+                continue
+            new_exec = executed | {u}
+            newly = [
+                c
+                for c in dag.children(u)
+                if all(p in new_exec for p in dag.parents(c))
+            ]
+            new_elig = (eligible - {u}) | frozenset(newly)
+            if len(new_elig) != ceiling[t + 1]:
+                continue
+            order.append(u)
+            dfs(new_exec, new_elig, t + 1)
+            order.pop()
+
+    init_eligible = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
+    dfs(frozenset(), init_eligible, 0)
+    return out

@@ -1,0 +1,138 @@
+"""The priority relation ▷ of Section 2.3.1 / equation (2.1).
+
+For dags ``G1`` (n1 nonsinks, IC-optimal schedule Σ1) and ``G2``
+(n2 nonsinks, Σ2), with ``E_i(x)`` the number of ELIGIBLE unexecuted
+nodes of ``Gi`` after Σi has executed its first ``x`` nonsinks, ``G1``
+has **priority** over ``G2`` — written ``G1 ▷ G2`` — when
+
+    ∀ x ∈ [0, n1], y ∈ [0, n2]:
+        E1(x) + E2(y)  <=  E1(x') + E2(y')
+        where x' = min(n1, x + y)  and  y' = (x + y) - x'.
+
+Informally: given a fixed total number of executed nonsinks split
+between the two dags, shifting as many of them as possible onto ``G1``
+never decreases the combined eligible count — "one never decreases IC
+quality by executing a nonsink of G1 whenever possible".
+
+The display equation is elided from the available text of the paper;
+this is the definition from [21] (Malewicz–Rosenberg–Yurkewych, IEEE
+Trans. Comput. 55(6), 2006), and the test-suite verifies that it
+reproduces every priority fact the paper asserts (V ▷ V, V ▷ Λ,
+¬(Λ ▷ V), B ▷ B, W_s ▷ W_t, N_s ▷ N_t, N_s ▷ Λ, C4 ▷ C4 ▷ Λ ▷ Λ, ...).
+
+Since every IC-optimal schedule of a dag attains the same (maximal)
+profile, ``E_i`` does not depend on the choice of Σi; callers may pass
+a known IC-optimal schedule to avoid the exhaustive profile search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import PriorityError
+from .dag import ComputationDag
+from .optimality import find_ic_optimal_schedule
+from .schedule import Schedule
+
+__all__ = [
+    "optimal_nonsink_profile",
+    "profiles_have_priority",
+    "has_priority",
+    "priority_chain_holds",
+    "priority_matrix",
+]
+
+
+def optimal_nonsink_profile(
+    dag: ComputationDag, schedule: Schedule | None = None
+) -> list[int]:
+    """``[E(0), ..., E(n)]`` under an IC-optimal schedule of ``dag``.
+
+    If ``schedule`` is given it must be IC-optimal for ``dag`` (this is
+    the caller's promise; catalogued block schedules satisfy it and the
+    tests cross-check them).  Otherwise an IC-optimal schedule is
+    searched for; if none exists the ▷ relation is undefined for the
+    dag and :class:`PriorityError` is raised.
+    """
+    if schedule is None:
+        schedule = find_ic_optimal_schedule(dag)
+        if schedule is None:
+            raise PriorityError(
+                f"dag {dag.name!r} admits no IC-optimal schedule; "
+                "the priority relation is undefined for it"
+            )
+    return schedule.nonsink_profile()
+
+
+def profiles_have_priority(e1: Sequence[int], e2: Sequence[int]) -> bool:
+    """Equation (2.1) on raw optimal nonsink profiles.
+
+    ``e1``/``e2`` are the profiles ``[E(0), ..., E(n_i)]`` of the two
+    dags under IC-optimal schedules.
+    """
+    n1 = len(e1) - 1
+    n2 = len(e2) - 1
+    for x in range(n1 + 1):
+        for y in range(n2 + 1):
+            xp = min(n1, x + y)
+            yp = (x + y) - xp
+            if e1[x] + e2[y] > e1[xp] + e2[yp]:
+                return False
+    return True
+
+
+def has_priority(
+    g1: ComputationDag,
+    g2: ComputationDag,
+    schedule1: Schedule | None = None,
+    schedule2: Schedule | None = None,
+) -> bool:
+    """True iff ``g1 ▷ g2`` under equation (2.1).
+
+    Known IC-optimal schedules may be supplied to skip the exhaustive
+    search.  Raises :class:`PriorityError` when either dag admits no
+    IC-optimal schedule.
+    """
+    e1 = optimal_nonsink_profile(g1, schedule1)
+    e2 = optimal_nonsink_profile(g2, schedule2)
+    return profiles_have_priority(e1, e2)
+
+
+def priority_chain_holds(
+    dags: Sequence[ComputationDag],
+    schedules: Sequence[Schedule | None] | None = None,
+) -> bool:
+    """True iff ``dags[i] ▷ dags[i+1]`` for every consecutive pair.
+
+    This is requirement (b) of a ▷-linear composition.
+    """
+    if schedules is None:
+        schedules = [None] * len(dags)
+    if len(schedules) != len(dags):
+        raise PriorityError("schedules list must match dags list in length")
+    profiles = [
+        optimal_nonsink_profile(d, s) for d, s in zip(dags, schedules)
+    ]
+    return all(
+        profiles_have_priority(profiles[i], profiles[i + 1])
+        for i in range(len(profiles) - 1)
+    )
+
+
+def priority_matrix(
+    dags: Sequence[ComputationDag],
+    schedules: Sequence[Schedule | None] | None = None,
+) -> list[list[bool]]:
+    """Pairwise ▷ matrix: entry ``[i][j]`` is ``dags[i] ▷ dags[j]``.
+
+    Diagonal entries test self-priority (e.g. ``V ▷ V``), which is what
+    licenses iterated composition of a block with itself.
+    """
+    if schedules is None:
+        schedules = [None] * len(dags)
+    profiles = [
+        optimal_nonsink_profile(d, s) for d, s in zip(dags, schedules)
+    ]
+    return [
+        [profiles_have_priority(pi, pj) for pj in profiles] for pi in profiles
+    ]

@@ -1,0 +1,215 @@
+"""Almost-optimal scheduling quality (future thrust 2 of Section 8).
+
+IC-optimality is demanding — many dags admit no IC-optimal schedule
+([21]; see ``tests/test_optimality.py`` for a 7-node example) — so the
+paper's research agenda calls for "rigorous notions of 'almost'
+optimal scheduling that apply to *all* dags".  This module provides
+the natural candidates and an optimizer for them:
+
+* :func:`quality_ratio` — ``R(Σ) = min_t E_Σ(t) / M(t)``, the worst
+  per-step fraction of the ceiling achieved (1.0 iff IC-optimal);
+* :func:`quality_deficit` — ``max_t (M(t) - E_Σ(t))``, the worst
+  absolute shortfall;
+* :func:`area_ratio` — ``Σ_t E_Σ(t) / Σ_t M(t)``, the aggregate
+  headroom fraction;
+* :func:`best_effort_schedule` — exhaustive search for the schedule
+  minimizing the lexicographic (deficit, -area) objective, feasible at
+  the sizes where :mod:`repro.core.optimality` is; falls back to the
+  greedy schedule above that size.
+
+These reduce to IC-optimality when it is attainable: a schedule has
+deficit 0 / ratio 1.0 iff it is IC-optimal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..exceptions import OptimalityError
+from .dag import ComputationDag, Node
+from .optimality import DEFAULT_STATE_BUDGET, max_eligibility_profile
+from .schedule import Schedule
+from .scheduler import greedy_schedule
+
+__all__ = [
+    "quality_ratio",
+    "quality_deficit",
+    "area_ratio",
+    "QualityReport",
+    "quality_report",
+    "best_effort_schedule",
+]
+
+
+def _ceiling(
+    schedule: Schedule, max_profile: Sequence[int] | None, budget: int
+) -> list[int]:
+    if max_profile is not None:
+        ceiling = list(max_profile)
+        if len(ceiling) != len(schedule.profile):
+            raise OptimalityError("max profile length mismatch")
+        return ceiling
+    return max_eligibility_profile(schedule.dag, budget)
+
+
+def quality_ratio(
+    schedule: Schedule,
+    max_profile: Sequence[int] | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> float:
+    """``min_t E(t) / M(t)`` over steps with ``M(t) > 0``.
+
+    1.0 iff the schedule is IC-optimal; the guaranteed fraction of the
+    best possible eligibility headroom at the schedule's worst moment.
+    """
+    ceiling = _ceiling(schedule, max_profile, state_budget)
+    ratios = [
+        e / m for e, m in zip(schedule.profile, ceiling) if m > 0
+    ]
+    return min(ratios) if ratios else 1.0
+
+
+def quality_deficit(
+    schedule: Schedule,
+    max_profile: Sequence[int] | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> int:
+    """``max_t (M(t) - E(t))`` — worst absolute eligibility shortfall.
+
+    0 iff the schedule is IC-optimal.
+    """
+    ceiling = _ceiling(schedule, max_profile, state_budget)
+    return max(m - e for e, m in zip(schedule.profile, ceiling))
+
+
+def area_ratio(
+    schedule: Schedule,
+    max_profile: Sequence[int] | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> float:
+    """Aggregate headroom fraction ``Σ E(t) / Σ M(t)``.
+
+    Note the denominator is itself an upper bound: no schedule need
+    attain ``M(t)`` at every ``t`` simultaneously, so 1.0 is attained
+    exactly by IC-optimal schedules.
+    """
+    ceiling = _ceiling(schedule, max_profile, state_budget)
+    total = sum(ceiling)
+    return sum(schedule.profile) / total if total else 1.0
+
+
+@dataclass
+class QualityReport:
+    """All almost-optimality metrics for one schedule."""
+
+    schedule_name: str
+    ratio: float
+    deficit: int
+    area: float
+    ic_optimal: bool
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityReport({self.schedule_name!r}: ratio={self.ratio:.3f}, "
+            f"deficit={self.deficit}, area={self.area:.3f}, "
+            f"ic_optimal={self.ic_optimal})"
+        )
+
+
+def quality_report(
+    schedule: Schedule,
+    max_profile: Sequence[int] | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> QualityReport:
+    """Compute every metric (sharing one ceiling computation)."""
+    ceiling = _ceiling(schedule, max_profile, state_budget)
+    return QualityReport(
+        schedule_name=schedule.name,
+        ratio=quality_ratio(schedule, ceiling),
+        deficit=quality_deficit(schedule, ceiling),
+        area=area_ratio(schedule, ceiling),
+        ic_optimal=quality_deficit(schedule, ceiling) == 0,
+    )
+
+
+def best_effort_schedule(
+    dag: ComputationDag,
+    exhaustive_limit: int = 18,
+    state_budget: int = 500_000,
+    name: str = "best-effort",
+) -> Schedule:
+    """The schedule minimizing (deficit, -profile area) — an "almost
+    optimal" schedule that exists for *every* dag.
+
+    Exhaustive branch-and-bound over nonsink-first orders when the dag
+    has at most ``exhaustive_limit`` nonsinks (memoized per executed
+    set on the best achievable suffix, pruned against the incumbent);
+    greedy otherwise.  When an IC-optimal schedule exists, the result
+    is IC-optimal (deficit 0 is then attainable and area is maximal at
+    the ceiling).
+    """
+    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
+    n = len(nonsinks)
+    if n > exhaustive_limit:
+        return greedy_schedule(dag, name=name)
+    try:
+        ceiling = max_eligibility_profile(dag, state_budget)
+    except OptimalityError:
+        return greedy_schedule(dag, name=name)
+
+    nonsink_set = set(nonsinks)
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    best: dict = {"order": None, "key": None}
+
+    # state -> best (deficit, -area) found from that executed set with
+    # the given running prefix statistics are path-dependent, so we
+    # memoize only fully-expanded states' best suffix outcome keyed by
+    # (executed, running_deficit_clamp); a simple incumbent prune keeps
+    # this tractable at the supported sizes.
+    order: list[Node] = []
+
+    def dfs(
+        executed: frozenset,
+        eligible: frozenset,
+        t: int,
+        deficit: int,
+        area: int,
+    ) -> None:
+        if best["key"] is not None and deficit > best["key"][0]:
+            return  # cannot improve the incumbent's deficit
+        if t == n:
+            # sinks drain deterministically: E = |N| - t thereafter,
+            # equal to the ceiling, so no further deficit accrues.
+            tail = sum(len(dag) - s for s in range(n + 1, len(dag) + 1))
+            key = (deficit, -(area + tail))
+            if best["key"] is None or key < best["key"]:
+                best["key"] = key
+                best["order"] = list(order)
+            return
+        for u in sorted(eligible, key=index.__getitem__):
+            if u not in nonsink_set:
+                continue
+            new_exec = executed | {u}
+            newly = [
+                c
+                for c in dag.children(u)
+                if all(p in new_exec for p in dag.parents(c))
+            ]
+            new_elig = (eligible - {u}) | frozenset(newly)
+            e = len(new_elig)
+            order.append(u)
+            dfs(
+                new_exec,
+                new_elig,
+                t + 1,
+                max(deficit, ceiling[t + 1] - e),
+                area + e,
+            )
+            order.pop()
+
+    init = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
+    dfs(frozenset(), init, 0, 0, len(init))
+    assert best["order"] is not None
+    sinks = [v for v in dag.nodes if dag.is_sink(v)]
+    return Schedule(dag, best["order"] + sinks, name=name)

@@ -1,0 +1,166 @@
+"""Schedules and their quality profiles.
+
+A *schedule* for a dag is a rule that picks which ELIGIBLE node to
+execute at each step; concretely we represent it as the full execution
+order it produces (the papers' schedules are deterministic orders).
+
+Two profile notions are used throughout the theory:
+
+* the **(full) eligibility profile** ``E(t)`` for ``t = 0..|N|`` —
+  eligible unexecuted nodes after each execution;
+* the **nonsink profile** ``E(x)`` for ``x = 0..n`` (n = #nonsinks) —
+  the profile of the *nonsink-normalized* schedule after executing its
+  first ``x`` nonsinks.  Equation (2.1) (the ▷ relation) is stated in
+  terms of this profile.
+
+Executing a sink can never render a node ELIGIBLE and strictly lowers
+the eligible count, so any schedule can be improved (weakly, at every
+step) by deferring sinks; :func:`normalize_nonsinks_first` performs
+that rewriting while preserving validity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import ScheduleError
+from .dag import ComputationDag, Node
+from .execution import ExecutionState
+
+__all__ = [
+    "Schedule",
+    "normalize_nonsinks_first",
+    "dominates",
+    "profiles_equal",
+]
+
+
+class Schedule:
+    """An execution order for every node of a dag.
+
+    Instances are validated on construction: the order must contain
+    every node exactly once and respect all precedence arcs.  The
+    eligibility profile is computed during validation and cached.
+    """
+
+    __slots__ = ("dag", "order", "name", "_profile")
+
+    def __init__(
+        self,
+        dag: ComputationDag,
+        order: Sequence[Node],
+        name: str = "schedule",
+    ) -> None:
+        self.dag = dag
+        self.order: tuple[Node, ...] = tuple(order)
+        self.name = name
+        if len(self.order) != len(dag):
+            raise ScheduleError(
+                f"schedule covers {len(self.order)} nodes but dag "
+                f"{dag.name!r} has {len(dag)}"
+            )
+        if len(set(self.order)) != len(self.order):
+            raise ScheduleError("schedule repeats a node")
+        # Executing the order checks eligibility step by step and
+        # simultaneously caches the profile.
+        state = ExecutionState(dag)
+        state.execute_all(self.order)
+        self._profile: list[int] = list(state.profile)
+
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> list[int]:
+        """Full eligibility profile ``[E(0), ..., E(|N|)]``."""
+        return list(self._profile)
+
+    def nonsink_order(self) -> list[Node]:
+        """The nonsinks of the dag in the order this schedule runs them."""
+        return [v for v in self.order if not self.dag.is_sink(v)]
+
+    def nonsink_profile(self) -> list[int]:
+        """``[E(0), ..., E(n)]`` of the nonsink-normalized schedule.
+
+        This is the quantity equation (2.1) quantifies over: the
+        eligible count after executing the first ``x`` nonsinks (all
+        sinks deferred).  Index ``x`` runs from 0 to the number of
+        nonsinks.
+        """
+        state = ExecutionState(self.dag)
+        out = [state.eligible_count()]
+        for v in self.nonsink_order():
+            state.execute(v)
+            out.append(state.eligible_count())
+        return out
+
+    def eligible_after(self, t: int) -> int:
+        """``E(t)`` from the full profile."""
+        return self._profile[t]
+
+    def packets(self) -> list[list[Node]]:
+        """The nonsource "packets" of Section 2.3.2.
+
+        Packet ``P_j`` lists the nonsources rendered ELIGIBLE by the
+        *j*-th nonsink execution of the (nonsink-normalized) schedule.
+        Packets may be empty.  Used to build dual schedules
+        (Theorem 2.2).
+        """
+        state = ExecutionState(self.dag)
+        out: list[list[Node]] = []
+        for v in self.nonsink_order():
+            newly = state.execute(v)
+            out.append([w for w in newly if not self.dag.is_source(w)])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self):
+        return iter(self.order)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.dag.same_structure(other.dag) and self.order == other.order
+
+    def __hash__(self) -> int:
+        return hash(self.order)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(name={self.name!r}, dag={self.dag.name!r}, "
+            f"steps={len(self.order)})"
+        )
+
+
+def normalize_nonsinks_first(schedule: Schedule) -> Schedule:
+    """Rewrite ``schedule`` to run all nonsinks first, sinks last.
+
+    The relative order of nonsinks (and of sinks) is preserved.  The
+    result is always a valid schedule: delaying a sink cannot violate
+    precedence (sinks have no children), and advancing a nonsink over a
+    sink cannot either (a sink is nobody's parent... by definition it
+    has no children, so nothing waits on it).  The resulting profile
+    weakly dominates the original at every step.
+    """
+    nonsinks = [v for v in schedule.order if not schedule.dag.is_sink(v)]
+    sinks = [v for v in schedule.order if schedule.dag.is_sink(v)]
+    return Schedule(
+        schedule.dag, nonsinks + sinks, name=f"{schedule.name}[nonsink-first]"
+    )
+
+
+def dominates(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff profile ``a`` is pointwise >= profile ``b``.
+
+    Profiles must have equal length (same dag, same step count).
+    """
+    if len(a) != len(b):
+        raise ScheduleError(
+            f"cannot compare profiles of lengths {len(a)} and {len(b)}"
+        )
+    return all(x >= y for x, y in zip(a, b))
+
+
+def profiles_equal(a: Sequence[int], b: Sequence[int]) -> bool:
+    """True iff the two profiles coincide pointwise."""
+    return len(a) == len(b) and all(x == y for x, y in zip(a, b))

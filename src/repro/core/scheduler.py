@@ -1,0 +1,161 @@
+"""High-level scheduling front end.
+
+:func:`schedule_dag` is the library's main entry point: it produces the
+best schedule it can certify for the input —
+
+1. a :class:`~repro.core.composition.CompositionChain` with a valid
+   ▷-chain is scheduled by Theorem 2.1 (certified IC-optimal);
+2. a bare dag small enough for exhaustive search is scheduled by
+   :func:`~repro.core.optimality.find_ic_optimal_schedule` (certified
+   IC-optimal, or certified *non-existent*);
+3. otherwise a greedy heuristic is used (no certificate).
+
+The returned :class:`SchedulingResult` says which path was taken, so
+callers (benchmarks, the simulator) can report certification status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exceptions import OptimalityError
+from .composition import CompositionChain, linear_composition_schedule
+from .dag import ComputationDag, Node
+from .execution import ExecutionState
+from .optimality import find_ic_optimal_schedule
+from .schedule import Schedule
+
+__all__ = ["Certificate", "SchedulingResult", "schedule_dag", "greedy_schedule"]
+
+
+class Certificate(Enum):
+    """How the returned schedule's quality is certified."""
+
+    #: IC-optimal by Theorem 2.1 applied to a ▷-linear composition.
+    COMPOSITION = "composition"
+    #: IC-optimal by Theorem 2.1 within topological-cut segments (the
+    #: Table 1 alternating compositions).
+    SEGMENTED = "segmented"
+    #: IC-optimal by exhaustive search against the max profile.
+    EXHAUSTIVE = "exhaustive"
+    #: Exhaustive search proved no IC-optimal schedule exists; the
+    #: returned schedule is the greedy one.
+    NONE_EXISTS = "none-exists"
+    #: Dag too large for exhaustive search; greedy heuristic, no claim.
+    HEURISTIC = "heuristic"
+
+
+@dataclass
+class SchedulingResult:
+    """A schedule together with its optimality certificate."""
+
+    schedule: Schedule
+    certificate: Certificate
+
+    @property
+    def ic_optimal(self) -> bool:
+        """True when the schedule is certified IC-optimal."""
+        return self.certificate in (
+            Certificate.COMPOSITION,
+            Certificate.SEGMENTED,
+            Certificate.EXHAUSTIVE,
+        )
+
+
+def greedy_schedule(dag: ComputationDag, name: str = "greedy") -> Schedule:
+    """A deterministic greedy schedule: at each step execute the
+    eligible node that renders the most new nodes ELIGIBLE, breaking
+    ties by larger out-degree, then by insertion order.
+
+    Runs nonsinks first (sinks can never help), so its profile weakly
+    dominates naive orders; it carries no optimality certificate.
+    """
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    state = ExecutionState(dag)
+    order: list[Node] = []
+    remaining_nonsinks = sum(1 for v in dag.nodes if not dag.is_sink(v))
+    while remaining_nonsinks:
+        best: Node | None = None
+        best_key: tuple[int, int, int] | None = None
+        for v in state.eligible:
+            if dag.is_sink(v):
+                continue
+            newly = sum(
+                1
+                for c in dag.children(v)
+                if all(p == v or state.is_executed(p) for p in dag.parents(c))
+            )
+            key = (-newly, -dag.outdegree(v), index[v])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = v
+        assert best is not None, "acyclic dag always has an eligible nonsink"
+        state.execute(best)
+        order.append(best)
+        remaining_nonsinks -= 1
+    order.extend(v for v in dag.nodes if dag.is_sink(v))
+    return Schedule(dag, order, name=name)
+
+
+def schedule_dag(
+    target: ComputationDag | CompositionChain,
+    exhaustive_limit: int = 24,
+    state_budget: int = 500_000,
+) -> SchedulingResult:
+    """Schedule ``target`` with the strongest available certificate.
+
+    Parameters
+    ----------
+    target:
+        Either a :class:`CompositionChain` (preferred — carries its own
+        decomposition certificate) or a bare :class:`ComputationDag`.
+    exhaustive_limit:
+        Maximum number of nonsinks for which exhaustive search is
+        attempted on bare dags.
+    state_budget:
+        Ideal-state cap for the exhaustive search; if exceeded the
+        greedy fallback is used.
+    """
+    if isinstance(target, CompositionChain):
+        # each certification level is checked once; the builder is then
+        # invoked unchecked to avoid recomputing block profiles
+        if target.is_priority_linear():
+            sched = linear_composition_schedule(
+                target, require_priority_chain=False
+            )
+            return SchedulingResult(sched, Certificate.COMPOSITION)
+        reordered = target.priority_reordered()
+        if reordered.is_priority_linear():
+            sched = linear_composition_schedule(
+                reordered, require_priority_chain=False
+            )
+            return SchedulingResult(sched, Certificate.COMPOSITION)
+        if target.segmented_priority_linear():
+            sched = linear_composition_schedule(
+                target, require_priority_chain=False
+            )
+            return SchedulingResult(sched, Certificate.SEGMENTED)
+        if reordered.segmented_priority_linear():
+            sched = linear_composition_schedule(
+                reordered, require_priority_chain=False
+            )
+            return SchedulingResult(sched, Certificate.SEGMENTED)
+        # Chain fails ▷-linearity even segment-wise: fall through to
+        # treating the composite dag directly.
+        target = target.dag
+
+    dag = target
+    n_nonsinks = sum(1 for v in dag.nodes if not dag.is_sink(v))
+    if n_nonsinks <= exhaustive_limit:
+        try:
+            sched = find_ic_optimal_schedule(dag, state_budget=state_budget)
+        except OptimalityError:
+            sched = None
+        else:
+            if sched is not None:
+                return SchedulingResult(sched, Certificate.EXHAUSTIVE)
+            return SchedulingResult(
+                greedy_schedule(dag), Certificate.NONE_EXISTS
+            )
+    return SchedulingResult(greedy_schedule(dag), Certificate.HEURISTIC)

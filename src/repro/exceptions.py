@@ -1,0 +1,94 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DagStructureError",
+    "CycleError",
+    "ScheduleError",
+    "CompositionError",
+    "PriorityError",
+    "OptimalityError",
+    "ClusteringError",
+    "SimulationError",
+    "ComputeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DagStructureError(ReproError):
+    """A dag operation received structurally invalid input.
+
+    Examples: adding an arc whose endpoint is not a node, referencing a
+    node that does not exist, or building a dag from inconsistent data.
+    """
+
+
+class CycleError(DagStructureError):
+    """An operation would create (or detected) a directed cycle.
+
+    Computation-dags must be acyclic; a cycle means no valid execution
+    order exists.
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule is invalid for its dag.
+
+    Raised when a schedule repeats or omits nodes, or executes a node
+    before all of its parents.
+    """
+
+
+class CompositionError(ReproError):
+    """A dag composition request is malformed.
+
+    Examples: mismatched sink/source set sizes, merging nodes that are
+    not sinks/sources of the respective operands, or requesting a
+    Theorem 2.1 schedule for a composition whose priority chain fails.
+    """
+
+
+class PriorityError(ReproError):
+    """A priority (▷) query received invalid input.
+
+    Raised for example when a dag involved in the query does not admit
+    an IC-optimal schedule, so eq. (2.1) is undefined for it.
+    """
+
+
+class OptimalityError(ReproError):
+    """An optimality computation cannot be carried out.
+
+    Raised for instance when exhaustive search is requested on a dag
+    too large for the configured state budget.
+    """
+
+
+class ClusteringError(ReproError):
+    """A task-clustering (granularity) request is invalid.
+
+    Examples: cluster maps that do not cover the dag, clusters that
+    would make the quotient graph cyclic, or coarsening factors that do
+    not divide the structure.
+    """
+
+
+class SimulationError(ReproError):
+    """The IC server/client simulation received invalid configuration."""
+
+
+class ComputeError(ReproError):
+    """A value-level dag execution failed.
+
+    Raised when task semantics are inconsistent with the dag structure
+    (e.g. a node function receives the wrong number of inputs).
+    """

@@ -1,0 +1,26 @@
+"""The paper's dag families: trees and diamonds (Section 3), meshes
+(Section 4), butterfly networks (Section 5), parallel-prefix
+(Section 6.1), DLT dags (Section 6.2.1), graph-paths (Section 6.2.2),
+and the matrix-multiply dag (Section 7)."""
+
+from . import (
+    butterfly_net,
+    diamond,
+    dlt,
+    matmul_dag,
+    mesh,
+    paths,
+    prefix,
+    trees,
+)
+
+__all__ = [
+    "butterfly_net",
+    "diamond",
+    "dlt",
+    "matmul_dag",
+    "mesh",
+    "paths",
+    "prefix",
+    "trees",
+]

@@ -1,0 +1,213 @@
+"""Butterfly-structured dags (Section 5, Figs. 8–10).
+
+The *d-dimensional butterfly network* ``B_d`` has ``d + 1`` levels of
+``2^d`` nodes; node ``(level, r)`` feeds ``(level+1, r)`` and
+``(level+1, r XOR 2^level)``.  ``B_1`` is the butterfly building block
+``B`` itself, and ``B_d`` is an iterated composition of copies of ``B``
+(Fig. 10) — one copy per pair ``{r, r XOR 2^level}`` per level
+transition.  Since ``B ▷ B``, every such composition is ▷-linear and
+admits an IC-optimal schedule; per [23] a schedule is IC-optimal *iff*
+it executes the two sources of each copy of ``B`` consecutively.
+
+:func:`comparator_network_chain` generalizes the construction to any
+multi-stage network of 2-input/2-output blocks over ``n`` wires — this
+covers the comparator sorting networks of Section 5.2 (each stage is a
+perfect or partial matching of the wires), including the bitonic
+sorter of :func:`bitonic_stages`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+from ..blocks.butterfly import (
+    bsnk,
+    bsrc,
+    butterfly_block,
+    butterfly_block_schedule,
+)
+
+__all__ = [
+    "bf_node",
+    "butterfly_dag",
+    "butterfly_chain",
+    "comparator_network_chain",
+    "bitonic_stages",
+    "odd_even_merge_stages",
+    "paired_schedule_orders",
+]
+
+
+def bf_node(level: int, row: int) -> Node:
+    """Label of the butterfly-network node at ``(level, row)``."""
+    return (level, row)
+
+
+def butterfly_dag(d: int) -> ComputationDag:
+    """The d-dimensional butterfly network ``B_d`` as a bare dag."""
+    if d < 1:
+        raise DagStructureError(f"butterfly dimension must be >= 1, got {d}")
+    g = ComputationDag(name=f"B_{d}")
+    n = 1 << d
+    for lv in range(d):
+        bit = 1 << lv
+        for r in range(n):
+            g.add_arc(bf_node(lv, r), bf_node(lv + 1, r))
+            g.add_arc(bf_node(lv, r), bf_node(lv + 1, r ^ bit))
+    return g
+
+
+def comparator_network_chain(
+    n_wires: int,
+    stages: Sequence[Sequence[tuple[int, int]]],
+    name: str = "network",
+) -> CompositionChain:
+    """A multi-stage network of butterfly blocks over ``n_wires`` wires.
+
+    ``stages[s]`` lists the wire pairs ``(i, j)`` (``i != j``) coupled
+    by a 2-input block at stage ``s``; each wire may appear in at most
+    one pair per stage.  Wires not mentioned in a stage pass through
+    *implicitly* — the resulting dag has a node per (level, wire) only
+    where a block touches the wire, and a wire's value node is simply
+    reused by the next block that reads it.
+
+    Blocks are attached level by level (same-level blocks via sum steps
+    when disjoint from everything built so far).  Node labels are
+    ``(level, wire)`` with ``level = s + 1`` for outputs of stage ``s``
+    and ``(0, wire)`` for primal inputs.
+    """
+    if n_wires < 2:
+        raise DagStructureError("a network needs at least 2 wires")
+    # current producer label per wire
+    current: dict[int, Node] = {}
+    chain: CompositionChain | None = None
+    for s, stage in enumerate(stages):
+        used: set[int] = set()
+        for i, j in stage:
+            if i == j or not (0 <= i < n_wires and 0 <= j < n_wires):
+                raise DagStructureError(f"bad wire pair ({i}, {j})")
+            if i in used or j in used:
+                raise DagStructureError(
+                    f"wire used twice in stage {s}: ({i}, {j})"
+                )
+            used.update((i, j))
+            block = butterfly_block()
+            sched = butterfly_block_schedule(block)
+            merge: list[tuple[Node, Node]] = []
+            labels: dict[Node, Node] = {
+                bsnk(0): (s + 1, i),
+                bsnk(1): (s + 1, j),
+            }
+            for src, wire in ((bsrc(0), i), (bsrc(1), j)):
+                if wire in current:
+                    merge.append((current[wire], src))
+                else:
+                    labels[src] = (0, wire)
+            if chain is None:
+                chain = CompositionChain(
+                    block, sched, name=name, labels=labels
+                )
+            else:
+                chain.compose_with(
+                    block, sched, merge_pairs=merge, labels=labels
+                )
+            current[i] = (s + 1, i)
+            current[j] = (s + 1, j)
+    if chain is None:
+        raise DagStructureError("network has no blocks")
+    return chain
+
+
+def butterfly_chain(d: int) -> CompositionChain:
+    """``B_d`` as the iterated ▷-linear composition of butterfly
+    blocks of Fig. 10 (node labels match :func:`butterfly_dag`)."""
+    if d < 1:
+        raise DagStructureError(f"butterfly dimension must be >= 1, got {d}")
+    n = 1 << d
+    stages = [
+        [(r, r | (1 << lv)) for r in range(n) if not r & (1 << lv)]
+        for lv in range(d)
+    ]
+    return comparator_network_chain(n, stages, name=f"B_{d}")
+
+
+def bitonic_stages(n_wires: int) -> list[list[tuple[int, int]]]:
+    """The comparator stages of Batcher's bitonic sorting network on
+    ``n_wires = 2^k`` wires.
+
+    Phase ``p = 1..k`` contains sub-stages with comparators joining
+    wires that differ in bit ``j`` for ``j = p-1 .. 0``; the sort
+    direction per comparator is a property of the *transformation*
+    (see :mod:`repro.compute.sorting`), not of the dag structure
+    returned here.
+    """
+    k = n_wires.bit_length() - 1
+    if 1 << k != n_wires or k < 1:
+        raise DagStructureError(
+            f"bitonic network needs a power-of-two wire count, got {n_wires}"
+        )
+    stages: list[list[tuple[int, int]]] = []
+    for p in range(1, k + 1):
+        for j in range(p - 1, -1, -1):
+            bit = 1 << j
+            stages.append(
+                [(r, r | bit) for r in range(n_wires) if not r & bit]
+            )
+    return stages
+
+
+def odd_even_merge_stages(n_wires: int) -> list[list[tuple[int, int]]]:
+    """Comparator stages of Batcher's odd-even merge sort on
+    ``n_wires = 2^k`` wires — the second classic comparator network of
+    §5.2's family (all ascending comparators, unlike the bitonic
+    network's direction-alternating ones).
+
+    Recursive structure: sort both halves, then odd-even merge; here
+    flattened into stages of disjoint pairs so the network composes
+    from butterfly blocks like any other.
+    """
+    k = n_wires.bit_length() - 1
+    if 1 << k != n_wires or k < 1:
+        raise DagStructureError(
+            f"odd-even merge sort needs a power-of-two wire count, got {n_wires}"
+        )
+    stages: list[list[tuple[int, int]]] = []
+    # Knuth's iterative formulation: each (p, k) pass touches every
+    # wire at most once, so it is one network stage.
+    p = 1
+    while p < n_wires:
+        k = p
+        while k >= 1:
+            stage: list[tuple[int, int]] = []
+            for j in range(k % p, n_wires - k, 2 * k):
+                for i in range(min(k, n_wires - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        stage.append((i + j, i + j + k))
+            if stage:
+                stages.append(stage)
+            k //= 2
+        p *= 2
+    return stages
+
+
+def paired_schedule_orders(schedule: Schedule, chain: CompositionChain) -> bool:
+    """True iff ``schedule`` executes the two sources of every butterfly
+    block copy in ``chain`` in consecutive steps — the [23]
+    characterization of IC-optimality for iterated compositions of B.
+
+    Only block *nonsink* pairs are constrained (the final level's sinks
+    are free).
+    """
+    position = {v: i for i, v in enumerate(schedule.order)}
+    dag = schedule.dag
+    for rec in chain.blocks:
+        pair = [rec.node_map[bsrc(0)], rec.node_map[bsrc(1)]]
+        if any(dag.is_sink(v) for v in pair):
+            continue
+        if abs(position[pair[0]] - position[pair[1]]) != 1:
+            return False
+    return True

@@ -1,0 +1,217 @@
+"""Diamond dags and alternating expansion-reduction compositions
+(Section 3, Figs. 2–4, Table 1).
+
+A *diamond dag* composes an out-tree T (the expansive phase) with an
+in-tree T' (the reductive phase) by merging sinks of T with sources of
+T' — Fig. 2.  Since ``V ▷ V``, ``V ▷ Λ`` and ``Λ ▷ Λ``, every diamond
+is a ▷-linear composition of type ``V ⇑ ··· ⇑ V ⇑ Λ ⇑ ··· ⇑ Λ`` and
+admits the Theorem 2.1 schedule: run the out-tree IC-optimally, then
+the in-tree IC-optimally.
+
+The broader family of Fig. 4 / Table 1 alternates out-trees and
+in-trees; :class:`AlternatingBuilder` assembles any of the three
+composition types in the table (and Fig. 4's unmatched-leaf-count
+variants, since merges may cover only a subset of available leaves).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..exceptions import CompositionError, DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import Node
+from .trees import (
+    attach_in_tree,
+    attach_out_tree,
+    complete_tree_children,
+    validate_tree_spec,
+)
+
+__all__ = [
+    "diamond_chain",
+    "complete_diamond",
+    "AlternatingBuilder",
+    "table1_row1",
+    "table1_row2",
+    "table1_row3",
+]
+
+
+def _tree_leaves(
+    children: Mapping[Node, Sequence[Node]], root: Node
+) -> list[Node]:
+    """Leaves of a tree spec, left to right."""
+    internal = set(validate_tree_spec(children, root))
+    out: list[Node] = []
+
+    def walk(v: Node) -> None:
+        kids = children.get(v, ())
+        if v not in internal:
+            out.append(v)
+            return
+        for c in kids:
+            walk(c)
+
+    walk(root)
+    return out
+
+
+def diamond_chain(
+    out_children: Mapping[Node, Sequence[Node]],
+    out_root: Node,
+    in_children: Mapping[Node, Sequence[Node]] | None = None,
+    in_root: Node | None = None,
+    name: str = "diamond",
+) -> CompositionChain:
+    """Compose an out-tree with an in-tree into a diamond dag (Fig. 2).
+
+    The out-tree's leaves are merged, left to right, with the
+    in-tree's leaves.  When ``in_children`` is omitted the in-tree is
+    the dual of the out-tree (the Fig. 3 simplification): each tree
+    node ``v`` reappears as ``("acc", v)``.
+
+    The leaf counts must match exactly; for partial merges use
+    :class:`AlternatingBuilder`, which permits them.
+    """
+    out_leaves = _tree_leaves(out_children, out_root)
+    if in_children is None:
+        in_children = {
+            ("acc", v): [("acc", c) for c in kids]
+            for v, kids in out_children.items()
+        }
+        in_root = ("acc", out_root)
+        in_leaves = [("acc", v) for v in out_leaves]
+    else:
+        if in_root is None:
+            raise DagStructureError("in_root is required with in_children")
+        in_leaves = _tree_leaves(in_children, in_root)
+    if len(in_leaves) != len(out_leaves):
+        raise CompositionError(
+            f"diamond requires matching leaf counts; out-tree has "
+            f"{len(out_leaves)}, in-tree has {len(in_leaves)}"
+        )
+    chain = attach_out_tree(None, out_children, out_root, name=name)
+    leaf_merge = dict(zip(in_leaves, out_leaves))
+    return attach_in_tree(chain, in_children, in_root, leaf_merge, name=name)
+
+
+def complete_diamond(depth: int, arity: int = 2) -> CompositionChain:
+    """The regular diamond of Fig. 2: complete ``arity``-ary out-tree
+    of the given depth composed with its dual in-tree."""
+    children, root = complete_tree_children(depth, arity)
+    return diamond_chain(
+        children, root, name=f"D(d={depth},a={arity})"
+    )
+
+
+class AlternatingBuilder:
+    """Assemble the alternating expansion-reduction compositions of
+    Fig. 4 / Table 1.
+
+    Phases are appended left to right (upstream to downstream):
+
+    * :meth:`expand` appends an out-tree whose root merges with one
+      pending sink (or starts a fresh source);
+    * :meth:`reduce` appends an in-tree whose leaves merge with pending
+      sinks (leaf counts need not match — extra out-tree leaves stay
+      sinks, extra in-tree leaves become fresh sources, as in the
+      rightmost dag of Fig. 4).
+
+    The pending-sink pool is consumed oldest-first.  ``build()``
+    returns the accumulated :class:`CompositionChain`; since each phase
+    contributes only V blocks then Λ blocks, and
+    ``V ▷ V ▷ Λ ▷ Λ`` plus the topological forcing argument of
+    Section 3.1 apply, the result admits an IC-optimal schedule —
+    verified in the tests for all three Table 1 types.
+    """
+
+    def __init__(self, name: str = "alternating") -> None:
+        self.name = name
+        self._chain: CompositionChain | None = None
+        self._phase = 0
+
+    def _tag(self, spec: Mapping[Node, Sequence[Node]], root: Node):
+        """Namespace a phase's tree labels as ``(phase_index, label)``."""
+        tag = self._phase
+        self._phase += 1
+        children = {
+            (tag, v): [(tag, c) for c in kids] for v, kids in spec.items()
+        }
+        return children, (tag, root), tag
+
+    def expand(
+        self,
+        children: Mapping[Node, Sequence[Node]],
+        root: Node,
+    ) -> "AlternatingBuilder":
+        """Append an out-tree phase (``T^(out)``)."""
+        tagged, troot, _ = self._tag(children, root)
+        if self._chain is None:
+            self._chain = attach_out_tree(None, tagged, troot, name=self.name)
+        else:
+            sinks = self._chain.dag.sinks
+            merge = sinks[0] if sinks else None
+            self._chain = attach_out_tree(
+                self._chain, tagged, troot, root_merge=merge, name=self.name
+            )
+        return self
+
+    def reduce(
+        self,
+        children: Mapping[Node, Sequence[Node]],
+        root: Node,
+    ) -> "AlternatingBuilder":
+        """Append an in-tree phase (``T^(in)``)."""
+        tagged, troot, _ = self._tag(children, root)
+        if self._chain is None:
+            self._chain = attach_in_tree(None, tagged, troot, name=self.name)
+            return self
+        leaves = _tree_leaves(tagged, troot)
+        pending = self._chain.dag.sinks
+        leaf_merge = dict(zip(leaves, pending))
+        self._chain = attach_in_tree(
+            self._chain, tagged, troot, leaf_merge, name=self.name
+        )
+        return self
+
+    def build(self) -> CompositionChain:
+        """The accumulated composition chain."""
+        if self._chain is None:
+            raise CompositionError("no phases were added")
+        return self._chain
+
+
+def table1_row1(n: int, depth: int = 2, arity: int = 2) -> CompositionChain:
+    """Table 1 row 1: ``D_0 ⇑ D_1 ⇑ ··· ⇑ D_n`` — a chain of ``n + 1``
+    regular diamonds, each of the given depth/arity."""
+    children, root = complete_tree_children(depth, arity)
+    b = AlternatingBuilder(name=f"D^{n + 1}")
+    for _ in range(n + 1):
+        b.expand(children, root)
+        b.reduce(children, root)
+    return b.build()
+
+
+def table1_row2(n: int, depth: int = 2, arity: int = 2) -> CompositionChain:
+    """Table 1 row 2: ``T_0^(in) ⇑ D_1 ⇑ ··· ⇑ D_n`` — a leading
+    in-tree (whose sink feeds the first diamond's source)."""
+    children, root = complete_tree_children(depth, arity)
+    b = AlternatingBuilder(name=f"Tin⇑D^{n}")
+    b.reduce(children, root)
+    for _ in range(n):
+        b.expand(children, root)
+        b.reduce(children, root)
+    return b.build()
+
+
+def table1_row3(n: int, depth: int = 2, arity: int = 2) -> CompositionChain:
+    """Table 1 row 3: ``D_1 ⇑ ··· ⇑ D_n ⇑ T_0^(out)`` — a trailing
+    out-tree hanging off the last diamond's sink."""
+    children, root = complete_tree_children(depth, arity)
+    b = AlternatingBuilder(name=f"D^{n}⇑Tout")
+    for _ in range(n):
+        b.expand(children, root)
+        b.reduce(children, root)
+    b.expand(children, root)
+    return b.build()

@@ -1,0 +1,159 @@
+"""Discrete Laplace Transform dags (Section 6.2.1, Figs. 13–15).
+
+The n-dimensional DLT evaluates ``y_k(ω) = Σ_i x_i ω^{ik}``.  Both
+algorithms in the paper accumulate the terms with an n-source binary
+in-tree; they differ in how the powers ``ω^{ik}`` are generated:
+
+* ``L_n`` (Fig. 13 left) generates ``⟨1, ω^k, ..., ω^{(n-1)k}⟩`` with
+  an n-input parallel-prefix dag: ``L_n = P_n ⇑ T_n``.  Facts
+  ``N_s ▷ N_t``, ``N_s ▷ Λ`` and ``Λ ▷ Λ`` make the whole chain
+  ▷-linear, so Theorem 2.1 gives: run ``P_n`` IC-optimally, then
+  ``T_n`` IC-optimally.
+* ``L'_n`` (Fig. 15) generates the powers with a ternary out-tree
+  built from the 3-prong Vee dag ``V₃`` (Fig. 14): each tree node
+  covers a contiguous index range and splits it in (up to) three.
+  The chain validates ``V₃ ▷ V₃ ▷ Λ ▷ Λ``, so ``L'_n`` is ▷-linear
+  as well.
+
+The *coarsened* ``L_8`` of Fig. 13 (right) — prefix output feeding a
+shallower in-tree whose sources each absorb a pair of terms — is
+produced by :func:`coarsened_dlt_chain`.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import Node
+from .prefix import prefix_chain, prefix_levels, px_node
+from .trees import attach_in_tree, attach_out_tree
+
+__all__ = [
+    "balanced_tree_children",
+    "dlt_prefix_chain",
+    "dlt_tree_chain",
+    "coarsened_dlt_chain",
+]
+
+
+def balanced_tree_children(
+    n_leaves: int, arity: int, tag: str = "t"
+) -> tuple[dict[Node, list[Node]], Node, list[Node]]:
+    """A balanced ``arity``-ary tree over leaves ``0..n_leaves-1``.
+
+    Internal nodes are labeled ``(tag, lo, hi)`` for the index range
+    they cover; leaves are plain integers.  Returns
+    ``(children, root, leaves)``.  Ranges are split into ``arity``
+    near-equal parts (empty parts dropped), so every internal node has
+    between 2 and ``arity`` children — except that a 1-leaf tree is a
+    single leaf, which is rejected (no internal nodes).
+    """
+    if n_leaves < 2:
+        raise DagStructureError("balanced tree needs >= 2 leaves")
+    children: dict[Node, list[Node]] = {}
+
+    def build(lo: int, hi: int) -> Node:
+        if hi - lo == 1:
+            return lo
+        node = (tag, lo, hi)
+        width = hi - lo
+        parts = min(arity, width)
+        kids: list[Node] = []
+        for p in range(parts):
+            a = lo + (width * p) // parts
+            b = lo + (width * (p + 1)) // parts
+            if b > a:
+                kids.append(build(a, b))
+        children[node] = kids
+        return node
+
+    root = build(0, n_leaves)
+    return children, root, list(range(n_leaves))
+
+
+def dlt_prefix_chain(n: int, name: str | None = None) -> CompositionChain:
+    """``L_n = P_n ⇑ T_n`` (Fig. 13, left).
+
+    The prefix dag's level-``L`` outputs (columns ``0..n-1``) merge
+    with the n sources of a balanced binary accumulation in-tree whose
+    internal nodes are labeled ``("acc", lo, hi)``.
+    """
+    chain = prefix_chain(n)
+    chain.name = name or f"L_{n}"
+    top = prefix_levels(n)
+    children, root, leaves = balanced_tree_children(n, 2, tag="acc")
+    leaf_merge = {i: px_node(top, i) for i in leaves}
+    return attach_in_tree(chain, children, root, leaf_merge, name=chain.name)
+
+
+def dlt_tree_chain(n: int, name: str | None = None) -> CompositionChain:
+    """``L'_n`` (Fig. 15): ternary power-generation out-tree (V₃
+    blocks, Fig. 14) composed with a binary accumulation in-tree.
+
+    The out-tree covers index range ``[0, n)`` with internal nodes
+    ``("pow", lo, hi)`` and leaves ``("w", i)`` (the task that delivers
+    ``ω^{ik}``); the in-tree's source *i* merges with leaf
+    ``("w", i)``.
+    """
+    pow_children, pow_root, _ = balanced_tree_children(n, 3, tag="pow")
+    # Rename integer leaves to ("w", i) so they cannot collide with the
+    # in-tree's labels.
+    pow_children = {
+        v: [c if not isinstance(c, int) else ("w", c) for c in kids]
+        for v, kids in pow_children.items()
+    }
+    chain = attach_out_tree(
+        None, pow_children, pow_root, name=name or f"L'_{n}"
+    )
+    acc_children, acc_root, leaves = balanced_tree_children(n, 2, tag="acc")
+    leaf_merge = {i: ("w", i) for i in leaves}
+    return attach_in_tree(
+        chain, acc_children, acc_root, leaf_merge, name=chain.name
+    )
+
+
+def coarsened_dlt_chain(
+    n: int, group: int = 2, name: str | None = None
+) -> CompositionChain:
+    """The coarsened ``L_n`` of Fig. 13 (right): each in-tree source
+    absorbs ``group`` consecutive prefix outputs, so the accumulation
+    tree has ``n / group`` coarser sources.
+
+    Concretely the in-tree is balanced binary over ``n // group``
+    leaves, and leaf *g* is a ``Λ_group`` node merging prefix outputs
+    ``g*group .. (g+1)*group - 1`` (for ``group == 2`` this is just the
+    bottom in-tree level fused into its parents — same dag, coarser
+    task reading).  Structurally we realize it as a balanced binary
+    tree whose *leaf-level* nodes have ``group`` children each.
+    """
+    if group < 2 or n % group:
+        raise DagStructureError(
+            f"group must be >= 2 and divide n; got n={n}, group={group}"
+        )
+    chain = prefix_chain(n)
+    chain.name = name or f"L_{n}/coarse{group}"
+    top = prefix_levels(n)
+    n_coarse = n // group
+    if n_coarse == 1:
+        # Single Λ_group absorbing every output.
+        children: dict[Node, list[Node]] = {
+            ("acc", 0, n): [("col", i) for i in range(n)]
+        }
+        root: Node = ("acc", 0, n)
+    else:
+        children, root, coarse_leaves = balanced_tree_children(
+            n_coarse, 2, tag="acc"
+        )
+        # Replace each coarse leaf g by a Λ_group node over its member
+        # columns (labels kept disjoint from the coarse-leaf integers).
+        rename = {g: ("grp", g) for g in coarse_leaves}
+        children = {
+            p: [rename.get(k, k) for k in kids]
+            for p, kids in children.items()
+        }
+        for g in coarse_leaves:
+            children[("grp", g)] = [
+                ("col", i) for i in range(g * group, (g + 1) * group)
+            ]
+    leaf_merge = {("col", i): px_node(top, i) for i in range(n)}
+    return attach_in_tree(chain, children, root, leaf_merge, name=chain.name)

@@ -1,0 +1,273 @@
+"""The matrix-multiplication dag M (Section 7, Fig. 17).
+
+Multiplying 2×2 (block) matrices
+
+    ( A B )   ( E F )     ( AE+BG  AF+BH )
+    ( C D ) x ( G H )  =  ( CE+DG  CF+DH )
+
+yields a dag with 8 operand-load sources, 8 product tasks and 4 sum
+tasks.  The products split into two bipartite cycle-dags ``C₄`` — one
+over operands {A, E, C, F} producing AE, CE, CF, AF and one over
+{B, G, D, H} producing BG, DG, DH, BH — composed with four Λ blocks
+for the sums: ``M = C₄ ⇑ C₄ ⇑ Λ ⇑ Λ ⇑ Λ ⇑ Λ``.  With
+``C₄ ▷ C₄ ▷ Λ ▷ Λ`` the chain is ▷-linear.
+
+**On the §7 boxed schedule.**  The box says: "compute the eight
+products in the order AE, CE, CF, AF, BG, DG, DH, BH, then the four
+sums in any order".  Reproduction finding (see EXPERIMENTS.md, E-F17):
+executing the *product tasks* in that verbatim order is **not**
+IC-optimal under the paper's own quality model — pairing products by
+their sums (AE, BG, CE, DG, ...) pointwise-dominates it, as Theorem 2.1
+prescribes.  The stated order is, however, exactly the order in which
+the products are *rendered ELIGIBLE* when the operand loads run in the
+cycle orders A, E, C, F and B, G, D, H.  :func:`paper_schedule` returns
+the Theorem 2.1-consistent schedule whose load phase renders products
+eligible in the paper's stated order; :func:`verbatim_box_schedule`
+returns the literal reading so the discrepancy can be measured.
+(The paper's displayed product matrix also contains the typo
+``CF + BH`` for the bottom-right entry; the dag uses the correct
+``CF + DH``.)
+
+Because identity (7.1) never commutes multiplications, it holds for
+block matrices, giving the recursive n×n algorithm;
+:func:`recursive_matmul_dag` expands the recursion to scalar
+granularity (the value-level executor is
+:mod:`repro.compute.matmul`).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+from ..blocks.cycle import csnk, csrc, cycle_dag, cycle_schedule
+from ..blocks.vee_lambda import SINK, lambda_dag, lambda_schedule, source
+
+__all__ = [
+    "OPERANDS",
+    "PRODUCTS",
+    "SUMS",
+    "LOAD_ORDER",
+    "matmul_chain",
+    "paper_schedule",
+    "verbatim_box_schedule",
+    "recursive_matmul_dag",
+    "STRASSEN_PRODUCTS",
+    "STRASSEN_OUTPUTS",
+    "strassen_dag",
+]
+
+#: operand loads, in the cycle orders used by the two C₄ blocks.
+OPERANDS = (("E", "C", "F", "A"), ("G", "D", "H", "B"))
+#: product tasks as completed by the cycle orders above.
+PRODUCTS = (("AE", "CE", "CF", "AF"), ("BG", "DG", "DH", "BH"))
+#: sum tasks: result entry -> its two product parents.
+SUMS = {
+    "r00": ("AE", "BG"),
+    "r10": ("CE", "DG"),
+    "r11": ("CF", "DH"),
+    "r01": ("AF", "BH"),
+}
+
+
+def matmul_chain() -> CompositionChain:
+    """The 20-node dag M as the ▷-linear chain
+    ``C₄ ⇑ C₄ ⇑ Λ ⇑ Λ ⇑ Λ ⇑ Λ``.
+
+    Cycle block wiring: with sources in cycle order ``E, C, F, A``,
+    sink *j* has parents ``src_j`` and ``src_{j-1 mod 4}``, so the
+    sinks are exactly ``AE, CE, CF, AF`` (and symmetrically for the
+    second block).
+    """
+    chain: CompositionChain | None = None
+    for ops, prods in zip(OPERANDS, PRODUCTS):
+        block = cycle_dag(4)
+        sched = cycle_schedule(block)
+        labels: dict[Node, Node] = {}
+        for i, op in enumerate(ops):
+            labels[csrc(i)] = op
+        # sink j's parents are src_{j-1}, src_j: product of those operands
+        for j, prod in enumerate(prods):
+            labels[csnk(j)] = prod
+        if chain is None:
+            chain = CompositionChain(block, sched, name="M", labels=labels)
+        else:
+            chain.compose_with(block, sched, merge_pairs=[], labels=labels)
+    assert chain is not None
+    for entry, (p, q) in SUMS.items():
+        block = lambda_dag(2)
+        sched = lambda_schedule(block)
+        chain.compose_with(
+            block,
+            sched,
+            merge_pairs=[(p, source(0)), (q, source(1))],
+            labels={SINK: entry},
+        )
+    return chain
+
+
+#: load order that renders products ELIGIBLE in the §7 box's order.
+LOAD_ORDER = ("A", "E", "C", "F", "B", "G", "D", "H")
+
+
+def paper_schedule(dag: ComputationDag) -> Schedule:
+    """The IC-optimal schedule consistent with the §7 box.
+
+    Loads run in the cycle orders A, E, C, F and B, G, D, H — rendering
+    the products ELIGIBLE in exactly the box's order AE, CE, CF, AF,
+    BG, DG, DH, BH — then the products run paired by their sums
+    (the Theorem 2.1 Λ-phase order), then the sums.
+    """
+    order: list[Node] = list(LOAD_ORDER)
+    for p, q in SUMS.values():
+        order.extend((p, q))
+    order.extend(SUMS)
+    return Schedule(dag, order, name="paper-§7")
+
+
+def verbatim_box_schedule(dag: ComputationDag) -> Schedule:
+    """The literal reading of the §7 box: loads, then the product
+    *tasks executed* in the order AE, CE, CF, AF, BG, DG, DH, BH, then
+    the sums.  Benchmarked in E-F17: its eligibility profile is
+    pointwise dominated by :func:`paper_schedule`'s at steps 10-14 —
+    i.e. the verbatim reading is not IC-optimal."""
+    order: list[Node] = list(LOAD_ORDER)
+    for prods in PRODUCTS:
+        order.extend(prods)
+    order.extend(SUMS)
+    return Schedule(dag, order, name="§7-verbatim")
+
+
+def recursive_matmul_dag(k: int) -> ComputationDag:
+    """The full scalar-granularity dag of the recursive n×n algorithm
+    (``n = 2^k``) of Section 7.1.
+
+    Nodes:
+
+    * ``("a", i, j)`` / ``("b", i, j)`` — operand-entry loads;
+    * ``("mul", path, i, j)`` — the scalar product reached through the
+      recursion path ``path`` (a string over the 8 quadrant-product
+      symbols per level);
+    * ``("add", depth, seq, i, j)`` — the entry-wise additions
+      combining quadrant-product pairs at each recursion level.
+
+    Node/arc counts: ``n³`` multiplications, ``n³ - n²`` additions,
+    ``2n²`` loads.  For ``k = 0`` the dag is a single Λ-shaped product.
+    """
+    if k < 0:
+        raise DagStructureError(f"k must be >= 0, got {k}")
+    n = 1 << k
+    dag = ComputationDag(name=f"MM(n={n})")
+    a_handle = {}
+    b_handle = {}
+    for i in range(n):
+        for j in range(n):
+            a_handle[(i, j)] = dag.add_node(("a", i, j))
+            b_handle[(i, j)] = dag.add_node(("b", i, j))
+
+    add_seq = [0]
+
+    def multiply(
+        ah: dict, bh: dict, size: int, path: str
+    ) -> dict:
+        """Return handle: (i, j) -> node producing entry (i, j) of the
+        product of the blocks described by ``ah`` and ``bh``."""
+        if size == 1:
+            node = ("mul", path, 0, 0)
+            dag.add_arc(ah[(0, 0)], node)
+            dag.add_arc(bh[(0, 0)], node)
+            return {(0, 0): node}
+        h = size // 2
+
+        def quad(handle: dict, qi: int, qj: int) -> dict:
+            return {
+                (i, j): handle[(qi * h + i, qj * h + j)]
+                for i in range(h)
+                for j in range(h)
+            }
+
+        A, B = quad(ah, 0, 0), quad(ah, 0, 1)
+        C, D = quad(ah, 1, 0), quad(ah, 1, 1)
+        E, F = quad(bh, 0, 0), quad(bh, 0, 1)
+        G, H = quad(bh, 1, 0), quad(bh, 1, 1)
+        pairs = {
+            (0, 0): (multiply(A, E, h, path + "1"), multiply(B, G, h, path + "2")),
+            (0, 1): (multiply(A, F, h, path + "3"), multiply(B, H, h, path + "4")),
+            (1, 0): (multiply(C, E, h, path + "5"), multiply(D, G, h, path + "6")),
+            (1, 1): (multiply(C, F, h, path + "7"), multiply(D, H, h, path + "8")),
+        }
+        out: dict = {}
+        depth = len(path)
+        for (qi, qj), (p, q) in pairs.items():
+            for i in range(h):
+                for j in range(h):
+                    node = ("add", depth, add_seq[0], i, j)
+                    add_seq[0] += 1
+                    dag.add_arc(p[(i, j)], node)
+                    dag.add_arc(q[(i, j)], node)
+                    out[(qi * h + i, qj * h + j)] = node
+        return out
+
+    multiply(a_handle, b_handle, n, "")
+    return dag
+
+
+#: Strassen's seven products over the quadrants of (7.1)'s operands:
+#: name -> (left-combination, right-combination), each a tuple of
+#: (letter, sign) addends.
+STRASSEN_PRODUCTS = {
+    "P1": ((("A", 1), ("D", 1)), (("E", 1), ("H", 1))),
+    "P2": ((("C", 1), ("D", 1)), (("E", 1),)),
+    "P3": ((("A", 1),), (("F", 1), ("H", -1))),
+    "P4": ((("D", 1),), (("G", 1), ("E", -1))),
+    "P5": ((("A", 1), ("B", 1)), (("H", 1),)),
+    "P6": ((("C", 1), ("A", -1)), (("E", 1), ("F", 1))),
+    "P7": ((("B", 1), ("D", -1)), (("G", 1), ("H", 1))),
+}
+
+#: result quadrants as signed sums of the seven products.
+STRASSEN_OUTPUTS = {
+    "r00": (("P1", 1), ("P4", 1), ("P5", -1), ("P7", 1)),
+    "r01": (("P3", 1), ("P5", 1)),
+    "r10": (("P2", 1), ("P4", 1)),
+    "r11": (("P1", 1), ("P3", 1), ("P2", -1), ("P6", 1)),
+}
+
+
+def strassen_dag() -> ComputationDag:
+    """One level of Strassen's algorithm as a computation-dag — the
+    natural next step through the §7 "gateway to linear-algebraic
+    computations": 8 operand loads, 10 operand-combination tasks, 7
+    products, and 4 output-accumulation tasks (29 nodes vs. dag M's 20,
+    but 7 multiplications instead of 8).
+
+    Nodes: load letters ``A..H``; combination tasks ``("lin", P, side)``
+    for products needing a sum/difference on that side; products
+    ``P1..P7``; outputs ``r00, r01, r10, r11``.
+
+    Unlike M, this dag is *not* a composition of the paper's catalogued
+    blocks (the combination layer has irregular fan-out), so it is a
+    test case for the exhaustive and best-effort schedulers rather than
+    Theorem 2.1 — see ``tests/test_strassen.py`` for what is and is not
+    achievable.
+    """
+    dag = ComputationDag(name="Strassen")
+    for letter in "ABCDEFGH":
+        dag.add_node(letter)
+    for pname, (left, right) in STRASSEN_PRODUCTS.items():
+        operand_nodes = []
+        for side, combo in (("L", left), ("R", right)):
+            if len(combo) == 1:
+                operand_nodes.append(combo[0][0])
+            else:
+                lin = ("lin", pname, side)
+                for letter, _sign in combo:
+                    dag.add_arc(letter, lin)
+                operand_nodes.append(lin)
+        for node in operand_nodes:
+            dag.add_arc(node, pname)
+    for out, combo in STRASSEN_OUTPUTS.items():
+        for pname, _sign in combo:
+            dag.add_arc(pname, out)
+    return dag

@@ -1,0 +1,161 @@
+"""Wavefront (mesh-like) dags (Section 4, Figs. 5–6).
+
+The *out-mesh* of depth ``d`` is the 2-dimensional mesh truncated along
+its diagonal: levels ``0..d`` where level ``k`` holds ``k + 1`` nodes,
+and node ``m`` of level ``k`` feeds nodes ``m`` and ``m + 1`` of level
+``k + 1``.  It models wavefront computations (finite elements, dynamic
+programming, computer-vision arrays).  The *in-mesh* (a pyramid dag
+[8]) is its dual.
+
+Per Fig. 6, the out-mesh is a composition of W-dags with increasing
+numbers of sources (``W_1 ⇑ W_2 ⇑ ··· ⇑ W_d``); since consecutive-
+source execution is IC-optimal for each ``W_s`` and smaller W-dags
+have ▷-priority over larger ones, the out-mesh is a ▷-linear
+composition — its IC-optimal schedule sweeps anti-diagonals left to
+right.  Dually, the in-mesh is ``M_d ⇑ M_{d-1} ⇑ ··· ⇑ M_1`` with
+``M_t ▷ M_s`` for ``t >= s`` (Theorem 2.3 applied to the W-dag facts).
+
+Node labels are ``(level, index)`` with ``0 <= index <= level``; in
+matrix coordinates the node is row ``index``, column
+``level - index``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+from ..blocks.w_m import m_dag, m_schedule, w_dag, w_schedule, wsnk, wsrc
+
+__all__ = [
+    "mesh_node",
+    "out_mesh_chain",
+    "in_mesh_chain",
+    "out_mesh_dag",
+    "in_mesh_dag",
+    "is_out_mesh",
+    "diagonal_schedule",
+    "mesh_levels",
+]
+
+
+def mesh_node(level: int, index: int) -> Node:
+    """The label of mesh node ``index`` on anti-diagonal ``level``."""
+    return (level, index)
+
+
+def out_mesh_chain(depth: int) -> CompositionChain:
+    """The depth-``d`` out-mesh as the ▷-linear chain
+    ``W_1 ⇑ W_2 ⇑ ··· ⇑ W_d`` (Fig. 6, left).
+
+    ``depth >= 1``; the result has ``(d+1)(d+2)/2`` nodes.
+    """
+    if depth < 1:
+        raise DagStructureError(f"out-mesh depth must be >= 1, got {depth}")
+    block = w_dag(1)
+    labels = {
+        wsrc(0): mesh_node(0, 0),
+        wsnk(0): mesh_node(1, 0),
+        wsnk(1): mesh_node(1, 1),
+    }
+    chain = CompositionChain(
+        block, w_schedule(block), name=f"out-mesh(d={depth})", labels=labels
+    )
+    for k in range(2, depth + 1):
+        block = w_dag(k)
+        merge = [(mesh_node(k - 1, m), wsrc(m)) for m in range(k)]
+        labels = {wsnk(j): mesh_node(k, j) for j in range(k + 1)}
+        chain.compose_with(
+            block, w_schedule(block), merge_pairs=merge, labels=labels
+        )
+    return chain
+
+
+def in_mesh_chain(depth: int) -> CompositionChain:
+    """The depth-``d`` in-mesh (pyramid) as the ▷-linear chain
+    ``M_d ⇑ M_{d-1} ⇑ ··· ⇑ M_1`` (Fig. 6, right).
+
+    Node ``(k, m)`` feeds ``(k-1, m-1)`` and ``(k-1, m)`` (where those
+    exist); the apex ``(0, 0)`` is the unique sink.
+    """
+    if depth < 1:
+        raise DagStructureError(f"in-mesh depth must be >= 1, got {depth}")
+    block = m_dag(depth)
+    labels: dict[Node, Node] = {
+        wsrc(i): mesh_node(depth, i) for i in range(depth + 1)
+    }
+    labels.update({wsnk(j): mesh_node(depth - 1, j) for j in range(depth)})
+    chain = CompositionChain(
+        block, m_schedule(block), name=f"in-mesh(d={depth})", labels=labels
+    )
+    for k in range(depth - 1, 0, -1):
+        block = m_dag(k)
+        merge = [(mesh_node(k, i), wsrc(i)) for i in range(k + 1)]
+        labels = {wsnk(j): mesh_node(k - 1, j) for j in range(k)}
+        chain.compose_with(
+            block, m_schedule(block), merge_pairs=merge, labels=labels
+        )
+    return chain
+
+
+def out_mesh_dag(depth: int) -> ComputationDag:
+    """The depth-``d`` out-mesh as a bare dag (no chain record)."""
+    d = ComputationDag(name=f"out-mesh(d={depth})")
+    d.add_node(mesh_node(0, 0))
+    for k in range(depth):
+        for m in range(k + 1):
+            d.add_arc(mesh_node(k, m), mesh_node(k + 1, m))
+            d.add_arc(mesh_node(k, m), mesh_node(k + 1, m + 1))
+    return d
+
+
+def in_mesh_dag(depth: int) -> ComputationDag:
+    """The depth-``d`` in-mesh as a bare dag (dual of the out-mesh)."""
+    return out_mesh_dag(depth).dual(name=f"in-mesh(d={depth})")
+
+
+def mesh_levels(dag: ComputationDag) -> dict[int, list[Node]]:
+    """Group a mesh dag's ``(level, index)`` labels by level."""
+    out: dict[int, list[Node]] = {}
+    for v in dag.nodes:
+        out.setdefault(v[0], []).append(v)
+    for lv in out:
+        out[lv].sort(key=lambda v: v[1])
+    return out
+
+
+def is_out_mesh(dag: ComputationDag) -> bool:
+    """Structural check that ``dag`` is exactly a depth-``d`` out-mesh
+    with canonical ``(level, index)`` labels."""
+    levels = {}
+    for v in dag.nodes:
+        if not (isinstance(v, tuple) and len(v) == 2):
+            return False
+        levels.setdefault(v[0], set()).add(v[1])
+    depth = max(levels, default=-1)
+    for k in range(depth + 1):
+        if levels.get(k) != set(range(k + 1)):
+            return False
+    return dag.same_structure(out_mesh_dag(depth))
+
+
+def diagonal_schedule(dag: ComputationDag, name: str = "by-diagonal") -> Schedule:
+    """The IC-optimal out-mesh/in-mesh schedule: sweep levels in
+    topological order, each anti-diagonal left to right.
+
+    For the out-mesh this is exactly the Theorem 2.1 order of the
+    ``W_1 ⇑ ··· ⇑ W_d`` chain; for the in-mesh, of the
+    ``M_d ⇑ ··· ⇑ M_1`` chain.  Works on any dag labeled
+    ``(level, index)`` whose arcs respect the level order (ascending or
+    descending).
+    """
+    levels = mesh_levels(dag)
+    keys = sorted(levels)
+    # Orientation: out-mesh arcs go low -> high level, in-mesh high -> low.
+    arcs = dag.arcs
+    ascending = (not arcs) or arcs[0][1][0] > arcs[0][0][0]
+    order: list[Node] = []
+    for k in keys if ascending else reversed(keys):
+        order.extend(levels[k])
+    return Schedule(dag, order, name=name)

@@ -1,0 +1,30 @@
+"""The graph-paths computation dag (Section 6.2.2, Fig. 16).
+
+Given an N-node graph via its boolean adjacency matrix A, the
+computation produces the matrix M whose (i, j) entry is the vector
+``⟨β^(1)_{ij}, ..., β^(K)_{ij}⟩`` flagging, for each length
+``k = 1..K``, whether a length-k path joins i and j.
+
+Structure (Fig. 16): a K-input parallel-prefix dag over
+``⟨A, A, ..., A⟩`` with * = boolean matrix product computes all logical
+powers ``A^1..A^K``; an in-tree then accumulates the K power matrices
+into the 2-d table of path vectors.  Structurally this is the same
+``P_K ⇑ T_K`` shape as the DLT dag ``L_K`` — the tasks are just far
+coarser (each node carries an N×N boolean matrix), which is exactly the
+multi-granularity point of Section 6.1.
+
+The value-level execution lives in :mod:`repro.compute.graph_paths`.
+"""
+
+from __future__ import annotations
+
+from ..core.composition import CompositionChain
+from .dlt import dlt_prefix_chain
+
+__all__ = ["graph_paths_chain"]
+
+
+def graph_paths_chain(k_powers: int) -> CompositionChain:
+    """The Fig. 16 dag for accumulating ``k_powers`` logical powers:
+    ``P_K ⇑ T_K`` with the prefix inputs all fed by copies of A."""
+    return dlt_prefix_chain(k_powers, name=f"paths(K={k_powers})")

@@ -1,0 +1,117 @@
+"""Parallel-prefix (scan) dags (Section 6.1, Figs. 11–12).
+
+The n-input parallel-prefix dag ``P_n`` implements, for an associative
+operation ``*``, the log-depth algorithm
+
+    for j = 0 .. floor(log2(n-1)):
+        for i = 2^j .. n-1 in parallel:  x_i <- x_{i-2^j} * x_i
+
+Nodes are ``(level, column)`` for ``level = 0..L`` (``L`` compute
+levels plus the input level) and ``column = 0..n-1``; columns with
+``column < 2^level`` hold pass-through (copy) tasks, exactly as drawn
+in Fig. 11.
+
+Per Fig. 12, each level transition ``j`` splits into ``2^j``
+interleaved N-dags — one per residue class mod ``2^j`` — so ``P_n`` is
+composite of type ``N ⇑ N ⇑ ···``; with ``N_s ▷ N_t`` for all ``s, t``
+the chain is ▷-linear, and the paper's boxed claim holds: any schedule
+executing the constituent N-dags in nonincreasing order of their
+source counts is IC-optimal (our chain emits them level by level —
+``N_n``, then two ``N_{n/2}``-sized classes, then four, ... — which is
+nonincreasing).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import ComputationDag, Node
+from ..blocks.n_dag import n_dag, n_schedule, nsnk, nsrc
+
+__all__ = ["px_node", "prefix_levels", "prefix_dag", "prefix_chain", "prefix_ndag_sizes"]
+
+
+def px_node(level: int, column: int) -> Node:
+    """Label of the prefix-dag node at ``(level, column)``."""
+    return (level, column)
+
+
+def prefix_levels(n: int) -> int:
+    """Number of compute levels of ``P_n``:
+    ``floor(log2(n-1)) + 1`` (0 for ``n == 1``)."""
+    if n < 1:
+        raise DagStructureError(f"prefix width must be >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def prefix_dag(n: int) -> ComputationDag:
+    """The n-input parallel-prefix dag ``P_n`` as a bare dag."""
+    levels = prefix_levels(n)
+    if levels == 0:
+        raise DagStructureError("P_1 has no arcs; need n >= 2")
+    g = ComputationDag(name=f"P_{n}")
+    for j in range(levels):
+        step = 1 << j
+        for i in range(n):
+            g.add_arc(px_node(j, i), px_node(j + 1, i))
+            if i >= step:
+                g.add_arc(px_node(j, i - step), px_node(j + 1, i))
+    return g
+
+
+def prefix_ndag_sizes(n: int) -> list[int]:
+    """Source counts of the constituent N-dags, in chain order.
+
+    For ``n = 2^p`` this is ``[n, n/2, n/2, n/4, n/4, n/4, n/4, ...]``
+    — e.g. ``P_8 = N_8 ⇑ N_4 ⇑ N_4 ⇑ N_2 ⇑ N_2 ⇑ N_2 ⇑ N_2`` exactly as
+    in Section 6.2.1.
+    """
+    sizes: list[int] = []
+    for j in range(prefix_levels(n)):
+        step = 1 << j
+        for r in range(step):
+            cols = len(range(r, n, step))
+            if cols:
+                sizes.append(cols)
+    return sizes
+
+
+def prefix_chain(n: int) -> CompositionChain:
+    """``P_n`` as the ▷-linear N-dag composition of Fig. 12.
+
+    Level transition ``j`` contributes one N-dag per residue class
+    ``r mod 2^j``: its sources are the level-``j`` nodes of columns
+    ``r, r + 2^j, r + 2·2^j, ...`` (in increasing column order — the
+    class's lowest column is the N-dag's *anchor*: its level-``j+1``
+    node has no other parent) and its sinks the level-``j+1`` nodes of
+    the same columns.  Node labels match :func:`prefix_dag`.
+    """
+    levels = prefix_levels(n)
+    if levels == 0:
+        raise DagStructureError("P_1 has no arcs; need n >= 2")
+    chain: CompositionChain | None = None
+    for j in range(levels):
+        step = 1 << j
+        for r in range(step):
+            cols = list(range(r, n, step))
+            block = n_dag(len(cols))
+            sched = n_schedule(block)
+            labels: dict[Node, Node] = {}
+            merge: list[tuple[Node, Node]] = []
+            for idx, c in enumerate(cols):
+                src_label = px_node(j, c)
+                if j == 0:
+                    labels[nsrc(idx)] = src_label
+                else:
+                    merge.append((src_label, nsrc(idx)))
+                labels[nsnk(idx)] = px_node(j + 1, c)
+            if chain is None:
+                chain = CompositionChain(
+                    block, sched, name=f"P_{n}", labels=labels
+                )
+            else:
+                chain.compose_with(
+                    block, sched, merge_pairs=merge, labels=labels
+                )
+    assert chain is not None
+    return chain

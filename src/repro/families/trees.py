@@ -1,0 +1,332 @@
+"""Out-trees and in-trees (Section 3.1).
+
+An *out-tree* is an iterated composition of Vee dags — the skeleton of
+an "expansive" computation (e.g. the divide phase of divide-and-
+conquer).  An *in-tree* is its dual — the skeleton of a "reductive"
+computation that accumulates results.
+
+Trees are described by a ``children`` mapping (tree node -> ordered
+list of tree children) plus the ``root``; internal nodes may have any
+fixed or varying arity (footnote 7).  Builders return a
+:class:`~repro.core.composition.CompositionChain` whose blocks are
+``V_d`` (out-tree) or ``Λ_d`` (in-tree) copies — one per internal node
+— so Theorem 2.1 applies directly:
+
+* every *uniform-arity* out-tree is composite of type
+  ``V_d ⇑ ... ⇑ V_d`` with ``V_d ▷ V_d``, hence ▷-linear; indeed every
+  nonsink order of such a tree is IC-optimal (each execution adds
+  ``d - 1`` eligible nodes no matter what);
+* every in-tree is dual to an out-tree; for binary in-trees the
+  IC-optimal schedules are exactly those executing the sources of each
+  Λ copy consecutively ([23]; verified exhaustively in the tests).
+
+A reproduction caveat (tests/test_trees.py): for *mixed-arity* trees
+the order matters — ``V_3 ▷ V_2`` but not conversely — and some mixed
+out-trees admit no IC-optimal schedule at all (maximizing E(t) at one
+step can require executing a low-degree node whose high-degree
+descendant another step needs).  ``schedule_dag`` reorders commuting
+chain blocks to recover a Theorem 2.1 certificate whenever one exists.
+
+The :func:`attach_out_tree` / :func:`attach_in_tree` primitives extend
+an existing chain, which is how diamonds (Fig. 2) and the alternating
+expansion-reduction compositions of Table 1 are assembled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..exceptions import DagStructureError
+from ..core.composition import CompositionChain
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+from ..blocks.vee_lambda import (
+    ROOT,
+    SINK,
+    lambda_dag,
+    lambda_schedule,
+    leaf,
+    source,
+    vee_dag,
+    vee_schedule,
+)
+
+__all__ = [
+    "validate_tree_spec",
+    "attach_out_tree",
+    "attach_in_tree",
+    "out_tree_chain",
+    "in_tree_chain",
+    "complete_tree_children",
+    "complete_out_tree",
+    "complete_in_tree",
+    "is_out_tree",
+    "is_in_tree",
+    "out_tree_schedule",
+    "in_tree_schedule",
+]
+
+
+def validate_tree_spec(
+    children: Mapping[Node, Sequence[Node]], root: Node
+) -> list[Node]:
+    """Check that ``(children, root)`` describes a tree; return the
+    internal nodes in BFS order (parents before children).
+
+    Every node except the root must appear as a child of exactly one
+    node; internal nodes may have any positive arity.
+    """
+    seen: set[Node] = {root}
+    order: list[Node] = []
+    frontier: list[Node] = [root]
+    while frontier:
+        nxt: list[Node] = []
+        for v in frontier:
+            kids = children.get(v, ())
+            if kids:
+                if len(set(kids)) != len(kids):
+                    raise DagStructureError(
+                        f"node {v!r} lists a repeated child"
+                    )
+                order.append(v)
+            for c in kids:
+                if c in seen:
+                    raise DagStructureError(
+                        f"node {c!r} has two parents (or is the root)"
+                    )
+                seen.add(c)
+                nxt.append(c)
+        frontier = nxt
+    spec_internal = {v for v, kids in children.items() if kids}
+    unreachable = spec_internal - set(order)
+    if unreachable:
+        raise DagStructureError(
+            f"internal node(s) unreachable from root: "
+            f"{sorted(map(repr, unreachable))}"
+        )
+    return order
+
+
+def attach_out_tree(
+    chain: CompositionChain | None,
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    root_merge: Node | None = None,
+    name: str = "out-tree",
+) -> CompositionChain:
+    """Append an out-tree (one ``V_d`` block per internal node, BFS
+    order) to ``chain``; start a new chain when ``chain is None``.
+
+    ``root_merge`` names the composite sink the tree root merges into
+    (the "reductive computation feeds an expansive one" pattern of the
+    leftmost dag in Fig. 4); when ``None`` the root becomes a fresh
+    source (a sum step if the chain already exists).  Composite labels
+    are the tree node labels.
+    """
+    internal = validate_tree_spec(children, root)
+    if not internal:
+        raise DagStructureError(
+            "out-tree must have at least one internal node (the root)"
+        )
+    for v in internal:
+        kids = list(children[v])
+        block = vee_dag(len(kids))
+        sched = vee_schedule(block)
+        labels: dict[Node, Node] = {leaf(i): c for i, c in enumerate(kids)}
+        if chain is None:
+            labels[ROOT] = v
+            chain = CompositionChain(block, sched, name=name, labels=labels)
+        elif v == root and root_merge is not None:
+            chain.compose_with(
+                block, sched, merge_pairs=[(root_merge, ROOT)], labels=labels
+            )
+        elif v == root:
+            labels[ROOT] = v
+            chain.compose_with(block, sched, merge_pairs=[], labels=labels)
+        else:
+            chain.compose_with(
+                block, sched, merge_pairs=[(v, ROOT)], labels=labels
+            )
+    return chain
+
+
+def attach_in_tree(
+    chain: CompositionChain | None,
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    leaf_merge: Mapping[Node, Node] | None = None,
+    name: str = "in-tree",
+) -> CompositionChain:
+    """Append an in-tree (arcs child -> parent; one ``Λ_d`` block per
+    internal node, deepest-first) to ``chain``.
+
+    ``leaf_merge`` maps tree-leaf labels to composite sinks they merge
+    into — this is how a diamond joins its in-tree onto the out-tree's
+    leaves.  Unmapped leaves become fresh sources.  Blocks over
+    disjoint subtrees are joined by sum steps (empty merges), giving
+    exactly the ``Λ ⇑ ··· ⇑ Λ`` composite type of Section 3.1.
+    """
+    internal = validate_tree_spec(children, root)
+    if not internal:
+        raise DagStructureError(
+            "in-tree must have at least one internal node (the root)"
+        )
+    leaf_merge = dict(leaf_merge or {})
+    internal_set = set(internal)
+    # Reverse BFS: children's blocks are placed before their parent's,
+    # so every internal feeder is already a composite sink when used.
+    for v in reversed(internal):
+        kids = list(children[v])
+        block = lambda_dag(len(kids))
+        sched = lambda_schedule(block)
+        merge_pairs: list[tuple[Node, Node]] = []
+        labels: dict[Node, Node] = {SINK: v}
+        for i, c in enumerate(kids):
+            if c in internal_set:
+                merge_pairs.append((c, source(i)))
+            elif c in leaf_merge:
+                merge_pairs.append((leaf_merge[c], source(i)))
+            else:
+                labels[source(i)] = c
+        if chain is None:
+            if merge_pairs:
+                raise DagStructureError(
+                    "cannot merge into an empty chain; leaf_merge requires "
+                    "an existing composite"
+                )
+            chain = CompositionChain(block, sched, name=name, labels=labels)
+        else:
+            chain.compose_with(
+                block, sched, merge_pairs=merge_pairs, labels=labels
+            )
+    return chain
+
+
+def out_tree_chain(
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    name: str = "out-tree",
+) -> CompositionChain:
+    """An out-tree as a standalone ``V ⇑ ... ⇑ V`` composition chain."""
+    return attach_out_tree(None, children, root, name=name)
+
+
+def in_tree_chain(
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    name: str = "in-tree",
+) -> CompositionChain:
+    """An in-tree as a standalone ``Λ ⇑ ... ⇑ Λ`` composition chain.
+
+    The tree root is the unique sink; the leaves are the sources.
+    """
+    return attach_in_tree(None, children, root, name=name)
+
+
+def complete_tree_children(
+    depth: int, arity: int = 2
+) -> tuple[dict[Node, list[Node]], Node]:
+    """The ``children`` spec of the complete ``arity``-ary tree.
+
+    Nodes are labeled ``(level, index)``; the root is ``(0, 0)`` and
+    the leaves sit at ``level == depth``.
+    """
+    if depth < 0:
+        raise DagStructureError(f"depth must be >= 0, got {depth}")
+    if arity < 1:
+        raise DagStructureError(f"arity must be >= 1, got {arity}")
+    children: dict[Node, list[Node]] = {}
+    for lv in range(depth):
+        for i in range(arity**lv):
+            children[(lv, i)] = [(lv + 1, arity * i + j) for j in range(arity)]
+    return children, (0, 0)
+
+
+def complete_out_tree(depth: int, arity: int = 2) -> CompositionChain:
+    """The complete ``arity``-ary out-tree of the given depth
+    (``depth >= 1``; a depth-0 tree has no arcs, hence no V blocks)."""
+    if depth < 1:
+        raise DagStructureError("complete out-tree needs depth >= 1")
+    children, root = complete_tree_children(depth, arity)
+    return out_tree_chain(children, root, name=f"T-out(d={depth},a={arity})")
+
+
+def complete_in_tree(depth: int, arity: int = 2) -> CompositionChain:
+    """The complete ``arity``-ary in-tree (accumulation tree) of the
+    given depth; its ``arity**depth`` sources are the leaves."""
+    if depth < 1:
+        raise DagStructureError("complete in-tree needs depth >= 1")
+    children, root = complete_tree_children(depth, arity)
+    return in_tree_chain(children, root, name=f"T-in(d={depth},a={arity})")
+
+
+def is_out_tree(dag: ComputationDag) -> bool:
+    """True iff ``dag`` is a connected out-tree: one source, every
+    other node with exactly one parent."""
+    if len(dag) == 0 or not dag.is_acyclic() or not dag.is_connected():
+        return False
+    sources = dag.sources
+    if len(sources) != 1:
+        return False
+    return all(dag.indegree(v) == 1 for v in dag.nodes if v != sources[0])
+
+
+def is_in_tree(dag: ComputationDag) -> bool:
+    """True iff ``dag`` is a connected in-tree (dual of an out-tree)."""
+    return is_out_tree(dag.dual())
+
+
+def out_tree_schedule(dag: ComputationDag, name: str = "by-degree") -> Schedule:
+    """A canonical schedule for an out-tree: greedy highest-out-degree
+    eligible node first (ties by insertion order), sinks last.
+
+    For uniform-arity out-trees every nonsink order — this one included
+    — is IC-optimal (Section 3.1).  For mixed arities the greedy order
+    matches the ▷-respecting block order where one exists; certify via
+    :func:`repro.core.schedule_dag` when it matters (see the module
+    docstring caveat).
+    """
+    if not is_out_tree(dag):
+        raise DagStructureError(f"dag {dag.name!r} is not an out-tree")
+    index = {v: i for i, v in enumerate(dag.nodes)}
+    order: list[Node] = []
+    root = dag.sources[0]
+    eligible = [root] if not dag.is_sink(root) else []
+    while eligible:
+        eligible.sort(key=lambda v: (-dag.outdegree(v), index[v]))
+        v = eligible.pop(0)
+        order.append(v)
+        eligible.extend(c for c in dag.children(v) if not dag.is_sink(c))
+    order.extend(v for v in dag.nodes if dag.is_sink(v))
+    return Schedule(dag, order, name=name)
+
+
+def in_tree_schedule(dag: ComputationDag, name: str = "paired") -> Schedule:
+    """An IC-optimal schedule for an in-tree.
+
+    Per [23] a schedule is IC-optimal for an in-tree iff it executes
+    the sources of each Λ copy consecutively.  Construction: walk
+    internal nodes of the in-tree deepest-first (reverse BFS from the
+    root); for each, execute its not-yet-executed feeders as a
+    consecutive group.  The root goes last.
+    """
+    if not is_in_tree(dag):
+        raise DagStructureError(f"dag {dag.name!r} is not an in-tree")
+    root = dag.sinks[0]
+    bfs: list[Node] = [root]
+    i = 0
+    while i < len(bfs):
+        bfs.extend(dag.parents(bfs[i]))
+        i += 1
+    internal = [v for v in bfs if dag.parents(v)]
+    order: list[Node] = []
+    placed: set[Node] = set()
+    for v in reversed(internal):
+        for u in dag.parents(v):
+            if u not in placed:
+                placed.add(u)
+                order.append(u)
+    for v in dag.nodes:  # remaining = the root (and nothing else)
+        if v not in placed:
+            order.append(v)
+    return Schedule(dag, order, name=name)

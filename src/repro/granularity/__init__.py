@@ -1,0 +1,16 @@
+"""Multi-granularity transforms: clustering fine-grained dags into
+coarse tasks while preserving schedulable structure (the per-class
+"rendering multi-granular" discussions of Sections 3-7)."""
+
+from . import butterfly_coarsen, clustering, mesh_coarsen, tree_coarsen
+from .clustering import ClusteringReport, clustering_report, quotient_dag
+
+__all__ = [
+    "ClusteringReport",
+    "butterfly_coarsen",
+    "clustering",
+    "clustering_report",
+    "mesh_coarsen",
+    "quotient_dag",
+    "tree_coarsen",
+]

@@ -1,0 +1,117 @@
+"""Task clustering: quotient dags and the computation/communication
+accounting that motivates multi-granularity (Sections 3-7, item 3 of
+the paper's per-computation program).
+
+A *clustering* maps each fine-grained node to a cluster id; the
+*quotient dag* has one node per cluster and an arc between distinct
+clusters wherever a fine arc crosses them.  Coarsening a computation
+means allocating a whole cluster as a single task, so:
+
+* the cluster's **work** is its node count (computation stays local);
+* the clustering's **communication volume** is the number of fine arcs
+  crossing clusters (those values travel over the Internet).
+
+The quotient must be acyclic for the clusters to be schedulable as
+tasks; :func:`quotient_dag` verifies this.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..exceptions import ClusteringError, CycleError
+from ..core.dag import ComputationDag, Node
+
+__all__ = ["ClusteringReport", "quotient_dag", "clustering_report"]
+
+
+def quotient_dag(
+    dag: ComputationDag,
+    cluster_map: Mapping[Node, Node],
+    name: str | None = None,
+) -> ComputationDag:
+    """The quotient of ``dag`` by ``cluster_map``.
+
+    Every node of ``dag`` must be mapped.  Intra-cluster arcs vanish;
+    inter-cluster arcs collapse to single quotient arcs.  Raises
+    :class:`ClusteringError` when the map is incomplete or the quotient
+    has a cycle (such a clustering cannot be executed as coarse tasks).
+    """
+    missing = [v for v in dag.nodes if v not in cluster_map]
+    if missing:
+        raise ClusteringError(
+            f"cluster map misses {len(missing)} node(s), e.g. {missing[0]!r}"
+        )
+    q = ComputationDag(name=name or f"{dag.name}/clustered")
+    for v in dag.nodes:
+        q.add_node(cluster_map[v])
+    for u, v in dag.arcs:
+        cu, cv = cluster_map[u], cluster_map[v]
+        if cu != cv and not q.has_arc(cu, cv):
+            q.add_arc(cu, cv)
+    try:
+        q.validate()
+    except CycleError as exc:
+        raise ClusteringError(
+            f"clustering of {dag.name!r} is cyclic: {exc}"
+        ) from exc
+    return q
+
+
+@dataclass
+class ClusteringReport:
+    """Work/communication accounting for a clustering."""
+
+    quotient: ComputationDag
+    #: cluster -> number of fine nodes (local work)
+    work: dict = field(default_factory=dict)
+    #: number of fine arcs crossing clusters (Internet traffic)
+    cut_arcs: int = 0
+    #: number of fine arcs kept inside clusters (local traffic)
+    internal_arcs: int = 0
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.work.values())
+
+    @property
+    def max_work(self) -> int:
+        return max(self.work.values())
+
+    @property
+    def min_work(self) -> int:
+        return min(self.work.values())
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of fine arcs that cross clusters (1.0 = no locality
+        win; the fine-grained dag itself scores 1.0)."""
+        total = self.cut_arcs + self.internal_arcs
+        return self.cut_arcs / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusteringReport(clusters={len(self.work)}, "
+            f"work {self.min_work}..{self.max_work}, "
+            f"cut={self.cut_arcs}, internal={self.internal_arcs})"
+        )
+
+
+def clustering_report(
+    dag: ComputationDag, cluster_map: Mapping[Node, Node]
+) -> ClusteringReport:
+    """Build the quotient and its work/communication accounting."""
+    q = quotient_dag(dag, cluster_map)
+    work: dict = {}
+    for v in dag.nodes:
+        work[cluster_map[v]] = work.get(cluster_map[v], 0) + 1
+    cut = internal = 0
+    for u, v in dag.arcs:
+        if cluster_map[u] == cluster_map[v]:
+            internal += 1
+        else:
+            cut += 1
+    return ClusteringReport(
+        quotient=q, work=work, cut_arcs=cut, internal_arcs=internal
+    )

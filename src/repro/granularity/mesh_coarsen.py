@@ -1,0 +1,67 @@
+"""Coarsening wavefront computations (Section 4, Fig. 7).
+
+Out-mesh node ``(level, index)`` sits at matrix coordinates
+``(row, col) = (index, level - index)``.  Clustering by ``b×b``
+coordinate blocks realizes the Fig. 7 scheme: blocks straddling the
+diagonal are "triangles" (themselves small out-meshes), interior blocks
+are "rectangles" (mesh compositions); either way the quotient is again
+an out-mesh — when ``b`` divides ``depth + 1`` the coarsened mesh is
+exactly the out-mesh of depth ``(depth + 1) / b - 1``, so it admits an
+IC-optimal schedule (the paper's equal-granularity case).
+
+The key quantitative point (end of Section 4): a coarse task's
+computation grows *quadratically* with its side length while its
+communication grows only *linearly* —
+:func:`mesh_coarsening_accounting` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ClusteringError
+from ..core.dag import ComputationDag, Node
+from ..families.mesh import out_mesh_dag
+from .clustering import ClusteringReport, clustering_report
+
+__all__ = [
+    "mesh_block_cluster_map",
+    "coarsened_out_mesh",
+    "mesh_coarsening_accounting",
+]
+
+
+def mesh_block_cluster_map(depth: int, b: int) -> dict[Node, Node]:
+    """Cluster the depth-``d`` out-mesh by ``b×b`` coordinate blocks.
+
+    Returns node -> ``("blk", row_block, col_block)``.
+    """
+    if b < 1:
+        raise ClusteringError(f"block side must be >= 1, got {b}")
+    mapping: dict[Node, Node] = {}
+    for level in range(depth + 1):
+        for index in range(level + 1):
+            row, col = index, level - index
+            mapping[(level, index)] = ("blk", row // b, col // b)
+    return mapping
+
+
+def coarsened_out_mesh(depth: int, b: int) -> ComputationDag:
+    """The quotient of the depth-``d`` out-mesh under ``b×b`` blocking.
+
+    When ``b`` divides ``depth + 1`` this is isomorphic to the
+    out-mesh of depth ``(depth + 1) // b - 1`` (verified in tests).
+    """
+    dag = out_mesh_dag(depth)
+    from .clustering import quotient_dag
+
+    return quotient_dag(dag, mesh_block_cluster_map(depth, b))
+
+
+def mesh_coarsening_accounting(depth: int, b: int) -> ClusteringReport:
+    """Work/communication report for the Fig. 7 coarsening.
+
+    For interior (full) blocks, work is ``b²`` (area) while the
+    cross-cluster arcs per block scale with ``b`` (perimeter) — the
+    quadratic-vs-linear trade the paper highlights.
+    """
+    dag = out_mesh_dag(depth)
+    return clustering_report(dag, mesh_block_cluster_map(depth, b))

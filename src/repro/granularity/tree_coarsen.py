@@ -1,0 +1,107 @@
+"""Coarsening expansion-reduction computations (Section 3.1, Fig. 3).
+
+A diamond dag is coarsened "by selectively truncating branches of the
+out-tree, together with mated portions of the in-tree": the subtree
+below a chosen out-tree node, plus the mirrored in-tree region, fuse
+into one coarse task that performs that whole expand-and-reduce
+locally.  The coarsened dag is again a diamond (of the truncated
+tree), so it still admits an IC-optimal schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..exceptions import ClusteringError
+from ..core.composition import CompositionChain
+from ..core.dag import Node
+from ..families.diamond import diamond_chain
+from ..families.trees import validate_tree_spec
+
+__all__ = [
+    "truncate_tree",
+    "coarsened_diamond",
+    "diamond_cluster_map",
+]
+
+
+def truncate_tree(
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    truncate_at: Iterable[Node],
+) -> dict[Node, list[Node]]:
+    """Remove the subtrees below each node in ``truncate_at`` (the
+    nodes themselves become leaves).
+
+    Truncation points must be internal tree nodes; nested truncation
+    points are allowed (the deeper one is vacuous).
+    """
+    validate_tree_spec(children, root)
+    cut = set(truncate_at)
+    internal = {v for v, kids in children.items() if kids}
+    bad = cut - internal
+    if bad:
+        raise ClusteringError(
+            f"truncation points must be internal nodes; bad: "
+            f"{sorted(map(repr, bad))}"
+        )
+    out: dict[Node, list[Node]] = {}
+
+    def walk(v: Node) -> None:
+        if v in cut or v not in internal:
+            return
+        out[v] = list(children[v])
+        for c in children[v]:
+            walk(c)
+
+    walk(root)
+    if not out:
+        raise ClusteringError("truncating the root leaves no tree")
+    return out
+
+
+def coarsened_diamond(
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    truncate_at: Iterable[Node],
+    name: str = "coarse-diamond",
+) -> CompositionChain:
+    """The Fig. 3 coarsened diamond: the diamond of the truncated tree
+    (in-tree = dual of the truncated out-tree, as in the figure)."""
+    truncated = truncate_tree(children, root, truncate_at)
+    return diamond_chain(truncated, root, name=name)
+
+
+def diamond_cluster_map(
+    children: Mapping[Node, Sequence[Node]],
+    root: Node,
+    truncate_at: Iterable[Node],
+) -> dict[Node, Node]:
+    """The clustering of the *fine* diamond (out-tree + dual in-tree,
+    labels ``v`` and ``("acc", v)``) realizing the Fig. 3 coarsening.
+
+    Each fine node below (or mirrored below) a truncation point ``c``
+    maps to the coarse merged leaf ``c``; all other out-tree nodes map
+    to themselves and in-tree nodes to ``("acc", v)``.  Feeding this to
+    :func:`~repro.granularity.clustering.quotient_dag` reproduces the
+    coarsened diamond's structure, and the accounting shows the
+    comp-grows-faster-than-comm effect.
+    """
+    validate_tree_spec(children, root)
+    cut = set(truncate_at)
+    mapping: dict[Node, Node] = {}
+
+    def walk(v: Node, owner: Node | None) -> None:
+        if owner is None and v in cut:
+            owner = v
+        target = owner if owner is not None else v
+        mapping[v] = target
+        # in-tree mirror: the merged diamond keeps out-tree labels for
+        # leaves; internal in-tree nodes are ("acc", v)
+        if children.get(v):
+            mapping[("acc", v)] = target if owner is not None else ("acc", v)
+        for c in children.get(v, ()):
+            walk(c, owner)
+
+    walk(root, None)
+    return mapping

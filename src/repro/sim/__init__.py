@@ -1,0 +1,34 @@
+"""Event-driven IC server/client simulation with heuristic baselines —
+the assessment substrate standing in for the studies the paper cites
+([15], [19]); see DESIGN.md "Substitutions"."""
+
+from . import heuristics, metrics, scientific, server, workloads
+from .scientific import SCIENTIFIC_WORKFLOWS
+from .heuristics import BASELINE_POLICIES, Policy, make_policy
+from .metrics import (
+    PolicyComparison,
+    batch_satisfaction,
+    compare_policies,
+    granularity_tradeoff,
+)
+from .server import ClientSpec, SimulationResult, simulate, simulate_batched
+
+__all__ = [
+    "BASELINE_POLICIES",
+    "ClientSpec",
+    "Policy",
+    "PolicyComparison",
+    "SimulationResult",
+    "batch_satisfaction",
+    "compare_policies",
+    "granularity_tradeoff",
+    "heuristics",
+    "make_policy",
+    "metrics",
+    "SCIENTIFIC_WORKFLOWS",
+    "scientific",
+    "server",
+    "simulate",
+    "simulate_batched",
+    "workloads",
+]

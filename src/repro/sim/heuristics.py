@@ -1,0 +1,156 @@
+"""Task-allocation policies for the IC server.
+
+The IC-optimal policy follows a precomputed schedule as a priority
+list; the baselines are the natural heuristics of the comparison
+studies the paper cites ([15] compares the scheduler of [21] against
+FIFO and other natural heuristics; [19] against Condor DAGMan's FIFO):
+
+* ``FIFO``     — allocate the task that became ELIGIBLE earliest;
+* ``LIFO``     — ... most recently;
+* ``RANDOM``   — uniformly among eligible tasks (seeded);
+* ``MAXOUT``   — greatest out-degree first (most immediate children);
+* ``CRITPATH`` — longest path to a sink first (classic list
+  scheduling).
+
+A policy is an object with ``select(eligible, context) -> Node``;
+``eligible`` is the allocatable-task list in the order they became
+eligible, and ``context`` gives read access to the dag.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..exceptions import SimulationError
+from ..core.dag import ComputationDag, Node
+from ..core.schedule import Schedule
+
+__all__ = [
+    "Policy",
+    "FifoPolicy",
+    "LifoPolicy",
+    "RandomPolicy",
+    "MaxOutDegreePolicy",
+    "CriticalPathPolicy",
+    "SchedulePolicy",
+    "make_policy",
+    "BASELINE_POLICIES",
+]
+
+
+class Policy:
+    """Base class: pick the next task to allocate."""
+
+    name = "policy"
+
+    def attach(self, dag: ComputationDag) -> None:
+        """Called once before a run; precompute static priorities."""
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        raise NotImplementedError
+
+
+class FifoPolicy(Policy):
+    """Earliest-eligible first (the Condor DAGMan order of [19])."""
+
+    name = "FIFO"
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return eligible[0]
+
+
+class LifoPolicy(Policy):
+    """Latest-eligible first."""
+
+    name = "LIFO"
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return eligible[-1]
+
+
+class RandomPolicy(Policy):
+    """Uniformly random among eligible tasks (seeded for repeatability)."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return eligible[self._rng.randrange(len(eligible))]
+
+
+class MaxOutDegreePolicy(Policy):
+    """Most immediate children first (a natural greedy proxy for
+    eligibility production)."""
+
+    name = "MAXOUT"
+
+    def attach(self, dag: ComputationDag) -> None:
+        self._out = {v: dag.outdegree(v) for v in dag.nodes}
+        self._idx = {v: i for i, v in enumerate(dag.nodes)}
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return max(eligible, key=lambda v: (self._out[v], -self._idx[v]))
+
+
+class CriticalPathPolicy(Policy):
+    """Longest-path-to-sink first (classic HLF/list scheduling)."""
+
+    name = "CRITPATH"
+
+    def attach(self, dag: ComputationDag) -> None:
+        height: dict[Node, int] = {}
+        for v in reversed(dag.topological_order()):
+            height[v] = 1 + max(
+                (height[c] for c in dag.children(v)), default=-1
+            )
+        self._height = height
+        self._idx = {v: i for i, v in enumerate(dag.nodes)}
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return max(eligible, key=lambda v: (self._height[v], -self._idx[v]))
+
+
+class SchedulePolicy(Policy):
+    """Follow a precomputed schedule as a priority list: allocate the
+    eligible task that appears earliest in the schedule.
+
+    With an IC-optimal schedule this is the paper's scheduler; the
+    policy degrades gracefully when completion order diverges from
+    allocation order (the idealization of Section 1 relaxed)."""
+
+    name = "IC-OPT"
+
+    def __init__(self, schedule: Schedule, name: str = "IC-OPT") -> None:
+        self.name = name
+        self._rank = {v: i for i, v in enumerate(schedule.order)}
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return min(eligible, key=lambda v: self._rank[v])
+
+
+#: zero-argument constructors for the baseline policies of [15]/[19].
+BASELINE_POLICIES = {
+    "FIFO": FifoPolicy,
+    "LIFO": LifoPolicy,
+    "RANDOM": RandomPolicy,
+    "MAXOUT": MaxOutDegreePolicy,
+    "CRITPATH": CriticalPathPolicy,
+}
+
+
+def make_policy(name: str, schedule: Schedule | None = None) -> Policy:
+    """Instantiate a policy by name (``IC-OPT`` requires ``schedule``)."""
+    if name == "IC-OPT":
+        if schedule is None:
+            raise SimulationError("IC-OPT policy needs a schedule")
+        return SchedulePolicy(schedule)
+    try:
+        return BASELINE_POLICIES[name]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown policy {name!r}; known: "
+            f"{sorted(BASELINE_POLICIES) + ['IC-OPT']}"
+        ) from None

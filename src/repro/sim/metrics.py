@@ -1,0 +1,147 @@
+"""Derived metrics and policy comparisons.
+
+The quality scenarios of Section 2.2 become measurable quantities
+here:
+
+1. gridlock avoidance -> starvation events / idle time in the server
+   simulation (:func:`compare_policies`);
+2. batch parallelism -> how many of ``r`` simultaneous requests an
+   eligibility profile can satisfy (:func:`batch_satisfaction`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.dag import ComputationDag
+from ..core.schedule import Schedule
+from .heuristics import make_policy
+from .server import ClientSpec, SimulationResult, simulate
+
+__all__ = [
+    "batch_satisfaction",
+    "PolicyComparison",
+    "compare_policies",
+]
+
+
+def batch_satisfaction(profile: Sequence[int], batch: int) -> float:
+    """Mean fraction of a size-``batch`` request burst satisfiable
+    along an eligibility profile: ``mean_t min(E(t), batch) / batch``.
+
+    Scenario (2) of Section 2.2: when the server receives a batch of
+    requests at (roughly) the same time, having more ELIGIBLE tasks
+    satisfies more of them.  Higher is better; an IC-optimal profile
+    maximizes every term simultaneously.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    terms = [min(e, batch) / batch for e in profile]
+    return sum(terms) / len(terms) if terms else 0.0
+
+
+@dataclass
+class PolicyComparison:
+    """Results of running several policies on one dag/client setup."""
+
+    dag_name: str
+    n_clients: int
+    results: dict[str, SimulationResult]
+
+    def best_by(self, attr: str, minimize: bool = True) -> str:
+        vals = {k: getattr(r, attr) for k, r in self.results.items()}
+        pick = min if minimize else max
+        return pick(vals, key=vals.get)
+
+    def table_rows(self) -> list[tuple]:
+        """Rows ``(policy, makespan, starvation, idle, utilization,
+        mean_headroom)`` for report rendering."""
+        return [
+            (
+                name,
+                round(r.makespan, 3),
+                r.starvation_events,
+                round(r.idle_time, 3),
+                round(r.utilization, 4),
+                round(r.mean_headroom, 3),
+            )
+            for name, r in self.results.items()
+        ]
+
+
+def compare_policies(
+    dag: ComputationDag,
+    ic_schedule: Schedule | None,
+    clients: Sequence[ClientSpec] | int = 4,
+    policies: Sequence[str] = ("FIFO", "LIFO", "RANDOM", "MAXOUT", "CRITPATH"),
+    work=1.0,
+    seed: int = 0,
+    comm_per_input: float = 0.0,
+) -> PolicyComparison:
+    """Run the server simulation under each policy (plus IC-OPT when a
+    schedule is given) with identical clients and seeds."""
+    results: dict[str, SimulationResult] = {}
+    if ic_schedule is not None:
+        results["IC-OPT"] = simulate(
+            dag,
+            make_policy("IC-OPT", ic_schedule),
+            clients,
+            work,
+            seed,
+            comm_per_input,
+        )
+    for name in policies:
+        results[name] = simulate(
+            dag, make_policy(name), clients, work, seed, comm_per_input
+        )
+    n = clients if isinstance(clients, int) else len(clients)
+    return PolicyComparison(
+        dag_name=dag.name, n_clients=n, results=results
+    )
+
+
+def granularity_tradeoff(
+    fine_dag: ComputationDag,
+    cluster_maps: dict,
+    clients: Sequence[ClientSpec] | int = 4,
+    comm_per_input: float = 0.5,
+    seed: int = 0,
+) -> list[tuple]:
+    """Simulate a computation at several granularities (future thrust 3
+    of Section 8 meets the multi-granularity theme of Sections 3-7).
+
+    ``cluster_maps`` maps a label (e.g. block size) to a fine-node ->
+    cluster map; each coarsening is simulated with coarse-task work
+    equal to its fine-node count and per-input communication cost, on
+    identical clients.  Returns rows
+    ``(label, tasks, cut_arcs, makespan, utilization)`` — coarser runs
+    trade parallelism for communication, and the sweet spot moves with
+    ``comm_per_input``.
+    """
+    from ..core.scheduler import greedy_schedule
+    from ..granularity.clustering import clustering_report
+
+    rows: list[tuple] = []
+    for label, cmap in cluster_maps.items():
+        rep = clustering_report(fine_dag, cmap)
+        coarse = rep.quotient
+        sched = greedy_schedule(coarse)
+        res = simulate(
+            coarse,
+            make_policy("IC-OPT", sched),
+            clients,
+            work=lambda v, _w=rep.work: float(_w[v]),
+            seed=seed,
+            comm_per_input=comm_per_input,
+        )
+        rows.append(
+            (
+                label,
+                len(coarse),
+                rep.cut_arcs,
+                round(res.makespan, 3),
+                round(res.utilization, 4),
+            )
+        )
+    return rows

@@ -1,0 +1,165 @@
+"""Synthetic replicas of real scientific-workflow dags.
+
+The paper's assessment arm includes [19], which evaluated the
+IC-scheduling algorithm against Condor DAGMan's FIFO on "four 'real'
+scientific dags".  We do not have those traces (see DESIGN.md
+"Substitutions"); this module provides structural stand-ins built from
+the well-documented shapes of four canonical scientific workflows, so
+the policy comparison can run on workflow topologies rather than only
+on the paper's regular families:
+
+* :func:`montage_like` — astronomy mosaicking: wide projection layer,
+  pairwise overlap-fitting, a concentration spine (fit aggregation),
+  then background-correction fan-out and a final co-addition funnel;
+* :func:`cybershake_like` — seismic hazard: per-site preprocessing
+  feeding very wide synthesis fan-outs that merge per site, then
+  globally;
+* :func:`epigenomics_like` — genome pipelines: many independent
+  fixed-depth per-chunk pipelines joined by a final merge chain;
+* :func:`ligo_like` — gravitational-wave inspiral: rounds of
+  fork-join template banks chained by coarse coordination tasks.
+
+Node counts and fan-outs are parameterized; per-task work callables
+mirror the heavy/light stage split typical of each workflow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..exceptions import SimulationError
+from ..core.dag import ComputationDag, Node
+
+__all__ = [
+    "montage_like",
+    "cybershake_like",
+    "epigenomics_like",
+    "ligo_like",
+    "SCIENTIFIC_WORKFLOWS",
+]
+
+WorkFn = Callable[[Node], float]
+
+
+def montage_like(tiles: int = 8) -> tuple[ComputationDag, WorkFn]:
+    """A Montage-shaped mosaicking workflow over ``tiles`` sky tiles.
+
+    Layers: mProject per tile -> mDiffFit per adjacent tile pair ->
+    mConcatFit (single) -> mBgModel (single) -> mBackground per tile ->
+    mImgtbl -> mAdd.  Returns ``(dag, work)`` with projection and
+    co-addition marked heavy.
+    """
+    if tiles < 2:
+        raise SimulationError("montage needs >= 2 tiles")
+    dag = ComputationDag(name=f"montage({tiles})")
+    for i in range(tiles):
+        dag.add_node(("project", i))
+    for i in range(tiles - 1):
+        dag.add_arc(("project", i), ("difffit", i))
+        dag.add_arc(("project", i + 1), ("difffit", i))
+    for i in range(tiles - 1):
+        dag.add_arc(("difffit", i), "concatfit")
+    dag.add_arc("concatfit", "bgmodel")
+    for i in range(tiles):
+        dag.add_arc("bgmodel", ("background", i))
+        dag.add_arc(("project", i), ("background", i))
+        dag.add_arc(("background", i), "imgtbl")
+    dag.add_arc("imgtbl", "madd")
+
+    def work(v: Node) -> float:
+        kind = v[0] if isinstance(v, tuple) else v
+        return {"project": 3.0, "background": 1.5, "madd": 4.0}.get(
+            kind, 1.0
+        )
+
+    return dag, work
+
+
+def cybershake_like(
+    sites: int = 3, synthesis_per_site: int = 12
+) -> tuple[ComputationDag, WorkFn]:
+    """A CyberShake-shaped hazard workflow: per-site strain-green-tensor
+    pair feeding a wide seismogram-synthesis fan-out, peak-value
+    extraction per synthesis, per-site merge, global merge."""
+    if sites < 1 or synthesis_per_site < 1:
+        raise SimulationError("need >= 1 site and synthesis task")
+    dag = ComputationDag(
+        name=f"cybershake({sites}x{synthesis_per_site})"
+    )
+    for s in range(sites):
+        for half in (0, 1):
+            dag.add_arc(("preSGT", s), ("sgt", s, half))
+        for j in range(synthesis_per_site):
+            for half in (0, 1):
+                dag.add_arc(("sgt", s, half), ("synth", s, j))
+            dag.add_arc(("synth", s, j), ("peak", s, j))
+            dag.add_arc(("peak", s, j), ("site_merge", s))
+        dag.add_arc(("site_merge", s), "hazard")
+
+    def work(v: Node) -> float:
+        kind = v[0] if isinstance(v, tuple) else v
+        return {"sgt": 5.0, "synth": 2.0, "hazard": 3.0}.get(kind, 0.5)
+
+    return dag, work
+
+
+def epigenomics_like(
+    lanes: int = 6, pipeline_depth: int = 4
+) -> tuple[ComputationDag, WorkFn]:
+    """An Epigenomics-shaped pipeline: a split task fans into ``lanes``
+    independent linear pipelines of ``pipeline_depth`` stages (filter,
+    map, align, ...) that rejoin through a merge-then-index chain."""
+    if lanes < 1 or pipeline_depth < 1:
+        raise SimulationError("need >= 1 lane and stage")
+    dag = ComputationDag(name=f"epigenomics({lanes}x{pipeline_depth})")
+    for lane in range(lanes):
+        dag.add_arc("split", ("stage", lane, 0))
+        for d in range(pipeline_depth - 1):
+            dag.add_arc(("stage", lane, d), ("stage", lane, d + 1))
+        dag.add_arc(("stage", lane, pipeline_depth - 1), "merge")
+    dag.add_arc("merge", "index")
+    dag.add_arc("index", "register")
+
+    def work(v: Node) -> float:
+        kind = v[0] if isinstance(v, tuple) else v
+        if kind == "stage":
+            # alignment stages (middle of the pipeline) dominate
+            return 4.0 if v[2] == pipeline_depth // 2 else 1.0
+        return {"merge": 3.0}.get(kind, 0.5)
+
+    return dag, work
+
+
+def ligo_like(
+    rounds: int = 3, bank_width: int = 10
+) -> tuple[ComputationDag, WorkFn]:
+    """A LIGO-inspiral-shaped workflow: successive rounds of template-
+    bank fork-joins (TmpltBank -> many Inspiral -> Thinca), each round's
+    coordination task gating the next."""
+    if rounds < 1 or bank_width < 1:
+        raise SimulationError("need >= 1 round and template")
+    dag = ComputationDag(name=f"ligo({rounds}x{bank_width})")
+    prev: Node = ("bank", 0)
+    dag.add_node(prev)
+    for r in range(rounds):
+        bank = ("bank", r)
+        if r > 0:
+            dag.add_arc(("thinca", r - 1), bank)
+        for j in range(bank_width):
+            dag.add_arc(bank, ("inspiral", r, j))
+            dag.add_arc(("inspiral", r, j), ("thinca", r))
+
+    def work(v: Node) -> float:
+        kind = v[0] if isinstance(v, tuple) else v
+        return {"inspiral": 3.0, "thinca": 1.5}.get(kind, 1.0)
+
+    return dag, work
+
+
+#: name -> zero-argument builder, for sweeps and the bench harness.
+SCIENTIFIC_WORKFLOWS = {
+    "montage": montage_like,
+    "cybershake": cybershake_like,
+    "epigenomics": epigenomics_like,
+    "ligo": ligo_like,
+}

@@ -1,0 +1,307 @@
+"""The event-driven IC server/client simulation.
+
+This is the assessment substrate standing in for the external
+simulation studies the paper cites ([15], [19] — Condor/DAGMan traces
+we do not have; see DESIGN.md "Substitutions").  The model:
+
+* an **IC server** owns the dag and allocates one task per client
+  request, chosen among ELIGIBLE-and-unallocated tasks by the active
+  :class:`~repro.sim.heuristics.Policy`;
+* **remote clients** pull work: each requests a task immediately, and
+  again as soon as it finishes one; a client that finds no allocatable
+  task goes idle — a **starvation event**, the "gridlock" precursor of
+  Section 1 — and is woken by the next task completion;
+* task *k* takes ``work(k) / speed(client)`` time units; heterogeneous
+  speeds make completion order diverge from allocation order, which is
+  precisely the regime where eligibility headroom pays off.
+
+Reported metrics: makespan, client utilization, starvation counts and
+idle time, and the eligible/allocatable headroom time-series.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from ..core.dag import ComputationDag, Node
+from .heuristics import Policy
+
+__all__ = ["ClientSpec", "SimulationResult", "simulate", "simulate_batched"]
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """A remote client.
+
+    ``speed``
+        Relative speed; a task of work *w* computes in ``w / speed``.
+    ``dropout`` / ``slowdown``
+        Probability that a task's result is late, and the factor by
+        which it is delayed when so.
+    ``loss``
+        Probability that a task's result never arrives at all — the
+        client vanished.  The server detects the loss after the task's
+        nominal duration, returns the task to the allocatable pool (it
+        was never executed, so no recomputation rule is violated), and
+        the wasted client time is accounted.  This is the failure mode
+        behind the paper's "gridlock" concern: already-allocated tasks
+        that block progress.  Must be < 1 so runs terminate.
+    """
+
+    speed: float = 1.0
+    dropout: float = 0.0
+    slowdown: float = 4.0
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise SimulationError(
+                f"loss probability must be in [0, 1), got {self.loss}"
+            )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution."""
+
+    policy: str
+    makespan: float
+    #: requests that found no allocatable task (computation unfinished)
+    starvation_events: int
+    #: total client-time spent idle waiting for work
+    idle_time: float
+    #: busy_time / (n_clients * makespan)
+    utilization: float
+    #: (time, allocatable_count) sampled at every event
+    headroom_series: list[tuple[float, int]] = field(repr=False, default_factory=list)
+    #: number of tasks executed (== |dag| on success)
+    completed: int = 0
+    #: allocations whose result was lost (client vanished)
+    lost_allocations: int = 0
+    #: client-time burnt on lost allocations
+    wasted_work: float = 0.0
+    #: per-allocation records (client, task, start, end, outcome);
+    #: populated only when ``simulate(..., record_trace=True)``
+    trace: list[tuple] = field(repr=False, default_factory=list)
+
+    @property
+    def mean_headroom(self) -> float:
+        """Time-averaged allocatable-task count."""
+        if len(self.headroom_series) < 2:
+            return 0.0
+        area = 0.0
+        for (t0, h), (t1, _h1) in zip(
+            self.headroom_series, self.headroom_series[1:]
+        ):
+            area += h * (t1 - t0)
+        span = self.headroom_series[-1][0] - self.headroom_series[0][0]
+        return area / span if span > 0 else 0.0
+
+
+def simulate(
+    dag: ComputationDag,
+    policy: Policy,
+    clients: Sequence[ClientSpec] | int = 4,
+    work: Callable[[Node], float] | float = 1.0,
+    seed: int = 0,
+    comm_per_input: float = 0.0,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Simulate executing ``dag`` on remote clients under ``policy``.
+
+    Parameters
+    ----------
+    clients:
+        Client specs, or an int for that many unit-speed clients.
+    work:
+        Per-task work (callable or constant).
+    seed:
+        Drives dropout sampling and work jitter reproducibly.
+    comm_per_input:
+        Internet transfer cost per task input (future thrust 3 of
+        Section 8): a task with indegree ``k`` pays an extra
+        ``comm_per_input * k`` before computing — *not* scaled by
+        client speed, since it is network- not CPU-bound.  Coarsening
+        a dag reduces total indegree (cut arcs), which is exactly the
+        granularity trade-off of Figs. 3/7.
+    """
+    if isinstance(clients, int):
+        clients = [ClientSpec() for _ in range(clients)]
+    if not clients:
+        raise SimulationError("need at least one client")
+    work_fn = work if callable(work) else (lambda _v, _w=float(work): _w)
+    rng = random.Random(seed)
+    policy.attach(dag)
+
+    pending_parents = {v: dag.indegree(v) for v in dag.nodes}
+    # allocatable = eligible and not yet handed to a client, in
+    # eligibility order (FIFO semantics for the baseline).
+    allocatable: list[Node] = [v for v in dag.nodes if pending_parents[v] == 0]
+    allocated: set[Node] = set()
+    done: set[Node] = set()
+
+    # event queue: (time, tiebreak, kind, payload)
+    counter = itertools.count()
+    events: list[tuple[float, int, str, int, Node | None]] = []
+    idle_clients: list[int] = []
+    idle_since: dict[int, float] = {}
+    busy_time = 0.0
+    idle_time = 0.0
+    starvation = 0
+    headroom: list[tuple[float, int]] = [(0.0, len(allocatable))]
+
+    lost_allocations = 0
+    wasted_work = 0.0
+    trace: list[tuple] = []
+
+    def try_allocate(client_id: int, now: float) -> bool:
+        nonlocal busy_time, lost_allocations, wasted_work
+        if not allocatable:
+            return False
+        task = policy.select(allocatable)
+        allocatable.remove(task)
+        allocated.add(task)
+        spec = clients[client_id]
+        duration = work_fn(task) / spec.speed
+        if spec.dropout and rng.random() < spec.dropout:
+            duration *= spec.slowdown
+        duration += comm_per_input * dag.indegree(task)
+        lost = bool(spec.loss) and rng.random() < spec.loss
+        if lost:
+            lost_allocations += 1
+            wasted_work += duration
+        else:
+            busy_time += duration
+        kind = "lost" if lost else "done"
+        if record_trace:
+            trace.append((client_id, task, now, now + duration, kind))
+        heapq.heappush(
+            events, (now + duration, next(counter), kind, client_id, task)
+        )
+        return True
+
+    now = 0.0
+    for cid in range(len(clients)):
+        if not try_allocate(cid, now):
+            starvation += 1
+            idle_clients.append(cid)
+            idle_since[cid] = now
+    headroom.append((now, len(allocatable)))
+
+    while events:
+        now, _tb, kind, cid, task = heapq.heappop(events)
+        assert task is not None
+        if kind == "lost":
+            # server detects the loss; the task goes back in the pool
+            allocated.discard(task)
+            allocatable.append(task)
+        else:
+            done.add(task)
+            for child in dag.children(task):
+                pending_parents[child] -= 1
+                if pending_parents[child] == 0:
+                    allocatable.append(child)
+        # wake idle clients while work exists
+        while idle_clients and allocatable:
+            wid = idle_clients.pop(0)
+            idle_time += now - idle_since.pop(wid)
+            try_allocate(wid, now)
+        # the finishing client requests again
+        if not try_allocate(cid, now):
+            if len(done) < len(dag):
+                starvation += 1
+            idle_clients.append(cid)
+            idle_since[cid] = now
+        headroom.append((now, len(allocatable)))
+
+    if len(done) != len(dag):
+        raise SimulationError(
+            f"simulation stalled: {len(done)}/{len(dag)} tasks done"
+        )
+    for wid in idle_clients:
+        # trailing idleness up to makespan
+        idle_time += now - idle_since.pop(wid, now)
+    makespan = now
+    util = (
+        busy_time / (len(clients) * makespan) if makespan > 0 else 1.0
+    )
+    return SimulationResult(
+        policy=policy.name,
+        makespan=makespan,
+        starvation_events=starvation,
+        idle_time=idle_time,
+        utilization=util,
+        headroom_series=headroom,
+        completed=len(done),
+        lost_allocations=lost_allocations,
+        wasted_work=wasted_work,
+        trace=trace,
+    )
+
+
+def simulate_batched(
+    dag: ComputationDag,
+    batches,
+    clients: Sequence[ClientSpec] | int = 4,
+    work: Callable[[Node], float] | float = 1.0,
+    seed: int = 0,
+    comm_per_input: float = 0.0,
+) -> SimulationResult:
+    """Simulate the *batched* regimen of [20]: the server hands out one
+    batch per period and waits for the whole batch before issuing the
+    next (a barrier per round).
+
+    ``batches`` is a :class:`~repro.core.batched.BatchSchedule`.
+    Within a round, tasks go to clients by longest-processing-time
+    first onto the least-loaded client; the round lasts as long as its
+    most loaded client.  Simpler to operate than the event-driven
+    server — no eligibility tracking between requests — but the
+    barriers idle fast clients, which is exactly the trade-off the
+    batched framework accepts.
+    """
+    if isinstance(clients, int):
+        clients = [ClientSpec() for _ in range(clients)]
+    if not clients:
+        raise SimulationError("need at least one client")
+    work_fn = work if callable(work) else (lambda _v, _w=float(work): _w)
+    rng = random.Random(seed)
+
+    makespan = 0.0
+    busy_time = 0.0
+    idle_time = 0.0
+    headroom: list[tuple[float, int]] = [(0.0, len(batches.batches[0]))]
+    for batch in batches.batches:
+        durations = []
+        for task in batch:
+            d = work_fn(task)
+            durations.append((d, task))
+        durations.sort(reverse=True, key=lambda x: x[0])
+        loads = [0.0] * len(clients)
+        for d, task in durations:
+            cid = min(range(len(clients)), key=lambda c: loads[c])
+            spec = clients[cid]
+            dur = d / spec.speed
+            if spec.dropout and rng.random() < spec.dropout:
+                dur *= spec.slowdown
+            dur += comm_per_input * dag.indegree(task)
+            loads[cid] += dur
+            busy_time += dur
+        round_time = max(loads)
+        idle_time += sum(round_time - ld for ld in loads)
+        makespan += round_time
+        headroom.append((makespan, len(batch)))
+    util = busy_time / (len(clients) * makespan) if makespan > 0 else 1.0
+    return SimulationResult(
+        policy=f"BATCHED({batches.name})",
+        makespan=makespan,
+        starvation_events=0,
+        idle_time=idle_time,
+        utilization=util,
+        headroom_series=headroom,
+        completed=len(dag),
+    )

@@ -1,0 +1,119 @@
+"""Workload generators for the simulation benches.
+
+Besides the paper's own families (importable from
+:mod:`repro.families`), the comparison studies the paper cites run on
+*artificially generated dags* ([15]); these generators provide the
+synthetic population: random layered dags, random fork-join dags, and
+random (irregular) expansion-reduction diamonds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..exceptions import SimulationError
+from ..core.dag import ComputationDag, Node
+from ..core.composition import CompositionChain
+from ..families.diamond import diamond_chain
+
+__all__ = [
+    "random_layered_dag",
+    "random_fork_join",
+    "random_out_tree_children",
+    "random_diamond",
+]
+
+
+def random_layered_dag(
+    layers: int,
+    width: int,
+    arc_prob: float = 0.4,
+    seed: int = 0,
+    name: str | None = None,
+) -> ComputationDag:
+    """A random layered dag: ``layers`` levels of ``width`` nodes;
+    each node draws arcs to next-layer nodes with ``arc_prob`` (at
+    least one, so no spurious sinks mid-dag)."""
+    if layers < 2 or width < 1:
+        raise SimulationError("need layers >= 2 and width >= 1")
+    rng = random.Random(seed)
+    dag = ComputationDag(name=name or f"layered({layers}x{width})")
+    for lv in range(layers):
+        for i in range(width):
+            dag.add_node((lv, i))
+    for lv in range(layers - 1):
+        for i in range(width):
+            targets = [j for j in range(width) if rng.random() < arc_prob]
+            if not targets:
+                targets = [rng.randrange(width)]
+            for j in targets:
+                dag.add_arc((lv, i), (lv + 1, j))
+        # every next-layer node needs at least one parent, so the only
+        # sources are layer-0 nodes
+        for j in range(width):
+            if dag.indegree((lv + 1, j)) == 0:
+                dag.add_arc((lv, rng.randrange(width)), (lv + 1, j))
+    return dag
+
+
+def random_fork_join(
+    stages: int,
+    max_width: int = 6,
+    seed: int = 0,
+    name: str | None = None,
+) -> ComputationDag:
+    """A fork-join chain: each stage forks one node into a random
+    number of parallel tasks and joins them again."""
+    if stages < 1:
+        raise SimulationError("need at least one stage")
+    rng = random.Random(seed)
+    dag = ComputationDag(name=name or f"forkjoin({stages})")
+    prev: Node = ("join", 0)
+    dag.add_node(prev)
+    for s in range(1, stages + 1):
+        width = rng.randint(2, max_width)
+        join: Node = ("join", s)
+        for i in range(width):
+            mid: Node = ("task", s, i)
+            dag.add_arc(prev, mid)
+            dag.add_arc(mid, join)
+        prev = join
+    return dag
+
+
+def random_out_tree_children(
+    n_internal: int,
+    max_arity: int = 3,
+    seed: int = 0,
+) -> tuple[dict[Node, list[Node]], Node]:
+    """A random out-tree spec with ``n_internal`` internal nodes of
+    arity ``2..max_arity`` (grown by repeatedly expanding a random
+    leaf).  Returns ``(children, root)``."""
+    if n_internal < 1:
+        raise SimulationError("need at least one internal node")
+    rng = random.Random(seed)
+    counter = [0]
+
+    def fresh() -> Node:
+        counter[0] += 1
+        return ("t", counter[0])
+
+    root = fresh()
+    children: dict[Node, list[Node]] = {}
+    leaves = [root]
+    for _ in range(n_internal):
+        v = leaves.pop(rng.randrange(len(leaves)))
+        kids = [fresh() for _ in range(rng.randint(2, max_arity))]
+        children[v] = kids
+        leaves.extend(kids)
+    return children, root
+
+
+def random_diamond(
+    n_internal: int, max_arity: int = 3, seed: int = 0
+) -> CompositionChain:
+    """A random irregular expansion-reduction diamond (out-tree
+    composed with its dual in-tree), as Section 3.2's adaptive
+    quadrature would produce."""
+    children, root = random_out_tree_children(n_internal, max_arity, seed)
+    return diamond_chain(children, root, name=f"rand-diamond({n_internal})")

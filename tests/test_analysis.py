@@ -1,0 +1,68 @@
+"""Tests for profile analytics and report rendering."""
+
+from repro.analysis import (
+    dominance_relation,
+    profile_area,
+    profile_summary,
+    render_kv,
+    render_series,
+    render_table,
+    time_to_k_eligible,
+)
+from repro.blocks import block
+
+
+class TestProfiles:
+    def test_area(self):
+        assert profile_area([1, 2, 3]) == 6
+        assert profile_area([]) == 0
+
+    def test_time_to_k(self):
+        assert time_to_k_eligible([1, 2, 4, 3], 4) == 2
+        assert time_to_k_eligible([1, 2], 5) is None
+        assert time_to_k_eligible([3], 1) == 0
+
+    def test_dominance_relation(self):
+        assert dominance_relation([2, 2], [2, 2]) == "equal"
+        assert dominance_relation([3, 2], [2, 2]) == "a"
+        assert dominance_relation([2, 2], [3, 2]) == "b"
+        assert dominance_relation([3, 1], [1, 3]) == "incomparable"
+
+    def test_summary(self):
+        _g, s = block("W", 3)
+        info = profile_summary(s)
+        assert info["peak"] == 4
+        assert info["steps"] == len(s)
+        assert info["area"] == sum(s.profile)
+        assert info["time_to_peak"] == 3
+
+
+class TestRendering:
+    def test_table(self):
+        out = render_table(
+            ["policy", "makespan"], [["FIFO", 12], ["IC-OPT", 9]], title="t"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "policy" in lines[1]
+        assert "IC-OPT" in lines[-1]
+
+    def test_table_alignment(self):
+        out = render_table(["a"], [["looooong"], ["x"]])
+        header, sep, r1, r2 = out.splitlines()
+        assert len(sep) == len("looooong")
+
+    def test_series_short(self):
+        assert render_series("p", [1, 2, 3]) == "p: [1, 2, 3]"
+
+    def test_series_elides(self):
+        out = render_series("p", list(range(100)), max_items=10)
+        assert "..." in out
+        assert out.count(",") <= 11
+
+    def test_kv(self):
+        out = render_kv({"alpha": 1, "b": 2}, title="hdr")
+        lines = out.splitlines()
+        assert lines[0] == "hdr"
+        assert lines[1].startswith("alpha")
+        assert ": 2" in lines[2]

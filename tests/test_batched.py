@@ -1,0 +1,138 @@
+"""Tests for batched scheduling (the [20] companion framework)."""
+
+import pytest
+
+from repro.core import (
+    BatchSchedule,
+    ComputationDag,
+    coffman_graham_batches,
+    hu_batches,
+    level_batches,
+    min_rounds_lower_bound,
+    optimal_batches,
+)
+from repro.exceptions import OptimalityError, ScheduleError
+from repro.families import mesh, trees
+
+
+def chain_dag(n=5):
+    return ComputationDag(arcs=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestBatchSchedule:
+    def test_valid(self):
+        dag = chain_dag(3)
+        bs = BatchSchedule(dag, [[0], [1], [2]], capacity=1)
+        assert bs.rounds == 3
+        assert bs.flat_order() == [0, 1, 2]
+
+    def test_precedence_within_round_rejected(self):
+        dag = chain_dag(3)
+        with pytest.raises(ScheduleError, match="before parent"):
+            BatchSchedule(dag, [[0, 1], [2]])
+
+    def test_capacity_enforced(self):
+        dag = ComputationDag(nodes=[1, 2, 3])
+        with pytest.raises(ScheduleError, match="capacity"):
+            BatchSchedule(dag, [[1, 2, 3]], capacity=2)
+
+    def test_coverage_enforced(self):
+        dag = chain_dag(3)
+        with pytest.raises(ScheduleError, match="cover"):
+            BatchSchedule(dag, [[0], [1]])
+
+    def test_duplicate_rejected(self):
+        dag = ComputationDag(nodes=[1, 2])
+        with pytest.raises(ScheduleError, match="twice"):
+            BatchSchedule(dag, [[1], [1], [2]])
+
+    def test_empty_batch_rejected(self):
+        dag = ComputationDag(nodes=[1])
+        with pytest.raises(ScheduleError, match="empty"):
+            BatchSchedule(dag, [[], [1]])
+
+    def test_utilization(self):
+        dag = ComputationDag(nodes=[1, 2, 3])
+        bs = BatchSchedule(dag, [[1, 2], [3]], capacity=2)
+        assert bs.utilization == pytest.approx(0.75)
+
+
+class TestLevelBatches:
+    def test_rounds_equal_depth_plus_one(self):
+        for d in (mesh.out_mesh_dag(4), trees.complete_out_tree(3).dag):
+            assert level_batches(d).rounds == d.depth() + 1
+
+    def test_batches_are_levels(self):
+        dag = mesh.out_mesh_dag(3)
+        bs = level_batches(dag)
+        assert [len(b) for b in bs.batches] == [1, 2, 3, 4]
+
+
+class TestHeuristicBatchers:
+    @pytest.mark.parametrize("cap", [1, 2, 3, 5])
+    def test_hu_valid_on_families(self, cap):
+        for dag in (mesh.out_mesh_dag(4), trees.complete_in_tree(3).dag):
+            bs = hu_batches(dag, cap)
+            assert bs.capacity == cap
+            assert sum(len(b) for b in bs.batches) == len(dag)
+
+    def test_hu_optimal_on_in_tree(self):
+        """Hu's algorithm is round-optimal on in-forests."""
+        dag = trees.complete_in_tree(3).dag  # 15 nodes
+        for cap in (1, 2, 3):
+            hu = hu_batches(dag, cap)
+            assert hu.rounds >= min_rounds_lower_bound(dag, cap)
+            opt = optimal_batches(dag, cap, node_limit=15)
+            assert hu.rounds == opt.rounds, cap
+
+    def test_coffman_graham_valid(self):
+        dag = mesh.out_mesh_dag(4)
+        bs = coffman_graham_batches(dag, 2)
+        assert bs.rounds >= min_rounds_lower_bound(dag, 2)
+
+    def test_coffman_graham_optimal_for_two(self):
+        """CG is round-optimal at capacity 2 — cross-checked against
+        the exact solver on small dags."""
+        for dag in (
+            trees.complete_out_tree(2).dag,
+            mesh.out_mesh_dag(3),
+            chain_dag(6),
+        ):
+            cg = coffman_graham_batches(dag, 2)
+            opt = optimal_batches(dag, 2, node_limit=16)
+            assert cg.rounds == opt.rounds, dag.name
+
+    def test_bad_capacity(self):
+        with pytest.raises(ScheduleError):
+            hu_batches(chain_dag(3), 0)
+        with pytest.raises(ScheduleError):
+            coffman_graham_batches(chain_dag(3), 0)
+
+
+class TestExact:
+    def test_chain_needs_n_rounds(self):
+        dag = chain_dag(5)
+        assert optimal_batches(dag, 3).rounds == 5
+
+    def test_wide_dag_packs(self):
+        dag = ComputationDag(nodes=range(6))
+        assert optimal_batches(dag, 3).rounds == 2
+
+    def test_respects_lower_bound(self):
+        dag = mesh.out_mesh_dag(3)  # 10 nodes
+        for cap in (1, 2, 3):
+            opt = optimal_batches(dag, cap)
+            assert opt.rounds >= min_rounds_lower_bound(dag, cap)
+            assert opt.rounds <= hu_batches(dag, cap).rounds
+
+    def test_node_limit_enforced(self):
+        with pytest.raises(OptimalityError, match="limited"):
+            optimal_batches(mesh.out_mesh_dag(6), 2)
+
+    def test_lower_bound_components(self):
+        dag = chain_dag(4)
+        # depth bound dominates
+        assert min_rounds_lower_bound(dag, 8) == 4
+        wide = ComputationDag(nodes=range(9))
+        # capacity bound dominates
+        assert min_rounds_lower_bound(wide, 2) == 5

@@ -1,0 +1,228 @@
+"""Structural tests for every building block and the catalog API."""
+
+import pytest
+
+from repro.blocks import (
+    anchor,
+    block,
+    butterfly_block,
+    cycle_dag,
+    lambda_dag,
+    m_dag,
+    n_dag,
+    nsnk,
+    nsrc,
+    vee_dag,
+    w_dag,
+)
+from repro.core import is_ic_optimal
+from repro.exceptions import DagStructureError
+
+
+class TestVeeLambda:
+    def test_vee_shape(self):
+        v = vee_dag()
+        assert len(v) == 3
+        assert v.sources == ["root"]
+        assert len(v.sinks) == 2
+
+    def test_vee_degree_d(self):
+        v = vee_dag(4)
+        assert v.outdegree("root") == 4
+        assert len(v.sinks) == 4
+
+    def test_vee_bad_degree(self):
+        with pytest.raises(DagStructureError):
+            vee_dag(0)
+
+    def test_lambda_shape(self):
+        lam = lambda_dag()
+        assert len(lam) == 3
+        assert len(lam.sources) == 2
+        assert lam.sinks == ["sink"]
+        assert lam.indegree("sink") == 2
+
+    def test_lambda_bad_degree(self):
+        with pytest.raises(DagStructureError):
+            lambda_dag(-1)
+
+
+class TestWM:
+    def test_w_shape(self):
+        w = w_dag(3)
+        assert len(w.sources) == 3
+        assert len(w.sinks) == 4
+        assert len(w.arcs) == 6
+        # W_1 is the Vee
+        assert w_dag(1).is_isomorphic_to(vee_dag())
+
+    def test_w_wiring(self):
+        w = w_dag(3)
+        assert set(w.children(("src", 1))) == {("snk", 1), ("snk", 2)}
+
+    def test_m_shape(self):
+        m = m_dag(3)
+        assert len(m.sources) == 4
+        assert len(m.sinks) == 3
+        # M_1 is the Lambda
+        assert m_dag(1).is_isomorphic_to(lambda_dag())
+
+    def test_m_wiring(self):
+        m = m_dag(3)
+        assert set(m.parents(("snk", 1))) == {("src", 1), ("src", 2)}
+
+    def test_bad_sizes(self):
+        with pytest.raises(DagStructureError):
+            w_dag(0)
+        with pytest.raises(DagStructureError):
+            m_dag(0)
+
+
+class TestNDag:
+    def test_shape_and_arc_count(self):
+        for s in (1, 2, 5):
+            n = n_dag(s)
+            assert len(n.sources) == s
+            assert len(n.sinks) == s
+            assert len(n.arcs) == 2 * s - 1
+
+    def test_anchor_child_has_no_other_parent(self):
+        n = n_dag(4)
+        a = anchor(n)
+        assert a == nsrc(0)
+        child = n.children(a)[0]
+        assert n.parents(nsnk(0)) == [a]
+
+    def test_wiring(self):
+        n = n_dag(3)
+        assert set(n.children(nsrc(1))) == {nsnk(1), nsnk(2)}
+        assert n.children(nsrc(2)) == [nsnk(2)]
+
+    def test_bad_size(self):
+        with pytest.raises(DagStructureError):
+            n_dag(0)
+
+
+class TestCycle:
+    def test_shape(self):
+        c = cycle_dag(4)
+        assert len(c.sources) == 4
+        assert len(c.sinks) == 4
+        assert len(c.arcs) == 8
+        assert all(c.outdegree(v) == 2 for v in c.sources)
+        assert all(c.indegree(v) == 2 for v in c.sinks)
+
+    def test_wraparound_arc(self):
+        c = cycle_dag(4)
+        assert c.has_arc(("src", 3), ("snk", 0))
+
+    def test_min_size(self):
+        with pytest.raises(DagStructureError):
+            cycle_dag(1)
+
+    def test_cycle_is_n_plus_arc(self):
+        c = cycle_dag(3)
+        n = n_dag(3)
+        assert set(n.arcs) < set(c.arcs)
+        assert len(c.arcs) == len(n.arcs) + 1
+
+
+class TestButterfly:
+    def test_shape(self):
+        b = butterfly_block()
+        assert len(b) == 4
+        assert len(b.arcs) == 4  # K_{2,2}
+        assert all(b.outdegree(v) == 2 for v in b.sources)
+
+
+class TestCatalog:
+    def test_block_api(self):
+        g, s = block("W", 4)
+        assert g.name == "W4"
+        assert len(s) == len(g)
+
+    def test_aliases(self):
+        g1, _ = block("L")
+        g2, _ = block("Λ")
+        assert g1.is_isomorphic_to(g2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            block("Z", 1)
+
+    def test_all_catalogued_schedules_exhaustively_optimal(self):
+        cases = [
+            ("V", None),
+            ("V", 3),
+            ("Λ", None),
+            ("Λ", 4),
+            ("W", 1),
+            ("W", 5),
+            ("M", 1),
+            ("M", 4),
+            ("N", 1),
+            ("N", 6),
+            ("C", 2),
+            ("C", 6),
+            ("B", None),
+        ]
+        for kind, param in cases:
+            g, s = block(kind, param)
+            assert is_ic_optimal(s), f"{kind}({param})"
+
+
+class TestClique:
+    def test_shape(self):
+        from repro.blocks import clique_dag
+
+        q = clique_dag(3, 4)
+        assert len(q.sources) == 3
+        assert len(q.sinks) == 4
+        assert len(q.arcs) == 12
+
+    def test_specializations(self):
+        from repro.blocks import (
+            butterfly_block,
+            clique_dag,
+            lambda_dag,
+            vee_dag,
+        )
+
+        assert clique_dag(2, 2).is_isomorphic_to(butterfly_block())
+        assert clique_dag(1, 3).is_isomorphic_to(vee_dag(3))
+        assert clique_dag(3, 1).is_isomorphic_to(lambda_dag(3))
+
+    def test_every_schedule_optimal(self):
+        import itertools
+
+        from repro.blocks import clique_dag
+        from repro.core import Schedule, max_eligibility_profile
+
+        q = clique_dag(2, 3)
+        ceiling = max_eligibility_profile(q)
+        nonsinks = q.nonsinks
+        sinks = [v for v in q.nodes if q.is_sink(v)]
+        for perm in itertools.permutations(nonsinks):
+            s = Schedule(q, list(perm) + sinks)
+            assert is_ic_optimal(s, ceiling)
+
+    def test_catalog_entry(self):
+        from repro.blocks import block
+
+        g, s = block("Q", 3)
+        assert g.name == "Q3,3"
+        assert is_ic_optimal(s)
+
+    def test_validation(self):
+        from repro.blocks import clique_dag
+        from repro.exceptions import DagStructureError
+
+        with pytest.raises(DagStructureError):
+            clique_dag(0, 2)
+
+    def test_self_priority(self):
+        from repro.blocks import block
+        from repro.core import has_priority
+
+        g, s = block("Q", 2)
+        assert has_priority(g, g, s, s)

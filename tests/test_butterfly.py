@@ -1,0 +1,140 @@
+"""Tests for butterfly networks and Section 5's claims (Figs. 8-10)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Certificate,
+    Schedule,
+    all_ic_optimal_nonsink_orders,
+    is_ic_optimal,
+    max_eligibility_profile,
+    schedule_dag,
+)
+from repro.exceptions import DagStructureError
+from repro.families import butterfly_net as bf
+
+
+class TestStructure:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_node_and_arc_counts(self, d):
+        dag = bf.butterfly_dag(d)
+        assert len(dag) == (d + 1) * (1 << d)
+        assert len(dag.arcs) == d * (1 << (d + 1))
+
+    def test_b1_is_block(self):
+        from repro.blocks import butterfly_block
+
+        assert bf.butterfly_dag(1).is_isomorphic_to(butterfly_block())
+
+    def test_wiring(self):
+        dag = bf.butterfly_dag(2)
+        assert set(dag.children((0, 0))) == {(1, 0), (1, 1)}
+        assert set(dag.children((1, 1))) == {(2, 1), (2, 3)}
+
+    def test_chain_matches_dag(self):
+        for d in (1, 2, 3):
+            assert bf.butterfly_chain(d).dag.same_structure(bf.butterfly_dag(d))
+
+    def test_block_count(self):
+        # d * 2^(d-1) butterfly blocks
+        ch = bf.butterfly_chain(3)
+        assert len(ch) == 3 * 4
+
+    def test_bad_dimension(self):
+        with pytest.raises(DagStructureError):
+            bf.butterfly_dag(0)
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_certified_and_optimal(self, d):
+        r = schedule_dag(bf.butterfly_chain(d))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_b3_certified(self):
+        r = schedule_dag(bf.butterfly_chain(3))
+        assert r.certificate is Certificate.COMPOSITION
+
+    def test_paired_characterization_forward(self):
+        """Section 5.1 box: IC-optimal iff the two sources of each B
+        copy run consecutively — forward direction on B_2, via
+        exhaustive enumeration of optimal orders."""
+        ch = bf.butterfly_chain(2)
+        dag = ch.dag
+        orders = all_ic_optimal_nonsink_orders(dag, limit=500)
+        assert orders
+        for order in orders:
+            sched = Schedule(
+                dag,
+                list(order) + [v for v in dag.nodes if dag.is_sink(v)],
+            )
+            assert bf.paired_schedule_orders(sched, ch), order
+
+    def test_paired_characterization_converse(self):
+        """...and the converse: every valid nonsink order executing
+        each B copy's sources consecutively is IC-optimal."""
+        ch = bf.butterfly_chain(2)
+        dag = ch.dag
+        ceiling = max_eligibility_profile(dag)
+        sinks = [v for v in dag.nodes if dag.is_sink(v)]
+        nonsinks = dag.nonsinks
+        checked = 0
+        for perm in itertools.permutations(nonsinks):
+            try:
+                s = Schedule(dag, list(perm) + sinks)
+            except Exception:
+                continue
+            if bf.paired_schedule_orders(s, ch):
+                checked += 1
+                assert is_ic_optimal(s, ceiling), perm
+        assert checked >= 2
+
+    def test_unpaired_is_suboptimal(self):
+        ch = bf.butterfly_chain(2)
+        dag = ch.dag
+        sinks = [v for v in dag.nodes if dag.is_sink(v)]
+        # interleave the two level-0 blocks' sources
+        order = [(0, 0), (0, 2), (0, 1), (0, 3), (1, 0), (1, 1), (1, 2), (1, 3)]
+        s = Schedule(dag, order + sinks)
+        assert not is_ic_optimal(s)
+
+
+class TestComparatorNetworks:
+    def test_bitonic_stage_count(self):
+        # k(k+1)/2 stages of n/2 comparators each
+        stages = bf.bitonic_stages(8)
+        assert len(stages) == 6
+        assert all(len(st) == 4 for st in stages)
+
+    def test_bitonic_chain_certified(self):
+        r = schedule_dag(bf.comparator_network_chain(4, bf.bitonic_stages(4)))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(DagStructureError):
+            bf.bitonic_stages(6)
+
+    def test_partial_stage_allowed(self):
+        # wires not mentioned in a stage pass through implicitly
+        ch = bf.comparator_network_chain(4, [[(0, 1)], [(1, 2)]])
+        # 4 nodes for the first block, then wire 2's fresh input and
+        # the second block's two outputs; untouched wire 3 has no node
+        assert len(ch.dag) == 7
+
+    def test_wire_reuse_in_stage_rejected(self):
+        with pytest.raises(DagStructureError, match="twice"):
+            bf.comparator_network_chain(4, [[(0, 1), (1, 2)]])
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(DagStructureError):
+            bf.comparator_network_chain(4, [[(0, 0)]])
+        with pytest.raises(DagStructureError):
+            bf.comparator_network_chain(4, [[(0, 9)]])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(DagStructureError, match="no blocks"):
+            bf.comparator_network_chain(4, [])

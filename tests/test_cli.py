@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_family, main
+
+
+class TestBuildFamily:
+    def test_known_families(self):
+        assert len(build_family("mesh", 3).dag) == 10
+        assert len(build_family("matmul", None).dag) == 20
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_family("hypercube", 3)
+
+    def test_missing_param(self):
+        with pytest.raises(SystemExit):
+            build_family("mesh", None)
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "butterfly" in out and "matmul" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "mesh", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate: composition" in out
+        assert "E(t):" in out
+
+    def test_schedule_show_dag(self, capsys):
+        assert main(["schedule", "diamond", "2", "--show-dag"]) == 0
+        out = capsys.readouterr().out
+        assert "L0:" in out
+
+    def test_verify_optimal(self, capsys):
+        assert main(["verify", "prefix", "4"]) == 0
+        assert "ic_optimal=True" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "mesh", "4", "--clients", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "IC-OPT" in out and "FIFO" in out
+
+    def test_simulate_hetero(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "butterfly",
+                    "3",
+                    "--clients",
+                    "5",
+                    "--hetero",
+                    "--dropout",
+                    "0.2",
+                ]
+            )
+            == 0
+        )
+
+    def test_priority(self, capsys):
+        assert main(["priority", "N4", "L"]) == 0
+        out = capsys.readouterr().out
+        assert "N4 ▷ Λ: True" in out
+        assert "Λ ▷ N4: False" in out
+
+    def test_priority_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["priority", "##", "L"])
+
+    def test_batch(self, capsys):
+        assert main(["batch", "mesh", "4", "--capacity", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hu" in out and "coffman-graham" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

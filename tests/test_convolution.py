@@ -1,0 +1,76 @@
+"""Tests for FFT-based convolutions and polynomial products (§5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.convolution import (
+    direct_convolution,
+    fft_convolution,
+    polynomial_multiply,
+)
+from repro.exceptions import ComputeError
+
+
+class TestDirect:
+    def test_known_product(self):
+        # (1 + 2x)(3 + 4x) = 3 + 10x + 8x²
+        assert [c.real for c in direct_convolution([1, 2], [3, 4])] == [3, 10, 8]
+
+    def test_identity(self):
+        assert [c.real for c in direct_convolution([5, 6, 7], [1])] == [5, 6, 7]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ComputeError):
+            direct_convolution([], [1])
+
+
+class TestFFTConvolution:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ([1.0, 2.0, 3.0], [4.0, 5.0]),
+            ([1.0], [1.0]),
+            ([0.0, 0.0, 1.0], [1.0, -1.0]),
+            (list(range(1, 9)), list(range(8, 0, -1))),
+        ],
+    )
+    def test_matches_direct(self, a, b):
+        got = fft_convolution(a, b)
+        ref = direct_convolution(a, b)
+        assert len(got) == len(ref)
+        assert max(abs(x - y) for x, y in zip(got, ref)) < 1e-9
+
+    def test_matches_numpy(self):
+        a = [0.5, -1.5, 2.0, 3.25]
+        b = [1.0, 0.0, -2.0]
+        got = polynomial_multiply(a, b)
+        ref = np.convolve(a, b)
+        assert np.allclose(got, ref)
+
+    def test_output_length(self):
+        assert len(fft_convolution([1] * 5, [1] * 3)) == 7
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=12),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=12),
+    )
+    def test_property_matches_numpy(self, a, b):
+        got = polynomial_multiply(a, b)
+        ref = np.convolve(a, b)
+        assert np.allclose(got, ref, atol=1e-6)
+
+    def test_convolution_theorem_coefficients(self):
+        """The §5.2 formula: A_k = Σ a_i b_{k-i}."""
+        a = [2.0, 3.0, 5.0]
+        b = [7.0, 11.0]
+        out = polynomial_multiply(a, b)
+        for k in range(len(out)):
+            expect = sum(
+                a[i] * b[k - i]
+                for i in range(len(a))
+                if 0 <= k - i < len(b)
+            )
+            assert out[k] == pytest.approx(expect)

@@ -1,0 +1,246 @@
+"""Unit tests for the ComputationDag substrate (Section 2.1 vocabulary)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ComputationDag
+from repro.exceptions import CycleError, DagStructureError
+
+
+def small_dag():
+    return ComputationDag(arcs=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = ComputationDag()
+        assert len(d) == 0
+        assert d.nodes == []
+        assert d.arcs == []
+
+    def test_nodes_and_arcs_in_insertion_order(self):
+        d = ComputationDag(nodes=["x"], arcs=[("a", "b"), ("a", "c")])
+        assert d.nodes == ["x", "a", "b", "c"]
+        assert d.arcs == [("a", "b"), ("a", "c")]
+
+    def test_add_node_idempotent(self):
+        d = ComputationDag()
+        d.add_node("a")
+        d.add_node("a")
+        assert d.nodes == ["a"]
+
+    def test_add_arc_adds_endpoints(self):
+        d = ComputationDag()
+        d.add_arc(1, 2)
+        assert set(d.nodes) == {1, 2}
+        assert d.has_arc(1, 2)
+        assert not d.has_arc(2, 1)
+
+    def test_self_loop_rejected(self):
+        d = ComputationDag()
+        with pytest.raises(CycleError):
+            d.add_arc("a", "a")
+
+    def test_add_arcs_bulk(self):
+        d = ComputationDag()
+        d.add_arcs([(1, 2), (2, 3)])
+        assert len(d.arcs) == 2
+
+    def test_duplicate_arc_collapses(self):
+        d = ComputationDag(arcs=[("a", "b"), ("a", "b")])
+        assert d.arcs == [("a", "b")]
+        assert d.outdegree("a") == 1
+
+    def test_remove_node(self):
+        d = small_dag()
+        d.remove_node("b")
+        assert "b" not in d
+        assert not d.has_arc("a", "b")
+        assert d.parents("d") == ["c"]
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(DagStructureError):
+            small_dag().remove_node("zzz")
+
+    def test_remove_arc(self):
+        d = small_dag()
+        d.remove_arc("a", "b")
+        assert not d.has_arc("a", "b")
+        assert "b" in d
+
+    def test_remove_missing_arc_raises(self):
+        with pytest.raises(DagStructureError):
+            small_dag().remove_arc("b", "c")
+
+
+class TestQueries:
+    def test_parents_children(self):
+        d = small_dag()
+        assert d.parents("d") == ["b", "c"]
+        assert d.children("a") == ["b", "c"]
+
+    def test_degrees(self):
+        d = small_dag()
+        assert d.indegree("d") == 2
+        assert d.outdegree("a") == 2
+        assert d.indegree("a") == 0
+        assert d.outdegree("d") == 0
+
+    def test_sources_sinks(self):
+        d = small_dag()
+        assert d.sources == ["a"]
+        assert d.sinks == ["d"]
+        assert set(d.nonsinks) == {"a", "b", "c"}
+        assert set(d.nonsources) == {"b", "c", "d"}
+
+    def test_is_source_is_sink(self):
+        d = small_dag()
+        assert d.is_source("a") and not d.is_source("b")
+        assert d.is_sink("d") and not d.is_sink("c")
+
+    def test_isolated_node_is_both(self):
+        d = ComputationDag(nodes=["solo"])
+        assert d.sources == ["solo"]
+        assert d.sinks == ["solo"]
+        assert d.nonsinks == []
+
+    def test_contains_and_iter(self):
+        d = small_dag()
+        assert "a" in d and "zz" not in d
+        assert list(d) == d.nodes
+
+    def test_query_missing_node_raises(self):
+        with pytest.raises(DagStructureError):
+            small_dag().parents("nope")
+
+
+class TestStructure:
+    def test_validate_acyclic(self):
+        small_dag().validate()  # does not raise
+
+    def test_validate_detects_cycle(self):
+        d = ComputationDag(arcs=[(1, 2), (2, 3), (3, 1)])
+        with pytest.raises(CycleError):
+            d.validate()
+        assert not d.is_acyclic()
+
+    def test_topological_order(self):
+        d = small_dag()
+        order = d.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in d.arcs:
+            assert pos[u] < pos[v]
+
+    def test_topological_order_cycle_raises(self):
+        d = ComputationDag(arcs=[(1, 2), (2, 1)])
+        with pytest.raises(CycleError):
+            d.topological_order()
+
+    def test_connectivity(self):
+        assert small_dag().is_connected()
+        d = ComputationDag(arcs=[(1, 2), (3, 4)])
+        assert not d.is_connected()
+        comps = d.connected_components()
+        assert sorted(map(sorted, comps)) == [[1, 2], [3, 4]]
+
+    def test_empty_dag_connected(self):
+        assert ComputationDag().is_connected()
+
+    def test_descendants_ancestors(self):
+        d = small_dag()
+        assert d.descendants("a") == {"b", "c", "d"}
+        assert d.ancestors("d") == {"a", "b", "c"}
+        assert d.descendants("d") == set()
+        assert d.ancestors("a") == set()
+
+    def test_depth_and_levels(self):
+        d = small_dag()
+        assert d.depth() == 2
+        levels = d.node_levels()
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_depth_arcless(self):
+        assert ComputationDag(nodes=[1, 2]).depth() == 0
+
+
+class TestDerived:
+    def test_dual_swaps_sources_and_sinks(self):
+        d = small_dag()
+        dd = d.dual()
+        assert dd.sources == d.sinks
+        assert set(dd.sinks) == set(d.sources)
+        assert dd.has_arc("b", "a")
+
+    def test_dual_involution(self):
+        d = small_dag()
+        assert d.dual().dual().same_structure(d)
+
+    def test_copy_independent(self):
+        d = small_dag()
+        c = d.copy()
+        c.add_arc("d", "e")
+        assert "e" not in d
+        assert d.same_structure(small_dag())
+
+    def test_relabel_mapping(self):
+        d = small_dag()
+        r = d.relabel({"a": "A"})
+        assert "A" in r and "a" not in r
+        assert r.has_arc("A", "b")
+
+    def test_relabel_callable(self):
+        d = small_dag()
+        r = d.relabel(str.upper)
+        assert set(r.nodes) == {"A", "B", "C", "D"}
+
+    def test_relabel_noninjective_raises(self):
+        with pytest.raises(DagStructureError):
+            small_dag().relabel(lambda v: "same")
+
+    def test_prefixed(self):
+        d = small_dag()
+        p = d.prefixed("x")
+        assert ("x", "a") in p
+        assert p.has_arc(("x", "a"), ("x", "b"))
+
+    def test_induced_subdag(self):
+        d = small_dag()
+        s = d.induced_subdag(["a", "b", "d"])
+        assert set(s.nodes) == {"a", "b", "d"}
+        assert s.arcs == [("a", "b"), ("b", "d")]
+
+    def test_induced_subdag_missing_node_raises(self):
+        with pytest.raises(DagStructureError):
+            small_dag().induced_subdag(["a", "zz"])
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        d = small_dag()
+        back = ComputationDag.from_networkx(d.to_networkx())
+        assert back.same_structure(d)
+
+    def test_networkx_agrees_on_topology(self):
+        d = small_dag()
+        g = d.to_networkx()
+        assert nx.is_directed_acyclic_graph(g)
+        assert set(g.edges) == set(d.arcs)
+
+    def test_isomorphism(self):
+        d1 = small_dag()
+        d2 = d1.relabel(lambda v: ("r", v))
+        assert d1.is_isomorphic_to(d2)
+        d2.add_arc(("r", "d"), ("r", "e"))
+        assert not d1.is_isomorphic_to(d2)
+
+    def test_equality_and_hash(self):
+        assert small_dag() == small_dag()
+        assert hash(small_dag()) == hash(small_dag())
+        other = small_dag()
+        other.add_node("extra")
+        assert small_dag() != other
+
+    def test_repr_and_summary(self):
+        d = small_dag()
+        assert "nodes=4" in repr(d)
+        assert "1 sources" in d.summary()

@@ -1,0 +1,169 @@
+"""Tests for diamond dags and the Table 1 / Fig. 4 alternations
+(Section 3)."""
+
+import pytest
+
+from repro.core import Certificate, is_ic_optimal, schedule_dag
+from repro.exceptions import CompositionError
+from repro.families import diamond, trees
+
+
+class TestDiamond:
+    def test_fig2_structure(self):
+        ch = diamond.complete_diamond(2)
+        dag = ch.dag
+        # 7-node out-tree + 7-node in-tree sharing 4 leaves
+        assert len(dag) == 10
+        assert dag.sources == [(0, 0)]
+        assert dag.sinks == [("acc", (0, 0))]
+
+    def test_composite_type(self):
+        ch = diamond.complete_diamond(2)
+        names = [rec.block.name for rec in ch.blocks]
+        assert names == ["V", "V", "V", "Λ", "Λ", "Λ"]
+
+    def test_certified_and_optimal(self):
+        ch = diamond.complete_diamond(2)
+        r = schedule_dag(ch)
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_theorem21_order_runs_out_tree_first(self):
+        ch = diamond.complete_diamond(2)
+        r = schedule_dag(ch)
+        order = list(r.schedule.order)
+        out_internal = [(0, 0), (1, 0), (1, 1)]
+        acc_positions = [
+            order.index(v) for v in order if isinstance(v, tuple) and v[0] == "acc"
+        ]
+        for v in out_internal:
+            assert order.index(v) < min(acc_positions)
+
+    def test_irregular_diamond(self):
+        children = {"r": ["a", "b"], "a": ["c", "d", "e"]}
+        ch = diamond.diamond_chain(children, "r")
+        r = schedule_dag(ch)
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_explicit_in_tree(self):
+        out_children = {"r": ["x", "y"]}
+        in_children = {"R": ["X", "Y"]}
+        ch = diamond.diamond_chain(out_children, "r", in_children, "R")
+        assert len(ch.dag) == 4  # r, x(=X), y(=Y), R
+
+    def test_leaf_count_mismatch_rejected(self):
+        out_children = {"r": ["x", "y"]}
+        in_children = {"R": ["X", "Y", "Z"]}
+        with pytest.raises(CompositionError, match="matching leaf counts"):
+            diamond.diamond_chain(out_children, "r", in_children, "R")
+
+    def test_in_root_required(self):
+        with pytest.raises(Exception):
+            diamond.diamond_chain({"r": ["x", "y"]}, "r", {"R": ["X", "Y"]})
+
+
+class TestTable1:
+    @pytest.mark.parametrize("row", [1, 2, 3])
+    def test_rows_admit_ic_optimal_schedules(self, row):
+        fn = {1: diamond.table1_row1, 2: diamond.table1_row2, 3: diamond.table1_row3}[row]
+        ch = fn(1, depth=1)
+        r = schedule_dag(ch)
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule), f"row {row}"
+
+    def test_row1_shape(self):
+        ch = diamond.table1_row1(1, depth=1)
+        # two diamonds of 4 nodes each sharing one cut node
+        assert len(ch.dag) == 7
+        assert len(ch.dag.sources) == 1
+        assert len(ch.dag.sinks) == 1
+
+    def test_row2_leading_in_tree(self):
+        ch = diamond.table1_row2(1, depth=1)
+        # in-tree (3 nodes) -> diamond (4 nodes), sharing the cut
+        assert len(ch.dag.sources) == 2
+        assert len(ch.dag.sinks) == 1
+
+    def test_row3_trailing_out_tree(self):
+        ch = diamond.table1_row3(1, depth=1)
+        assert len(ch.dag.sources) == 1
+        assert len(ch.dag.sinks) == 2
+
+    def test_longer_chains_certify(self):
+        ch = diamond.table1_row1(3, depth=2)
+        r = schedule_dag(ch)
+        assert r.certificate is Certificate.SEGMENTED
+
+    def test_deeper_rows_verified_exhaustively(self):
+        ch = diamond.table1_row2(1, depth=2)
+        r = schedule_dag(ch)
+        assert is_ic_optimal(r.schedule)
+
+
+class TestAlternatingBuilder:
+    def test_unmatched_leaf_counts_fig4_rightmost(self):
+        """Fig. 4 (rightmost): composed out-trees and in-trees need
+        not have matching leaf counts — extra out-tree leaves simply
+        stay sinks."""
+        b = diamond.AlternatingBuilder()
+        out3, root3 = trees.complete_tree_children(2)  # 4 leaves
+        in1, rin = trees.complete_tree_children(1)  # 2 leaves
+        b.expand(out3, root3)
+        b.reduce(in1, rin)
+        dag = b.build().dag
+        # 2 of the 4 out-leaves merged; 2 remain sinks + in-root sink
+        assert len(dag.sinks) == 3
+        r = schedule_dag(b.build())
+        assert is_ic_optimal(r.schedule)
+
+    def test_empty_builder_raises(self):
+        with pytest.raises(CompositionError):
+            diamond.AlternatingBuilder().build()
+
+    def test_expand_after_reduce_merges_cut(self):
+        b = diamond.AlternatingBuilder()
+        spec, root = trees.complete_tree_children(1)
+        b.reduce(spec, root).expand(spec, root)
+        dag = b.build().dag
+        assert len(dag.sources) == 2
+        assert len(dag.sinks) == 2
+        assert len(dag) == 5  # 3 + 3 sharing the cut node
+
+    def test_phases_are_namespaced(self):
+        b = diamond.AlternatingBuilder()
+        spec, root = trees.complete_tree_children(1)
+        b.expand(spec, root).reduce(spec, root).expand(spec, root)
+        # 3-node out-tree, +1 for the in-root (both in-leaves merge),
+        # +2 for the trailing out-tree (its root merges with the cut)
+        assert len(b.build().dag) == 3 + 1 + 2
+
+
+class TestMixedArityCaveat:
+    def test_mixed_arity_diamond_may_lack_ic_optimal_schedule(self):
+        """Reproduction finding (EXPERIMENTS.md, deviations #7): §3.1's
+        blanket claim 'Every dag that represents an alternating
+        expansive-reductive computation admits an IC-optimal schedule'
+        holds for fixed-degree trees (footnote 7) but fails with mixed
+        arities: this 18-node diamond — whose out-tree's degree-4 and
+        degree-5 branches fight over early eligibility — admits none.
+        """
+        from repro.core import ic_optimal_exists
+
+        conflicted = {
+            "r": ["a", "b"],
+            "a": ["a1", "a2", "a3", "a4"],
+            "b": ["c", "c2"],
+            "c": ["c3", "c4", "c5", "c6", "c7"],
+        }
+        ch = diamond.diamond_chain(conflicted, "r", name="conflicted")
+        assert not ic_optimal_exists(ch.dag)
+
+    def test_fixed_arity_diamonds_always_admit(self):
+        """...whereas fixed-degree diamonds (the footnote-7 reading)
+        always do, at every tested shape."""
+        from repro.core import ic_optimal_exists
+
+        for depth, arity in ((1, 2), (2, 2), (1, 3), (2, 3)):
+            ch = diamond.complete_diamond(depth, arity)
+            assert ic_optimal_exists(ch.dag), (depth, arity)

@@ -1,0 +1,95 @@
+"""Tests for DLT execution (§6.2.1) — both generation algorithms."""
+
+import cmath
+import random
+
+import pytest
+
+from repro.compute.dlt import dlt_direct, dlt_vector, dlt_via_prefix, dlt_via_tree
+from repro.compute.fft import fft
+from repro.exceptions import ComputeError
+
+
+def close(a, b, tol=1e-9):
+    return abs(a - b) <= tol * (1 + abs(b))
+
+
+class TestAgainstDirect:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("k", [0, 1, 2, 5])
+    def test_prefix_method(self, n, k):
+        rng = random.Random(n * 10 + k)
+        x = [complex(rng.random(), rng.random()) for _ in range(n)]
+        w = cmath.exp(2j * cmath.pi / 16)
+        assert close(dlt_via_prefix(x, w, k), dlt_direct(x, w, k))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_tree_method(self, n, k):
+        rng = random.Random(n * 100 + k)
+        x = [complex(rng.random(), rng.random()) for _ in range(n)]
+        w = cmath.exp(2j * cmath.pi / 16)
+        assert close(dlt_via_tree(x, w, k), dlt_direct(x, w, k))
+
+    def test_methods_agree(self):
+        x = [1 + 1j, 2 - 1j, 0.5 + 0j, -3 + 2j]
+        w = 0.9 * cmath.exp(1j)  # off the unit circle: genuine Laplace
+        for k in range(4):
+            assert close(
+                dlt_via_prefix(x, w, k), dlt_via_tree(x, w, k), 1e-8
+            )
+
+    def test_too_small(self):
+        with pytest.raises(ComputeError):
+            dlt_via_prefix([1 + 0j], 1j, 1)
+        with pytest.raises(ComputeError):
+            dlt_via_tree([1 + 0j], 1j, 1)
+
+
+class TestVector:
+    def test_vector_both_methods(self):
+        x = [complex(i, -i) for i in range(8)]
+        w = cmath.exp(2j * cmath.pi / 8)
+        vp = dlt_vector(x, w, 8, method="prefix")
+        vt = dlt_vector(x, w, 8, method="tree")
+        for a, b in zip(vp, vt):
+            assert close(a, b, 1e-8)
+
+    def test_unknown_method(self):
+        with pytest.raises(ComputeError):
+            dlt_vector([1 + 0j, 2 + 0j], 1j, 2, method="magic")
+
+    def test_dlt_on_roots_of_unity_is_dft(self):
+        """With ω = e^{-2πi/n} the DLT vector is exactly the DFT —
+        linking §6.2.1 to the §5.2 FFT (both run IC-optimally)."""
+        x = [complex(i * i % 5, i % 3) for i in range(8)]
+        w = cmath.exp(-2j * cmath.pi / 8)
+        dlt_out = dlt_vector(x, w, 8, method="prefix")
+        fft_out = fft(x)
+        for a, b in zip(dlt_out, fft_out):
+            assert close(a, b, 1e-8)
+
+
+class TestCoarsened:
+    def test_matches_direct(self):
+        """Fig. 13 (right): the coarsened L_8 computes the same y_k(ω)
+        with coarser accumulation tasks."""
+        import cmath
+        import random
+
+        from repro.compute.dlt import dlt_via_coarsened
+
+        rng = random.Random(13)
+        x = [complex(rng.random(), rng.random()) for _ in range(8)]
+        w = cmath.exp(2j * cmath.pi / 16)
+        for k in range(3):
+            assert close(dlt_via_coarsened(x, w, k), dlt_direct(x, w, k))
+
+    def test_group_four(self):
+        from repro.compute.dlt import dlt_via_coarsened
+
+        x = [complex(i, 1) for i in range(8)]
+        w = 0.8 + 0.1j
+        assert close(
+            dlt_via_coarsened(x, w, 2, group=4), dlt_direct(x, w, 2), 1e-8
+        )

@@ -1,0 +1,135 @@
+"""Tests for the DLT dag family (Section 6.2.1, Figs. 13-15)."""
+
+import pytest
+
+from repro.core import Certificate, is_ic_optimal, schedule_dag
+from repro.exceptions import DagStructureError
+from repro.families import dlt
+from repro.families.prefix import prefix_dag
+
+
+class TestBalancedTree:
+    def test_binary_split(self):
+        children, root, leaves = dlt.balanced_tree_children(4, 2)
+        assert leaves == [0, 1, 2, 3]
+        assert root == ("t", 0, 4)
+        assert children[root] == [("t", 0, 2), ("t", 2, 4)]
+
+    def test_ternary_split(self):
+        children, root, leaves = dlt.balanced_tree_children(9, 3)
+        assert len(children[root]) == 3
+        assert len(leaves) == 9
+
+    def test_uneven_split_degrees_between_2_and_arity(self):
+        children, _root, _ = dlt.balanced_tree_children(7, 3)
+        for kids in children.values():
+            assert 2 <= len(kids) <= 3
+
+    def test_too_small(self):
+        with pytest.raises(DagStructureError):
+            dlt.balanced_tree_children(1, 2)
+
+
+class TestPrefixDLT:
+    def test_l4_structure(self):
+        ch = dlt.dlt_prefix_chain(4)
+        dag = ch.dag
+        # P_4 (12 nodes) + binary in-tree internals over 4 sources (3)
+        assert len(dag) == 12 + 3
+        assert len(dag.sinks) == 1
+        assert len(dag.sources) == 4
+
+    def test_contains_prefix_subdag(self):
+        ch = dlt.dlt_prefix_chain(4)
+        p4 = prefix_dag(4)
+        sub = ch.dag.induced_subdag(p4.nodes)
+        assert sub.same_structure(p4)
+
+    def test_chain_blocks_are_n_then_lambda(self):
+        names = [rec.block.name for rec in dlt.dlt_prefix_chain(8).blocks]
+        n_part = [n for n in names if n.startswith("N")]
+        l_part = [n for n in names if n.startswith("Λ")]
+        assert names == n_part + l_part
+        assert len(l_part) == 7  # 2^3 - 1 copies of Λ (§6.2.1 fact c)
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_certified_and_optimal(self, n):
+        r = schedule_dag(dlt.dlt_prefix_chain(n))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_l8_certified(self):
+        r = schedule_dag(dlt.dlt_prefix_chain(8))
+        assert r.certificate is Certificate.COMPOSITION
+
+    def test_schedule_runs_prefix_before_intree(self):
+        """Section 6.2.1 box: execute the P_n copy IC-optimally, then
+        the T_n copy IC-optimally."""
+        r = schedule_dag(dlt.dlt_prefix_chain(4))
+        order = list(r.schedule.order)
+        acc_first = min(
+            order.index(v)
+            for v in order
+            if isinstance(v, tuple) and v and v[0] == "acc"
+        )
+        prefix_nonsink_last = max(
+            order.index(v)
+            for v in order
+            if isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], int)
+            and not r.schedule.dag.is_sink(v)
+        )
+        assert prefix_nonsink_last < acc_first
+
+
+class TestTreeDLT:
+    def test_l8_structure(self):
+        ch = dlt.dlt_tree_chain(8)
+        dag = ch.dag
+        assert len(dag.sources) == 1  # the power root
+        assert len(dag.sinks) == 1  # the accumulation root
+
+    def test_chain_is_vees_then_lambdas(self):
+        names = [rec.block.name for rec in dlt.dlt_tree_chain(9).blocks]
+        v_part = [n for n in names if n.startswith("V")]
+        l_part = [n for n in names if n.startswith("Λ")]
+        assert names == v_part + l_part
+
+    @pytest.mark.parametrize("n", [3, 6, 8])
+    def test_certified(self, n):
+        r = schedule_dag(dlt.dlt_tree_chain(n))
+        assert r.ic_optimal
+
+    def test_small_verified_exhaustively(self):
+        r = schedule_dag(dlt.dlt_tree_chain(5))
+        assert is_ic_optimal(r.schedule)
+
+
+class TestCoarsenedDLT:
+    def test_fig13_right_structure(self):
+        ch = dlt.coarsened_dlt_chain(8, 2)
+        dag = ch.dag
+        # prefix part unchanged; in-tree sources coarsened 2:1
+        assert len(dag.sinks) == 1
+        # acc part: 4 grp nodes + 3 internal acc nodes
+        acc_nodes = [
+            v
+            for v in dag.nodes
+            if isinstance(v, tuple) and v and v[0] in ("acc", "grp")
+        ]
+        assert len(acc_nodes) == 7
+
+    def test_certified_and_small_verified(self):
+        r = schedule_dag(dlt.coarsened_dlt_chain(4, 2))
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_full_collapse(self):
+        ch = dlt.coarsened_dlt_chain(4, 4)
+        # single Λ_4 absorbing all outputs
+        assert len(ch.dag.sinks) == 1
+
+    def test_bad_group(self):
+        with pytest.raises(DagStructureError):
+            dlt.coarsened_dlt_chain(8, 3)
+        with pytest.raises(DagStructureError):
+            dlt.coarsened_dlt_chain(8, 1)

@@ -1,0 +1,96 @@
+"""Tests for duality-based scheduling (Section 2.3.2, Theorem 2.2)."""
+
+import pytest
+
+from repro.blocks import block
+from repro.core import (
+    ComputationDag,
+    Schedule,
+    dual_dag,
+    dual_schedule,
+    is_ic_optimal,
+    schedule_dag,
+)
+from repro.exceptions import ScheduleError
+from repro.families import mesh, trees
+
+
+class TestDualDag:
+    def test_arcs_reverse(self):
+        g, _ = block("V")
+        d = dual_dag(g)
+        assert set(d.arcs) == {(v, u) for u, v in g.arcs}
+
+    def test_vee_lambda_duality(self):
+        v, _ = block("V")
+        lam, _ = block("Λ")
+        assert dual_dag(v).is_isomorphic_to(lam)
+
+    def test_w_m_duality(self):
+        w, _ = block("W", 3)
+        m, _ = block("M", 3)
+        assert dual_dag(w).is_isomorphic_to(m)
+
+    def test_butterfly_self_dual(self):
+        b, _ = block("B")
+        assert dual_dag(b).is_isomorphic_to(b)
+
+    def test_mesh_duality(self):
+        om = mesh.out_mesh_dag(4)
+        im = mesh.in_mesh_dag(4)
+        assert dual_dag(om).same_structure(im)
+
+
+class TestDualSchedule:
+    BLOCKS = [("V", 2), ("Λ", 2), ("W", 3), ("M", 2), ("N", 4), ("C", 4), ("B", None)]
+
+    @pytest.mark.parametrize("kind,param", BLOCKS)
+    def test_theorem22_on_blocks(self, kind, param):
+        g, s = block(kind, param)
+        ds = dual_schedule(s)
+        assert is_ic_optimal(ds)
+
+    def test_dual_schedule_is_valid_even_for_suboptimal(self):
+        # duality construction always yields a valid schedule
+        g, _ = block("N", 4)
+        srcs = sorted(
+            (v for v in g.nodes if v[0] == "src"), key=lambda v: -v[1]
+        )
+        snks = [v for v in g.nodes if v[0] == "snk"]
+        bad = Schedule(g, srcs + snks)
+        ds = dual_schedule(bad)
+        assert len(ds) == len(g)
+
+    def test_packets_reversed(self):
+        g, s = block("W", 2)  # sources s0,s1; sinks k0,k1,k2
+        ds = dual_schedule(s)
+        packets = s.packets()
+        flat_reversed = [v for p in reversed(packets) for v in p]
+        n = len(flat_reversed)
+        assert list(ds.order[:n]) == flat_reversed
+
+    def test_dual_on_in_tree_gives_out_tree_schedule(self):
+        ch = trees.complete_in_tree(3)
+        s = schedule_dag(ch).schedule
+        ds = dual_schedule(s)
+        assert is_ic_optimal(ds)
+        assert trees.is_out_tree(ds.dag)
+
+    def test_mesh_schedule_dualizes(self):
+        ch = mesh.out_mesh_chain(3)
+        s = schedule_dag(ch).schedule
+        ds = dual_schedule(s)
+        assert is_ic_optimal(ds)
+        assert ds.dag.same_structure(mesh.in_mesh_dag(3))
+
+    def test_mismatched_dual_rejected(self):
+        g, s = block("V")
+        other = ComputationDag(arcs=[("p", "q")])
+        with pytest.raises(ScheduleError, match="node set"):
+            dual_schedule(s, dual=other)
+
+    def test_double_dual_valid(self):
+        g, s = block("C", 4)
+        dds = dual_schedule(dual_schedule(s))
+        assert dds.dag.same_structure(g)
+        assert is_ic_optimal(dds)

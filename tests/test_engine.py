@@ -1,0 +1,102 @@
+"""Tests for the TaskGraph value-execution engine."""
+
+import pytest
+
+from repro.compute import TaskGraph
+from repro.core import ComputationDag, Schedule
+from repro.exceptions import ComputeError
+
+
+def adder_graph():
+    dag = ComputationDag(arcs=[("x", "s"), ("y", "s")])
+    tg = TaskGraph(dag)
+    tg.set_constant("x", 2)
+    tg.set_constant("y", 3)
+    tg.set_task("s", lambda a, b: a + b, parents=["x", "y"])
+    return dag, tg
+
+
+class TestSetup:
+    def test_set_task_on_missing_node(self):
+        dag = ComputationDag(nodes=["a"])
+        tg = TaskGraph(dag)
+        with pytest.raises(ComputeError, match="not in dag"):
+            tg.set_task("zzz", lambda: 0)
+
+    def test_wrong_parent_list_rejected(self):
+        dag = ComputationDag(arcs=[("x", "s"), ("y", "s")])
+        tg = TaskGraph(dag)
+        with pytest.raises(ComputeError, match="do not match"):
+            tg.set_task("s", lambda a: a, parents=["x"])
+        with pytest.raises(ComputeError, match="do not match"):
+            tg.set_task("s", lambda a, b: a, parents=["x", "zzz"])
+
+    def test_missing_tasks_reported(self):
+        dag = ComputationDag(arcs=[("x", "s")])
+        tg = TaskGraph(dag)
+        tg.set_constant("x", 1)
+        assert tg.missing_tasks() == ["s"]
+
+    def test_run_requires_all_tasks(self):
+        dag = ComputationDag(arcs=[("x", "s")])
+        tg = TaskGraph(dag)
+        with pytest.raises(ComputeError, match="lack tasks"):
+            tg.run()
+
+
+class TestRun:
+    def test_topological_default(self):
+        _dag, tg = adder_graph()
+        assert tg.run()["s"] == 5
+
+    def test_schedule_order(self):
+        dag, tg = adder_graph()
+        sched = Schedule(dag, ["y", "x", "s"])
+        assert tg.run(sched)["s"] == 5
+
+    def test_explicit_sequence(self):
+        _dag, tg = adder_graph()
+        assert tg.run(["x", "y", "s"])["s"] == 5
+
+    def test_order_violating_dependencies_rejected(self):
+        _dag, tg = adder_graph()
+        with pytest.raises(ComputeError, match="before its parent"):
+            tg.run(["s", "x", "y"])
+
+    def test_incomplete_order_rejected(self):
+        _dag, tg = adder_graph()
+        with pytest.raises(ComputeError, match="covered 2 of 3"):
+            tg.run(["x", "y"])
+
+    def test_parent_order_matters(self):
+        dag = ComputationDag(arcs=[("x", "d"), ("y", "d")])
+        tg = TaskGraph(dag)
+        tg.set_constant("x", 10)
+        tg.set_constant("y", 4)
+        tg.set_task("d", lambda a, b: a - b, parents=["x", "y"])
+        assert tg.run()["d"] == 6
+        tg.set_task("d", lambda a, b: a - b, parents=["y", "x"])
+        assert tg.run()["d"] == -6
+
+    def test_result_schedule_invariant(self):
+        """The computed value must not depend on the (valid) execution
+        order — the core soundness property connecting scheduling
+        freedom to the computation's semantics."""
+        import itertools
+
+        dag = ComputationDag(
+            arcs=[("a", "p"), ("b", "p"), ("b", "q"), ("c", "q"), ("p", "r"), ("q", "r")]
+        )
+        tg = TaskGraph(dag)
+        for name, val in (("a", 1), ("b", 2), ("c", 3)):
+            tg.set_constant(name, val)
+        tg.set_task("p", lambda x, y: x + y, parents=["a", "b"])
+        tg.set_task("q", lambda x, y: x * y, parents=["b", "c"])
+        tg.set_task("r", lambda x, y: (x, y), parents=["p", "q"])
+        results = set()
+        for perm in itertools.permutations(dag.nodes):
+            try:
+                results.add(tg.run(list(perm))["r"])
+            except ComputeError:
+                continue
+        assert results == {(3, 6)}

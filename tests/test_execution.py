@@ -1,0 +1,118 @@
+"""Unit tests for the ELIGIBLE-tracking execution model (Section 2.2)."""
+
+import pytest
+
+from repro.core import ComputationDag, ExecutionState, eligibility_profile, run_order
+from repro.exceptions import ScheduleError
+
+
+def diamond():
+    return ComputationDag(arcs=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestEligibility:
+    def test_sources_born_eligible(self):
+        st = ExecutionState(diamond())
+        assert st.eligible == ["a"]
+        assert st.profile == [1]
+
+    def test_execute_renders_children(self):
+        st = ExecutionState(diamond())
+        newly = st.execute("a")
+        assert set(newly) == {"b", "c"}
+        assert set(st.eligible) == {"b", "c"}
+
+    def test_last_parent_triggers(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        assert st.execute("b") == []  # d still waits on c
+        assert st.execute("c") == ["d"]
+
+    def test_profile_counts(self):
+        st = ExecutionState(diamond())
+        st.execute_all(["a", "b", "c", "d"])
+        assert st.profile == [1, 2, 1, 1, 0]
+        assert st.is_finished()
+
+    def test_event_driven_clock(self):
+        st = ExecutionState(diamond())
+        assert st.steps == 0
+        st.execute("a")
+        assert st.steps == 1
+        assert st.executed == ["a"]
+
+    def test_eligible_count(self):
+        st = ExecutionState(diamond())
+        assert st.eligible_count() == 1
+        st.execute("a")
+        assert st.eligible_count() == 2
+
+
+class TestModelRules:
+    def test_no_recomputation(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        with pytest.raises(ScheduleError, match="already executed"):
+            st.execute("a")
+
+    def test_cannot_execute_ineligible(self):
+        st = ExecutionState(diamond())
+        with pytest.raises(ScheduleError, match="not ELIGIBLE"):
+            st.execute("d")
+
+    def test_is_eligible_is_executed(self):
+        st = ExecutionState(diamond())
+        assert st.is_eligible("a") and not st.is_executed("a")
+        st.execute("a")
+        assert not st.is_eligible("a") and st.is_executed("a")
+
+    def test_executing_sink_reduces_count(self):
+        st = ExecutionState(diamond())
+        st.execute_all(["a", "b", "c"])
+        before = st.eligible_count()
+        st.execute("d")
+        assert st.eligible_count() == before - 1
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self):
+        st = ExecutionState(diamond())
+        snap = st.snapshot()
+        st.execute_all(["a", "b"])
+        st.restore(snap)
+        assert st.steps == 0
+        assert st.eligible == ["a"]
+        assert st.profile == [1]
+
+    def test_snapshot_is_deep_enough(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        snap = st.snapshot()
+        st.execute("b")
+        st.restore(snap)
+        assert st.executed == ["a"]
+        st.execute("c")  # still valid after restore
+
+    def test_executed_frozenset(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        assert st.executed_frozenset() == frozenset({"a"})
+
+
+class TestHelpers:
+    def test_eligibility_profile_prefix(self):
+        prof = eligibility_profile(diamond(), ["a", "b"])
+        assert prof == [1, 2, 1]
+
+    def test_eligibility_profile_invalid_order(self):
+        with pytest.raises(ScheduleError):
+            eligibility_profile(diamond(), ["b"])
+
+    def test_run_order_returns_state(self):
+        st = run_order(diamond(), ["a", "c"])
+        assert st.steps == 2
+        assert "c" in st.executed
+
+    def test_repr(self):
+        st = ExecutionState(diamond())
+        assert "steps=0" in repr(st)

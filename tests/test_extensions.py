@@ -1,0 +1,236 @@
+"""Tests for the extension features: generalized W/M blocks, Batcher's
+odd-even merge network, carry-lookahead addition, the task-loss failure
+model, granularity trade-off simulation, and ASCII rendering."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ascii_dag import render_dag, render_profile_bars
+from repro.blocks import block, w_dag
+from repro.blocks.w_m import generalized_m_dag, generalized_w_dag, m_schedule, w_schedule
+from repro.compute.carry_lookahead import add_bits, carry_lookahead_add, gp_combine
+from repro.compute.sorting import bitonic_sort, odd_even_merge_sort
+from repro.core import has_priority, is_ic_optimal, schedule_dag
+from repro.exceptions import ComputeError, DagStructureError, SimulationError
+from repro.families.butterfly_net import (
+    comparator_network_chain,
+    odd_even_merge_stages,
+)
+from repro.families.mesh import out_mesh_dag
+from repro.granularity.mesh_coarsen import mesh_block_cluster_map
+from repro.sim import ClientSpec, granularity_tradeoff, make_policy, simulate
+
+
+class TestGeneralizedWM:
+    def test_fan2_matches_classic(self):
+        assert generalized_w_dag(4, 2).same_structure(w_dag(4))
+
+    @pytest.mark.parametrize("s,fan", [(1, 3), (2, 3), (3, 3), (2, 4), (2, 5)])
+    def test_w_schedule_optimal(self, s, fan):
+        g = generalized_w_dag(s, fan)
+        assert len(g.sinks) == s * (fan - 1) + 1
+        assert is_ic_optimal(w_schedule(g))
+
+    @pytest.mark.parametrize("s,fan", [(1, 3), (2, 3), (3, 3), (2, 4)])
+    def test_m_schedule_optimal(self, s, fan):
+        g = generalized_m_dag(s, fan)
+        assert len(g.sources) == s * (fan - 1) + 1
+        assert is_ic_optimal(m_schedule(g))
+
+    def test_duality(self):
+        w = generalized_w_dag(3, 3)
+        m = generalized_m_dag(3, 3)
+        assert w.dual().is_isomorphic_to(m)
+
+    def test_smaller_w_priority_generalizes(self):
+        """The §4 monotonicity extends to d-ary W-dags (same fan)."""
+        for s, t in ((1, 2), (2, 3), (1, 3)):
+            g1 = generalized_w_dag(s, 3)
+            g2 = generalized_w_dag(t, 3)
+            assert has_priority(g1, g2, w_schedule(g1), w_schedule(g2))
+            assert not has_priority(g2, g1, w_schedule(g2), w_schedule(g1))
+
+    def test_bad_params(self):
+        with pytest.raises(DagStructureError):
+            generalized_w_dag(0, 3)
+        with pytest.raises(DagStructureError):
+            generalized_w_dag(2, 1)
+        with pytest.raises(DagStructureError):
+            generalized_m_dag(2, 1)
+
+
+class TestOddEvenMerge:
+    def test_zero_one_principle_exhaustive(self):
+        """A comparator network sorts all inputs iff it sorts all 0/1
+        inputs — verified exhaustively for n = 8."""
+        stages = odd_even_merge_stages(8)
+
+        def run(bits):
+            v = list(bits)
+            for stage in stages:
+                for i, j in stage:
+                    if v[i] > v[j]:
+                        v[i], v[j] = v[j], v[i]
+            return v
+
+        for bits in itertools.product((0, 1), repeat=8):
+            assert run(bits) == sorted(bits)
+
+    def test_fewer_comparators_than_bitonic(self):
+        from repro.families.butterfly_net import bitonic_stages
+
+        for n in (8, 16, 32):
+            oem = sum(map(len, odd_even_merge_stages(n)))
+            bit = sum(map(len, bitonic_stages(n)))
+            assert oem < bit, n
+
+    def test_stages_are_matchings(self):
+        for stage in odd_even_merge_stages(16):
+            wires = [w for pair in stage for w in pair]
+            assert len(set(wires)) == len(wires)
+
+    def test_network_certified(self):
+        ch = comparator_network_chain(8, odd_even_merge_stages(8))
+        r = schedule_dag(ch)
+        assert r.ic_optimal
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts(self, n):
+        rng = random.Random(n)
+        keys = [rng.randint(0, 99) for _ in range(n)]
+        assert odd_even_merge_sort(keys) == sorted(keys)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-99, 99), min_size=8, max_size=8))
+    def test_property_agrees_with_bitonic(self, keys):
+        assert odd_even_merge_sort(keys) == bitonic_sort(keys) == sorted(keys)
+
+    def test_non_power_of_two(self):
+        with pytest.raises(DagStructureError):
+            odd_even_merge_stages(6)
+
+
+class TestCarryLookahead:
+    def test_gp_operator_associative(self):
+        vals = [(g, p) for g in (False, True) for p in (False, True)]
+        for a in vals:
+            for b in vals:
+                for c in vals:
+                    assert gp_combine(gp_combine(a, b), c) == gp_combine(
+                        a, gp_combine(b, c)
+                    )
+
+    @pytest.mark.parametrize(
+        "a,b", [(0, 0), (1, 1), (7, 1), (255, 1), (123, 456), (65535, 65535)]
+    )
+    def test_known_sums(self, a, b):
+        assert add_bits(a, b, 16) == a + b
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_property_matches_python_add(self, a, b):
+        assert add_bits(a, b, 16) == a + b
+
+    def test_carry_out(self):
+        s, c = carry_lookahead_add([1, 1], [1, 1])  # 3 + 3 = 6
+        assert (s, c) == ([0, 1], 1)
+
+    def test_carry_in(self):
+        s, c = carry_lookahead_add([1, 0], [0, 0], carry_in=1)  # 1+0+1
+        assert (s, c) == ([0, 1], 0)
+
+    def test_validation(self):
+        with pytest.raises(ComputeError):
+            carry_lookahead_add([1], [1, 0])
+        with pytest.raises(ComputeError):
+            carry_lookahead_add([2], [0])
+        with pytest.raises(ComputeError):
+            add_bits(-1, 0)
+        with pytest.raises(ComputeError):
+            add_bits(1 << 20, 0, width=16)
+
+
+class TestLossModel:
+    def test_lossy_run_completes(self):
+        dag = out_mesh_dag(5)
+        res = simulate(
+            dag,
+            make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.4)] * 3,
+            seed=7,
+        )
+        assert res.completed == len(dag)
+        assert res.lost_allocations > 0
+        assert res.wasted_work > 0
+
+    def test_lossless_run_wastes_nothing(self):
+        dag = out_mesh_dag(4)
+        res = simulate(dag, make_policy("FIFO"), clients=2, seed=0)
+        assert res.lost_allocations == 0
+        assert res.wasted_work == 0.0
+
+    def test_loss_probability_validated(self):
+        with pytest.raises(SimulationError):
+            ClientSpec(loss=1.0)
+        with pytest.raises(SimulationError):
+            ClientSpec(loss=-0.1)
+
+    def test_loss_increases_makespan(self):
+        dag = out_mesh_dag(6)
+        clean = simulate(dag, make_policy("FIFO"), clients=2, seed=3)
+        lossy = simulate(
+            dag,
+            make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.5)] * 2,
+            seed=3,
+        )
+        assert lossy.makespan > clean.makespan
+
+
+class TestGranularityTradeoff:
+    def test_rows_cover_all_levels(self):
+        fine = out_mesh_dag(7)
+        maps = {b: mesh_block_cluster_map(7, b) for b in (1, 2, 4)}
+        rows = granularity_tradeoff(fine, maps, clients=4)
+        assert [r[0] for r in rows] == [1, 2, 4]
+        # coarser -> fewer tasks, fewer cut arcs
+        tasks = [r[1] for r in rows]
+        cuts = [r[2] for r in rows]
+        assert tasks == sorted(tasks, reverse=True)
+        assert cuts == sorted(cuts, reverse=True)
+
+    def test_communication_shifts_optimum(self):
+        """With zero communication the fine dag wins; with expensive
+        communication a coarser level does."""
+        fine = out_mesh_dag(15)
+        maps = {b: mesh_block_cluster_map(15, b) for b in (1, 2)}
+        free = granularity_tradeoff(fine, maps, clients=8, comm_per_input=0.0)
+        costly = granularity_tradeoff(fine, maps, clients=8, comm_per_input=2.0)
+        best_free = min(free, key=lambda r: r[3])[0]
+        best_costly = min(costly, key=lambda r: r[3])[0]
+        assert best_free == 1
+        assert best_costly == 2
+
+
+class TestAsciiRendering:
+    def test_render_dag_levels(self):
+        out = render_dag(out_mesh_dag(2))
+        assert "L0:" in out and "L2:" in out
+        assert "depth 2" in out
+
+    def test_render_dag_truncates(self):
+        out = render_dag(out_mesh_dag(12), max_width=60)
+        assert "…" in out
+
+    def test_profile_bars(self):
+        _g, s = block("W", 3)
+        out = render_profile_bars(s.profile, width=10)
+        assert out.count("|") == len(s.profile)
+        assert "peak 4" in out
+
+    def test_profile_bars_empty(self):
+        assert "(empty)" in render_profile_bars([])

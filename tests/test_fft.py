@@ -1,0 +1,99 @@
+"""Tests for the butterfly-network FFT (Section 5.2)."""
+
+import cmath
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.fft import (
+    bit_reverse,
+    direct_dft,
+    fft,
+    fft_task_graph,
+    inverse_fft,
+)
+from repro.exceptions import ComputeError
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 4) == 0
+
+    def test_involution(self):
+        for i in range(16):
+            assert bit_reverse(bit_reverse(i, 4), 4) == i
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_matches_numpy(self, n):
+        rng = random.Random(n)
+        x = [complex(rng.random(), rng.random()) for _ in range(n)]
+        ours = fft(x)
+        ref = np.fft.fft(np.array(x))
+        assert max(abs(a - b) for a, b in zip(ours, ref)) < 1e-10
+
+    def test_matches_direct_dft(self):
+        x = [1 + 0j, 2 + 0j, 3 + 0j, 4 + 0j]
+        assert max(
+            abs(a - b) for a, b in zip(fft(x), direct_dft(x))
+        ) < 1e-12
+
+    def test_inverse_roundtrip(self):
+        x = [complex(i, -i) for i in range(8)]
+        back = inverse_fft(fft(x))
+        assert max(abs(a - b) for a, b in zip(back, x)) < 1e-12
+
+    def test_impulse_is_flat(self):
+        out = fft([1 + 0j, 0j, 0j, 0j])
+        assert all(abs(v - 1) < 1e-12 for v in out)
+
+    def test_constant_concentrates(self):
+        out = fft([1 + 0j] * 8)
+        assert abs(out[0] - 8) < 1e-12
+        assert all(abs(v) < 1e-12 for v in out[1:])
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ComputeError, match="power of two"):
+            fft([1, 2, 3])
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ComputeError):
+            fft([1])
+
+    def test_direct_dft_inverse(self):
+        x = [complex(i) for i in range(4)]
+        back = direct_dft(direct_dft(x), inverse=True)
+        assert max(abs(a - b) for a, b in zip(back, x)) < 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.complex_numbers(max_magnitude=1e3, allow_nan=False, allow_infinity=False),
+            min_size=8,
+            max_size=8,
+        )
+    )
+    def test_linearity_roundtrip_property(self, x):
+        back = inverse_fft(fft(x))
+        for a, b in zip(back, x):
+            assert cmath.isclose(a, b, abs_tol=1e-6 * (1 + abs(b)))
+
+
+class TestTaskGraph:
+    def test_every_node_has_task(self):
+        tg, d = fft_task_graph([1 + 0j] * 8)
+        assert tg.missing_tasks() == []
+        assert d == 3
+
+    def test_bit_reversed_loading(self):
+        x = [complex(i) for i in range(8)]
+        tg, d = fft_task_graph(x)
+        vals = tg.run()
+        for r in range(8):
+            assert vals[(0, r)] == complex(x[bit_reverse(r, 3)])

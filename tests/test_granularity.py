@@ -1,0 +1,157 @@
+"""Tests for multi-granularity clustering (Figs. 3 and 7, §5.1)."""
+
+import pytest
+
+from repro.core import ComputationDag, is_ic_optimal, schedule_dag
+from repro.exceptions import ClusteringError
+from repro.families import butterfly_net, mesh, trees
+from repro.families.diamond import diamond_chain
+from repro.granularity import clustering_report, quotient_dag
+from repro.granularity.butterfly_coarsen import (
+    butterfly_cluster_map,
+    butterfly_coarsening_accounting,
+    coarsened_butterfly,
+)
+from repro.granularity.mesh_coarsen import (
+    coarsened_out_mesh,
+    mesh_block_cluster_map,
+    mesh_coarsening_accounting,
+)
+from repro.granularity.tree_coarsen import (
+    coarsened_diamond,
+    diamond_cluster_map,
+    truncate_tree,
+)
+
+
+class TestQuotient:
+    def test_simple_quotient(self):
+        dag = ComputationDag(arcs=[(1, 2), (2, 3), (3, 4)])
+        q = quotient_dag(dag, {1: "a", 2: "a", 3: "b", 4: "b"})
+        assert set(q.nodes) == {"a", "b"}
+        assert q.arcs == [("a", "b")]
+
+    def test_incomplete_map_rejected(self):
+        dag = ComputationDag(arcs=[(1, 2)])
+        with pytest.raises(ClusteringError, match="misses"):
+            quotient_dag(dag, {1: "a"})
+
+    def test_cyclic_clustering_rejected(self):
+        dag = ComputationDag(arcs=[(1, 2), (2, 3), (1, 3)])
+        # putting 1 and 3 together makes a <-> {2} cycle
+        with pytest.raises(ClusteringError, match="cyclic"):
+            quotient_dag(dag, {1: "a", 2: "b", 3: "a"})
+
+    def test_report_accounting(self):
+        dag = ComputationDag(arcs=[(1, 2), (2, 3), (3, 4)])
+        rep = clustering_report(dag, {1: "a", 2: "a", 3: "b", 4: "b"})
+        assert rep.work == {"a": 2, "b": 2}
+        assert rep.cut_arcs == 1
+        assert rep.internal_arcs == 2
+        assert rep.total_work == 4
+        assert rep.communication_fraction == pytest.approx(1 / 3)
+
+
+class TestTreeCoarsening:
+    CHILDREN, ROOT = trees.complete_tree_children(3)
+
+    def test_truncate(self):
+        t = truncate_tree(self.CHILDREN, self.ROOT, [(1, 0)])
+        assert (1, 0) not in t
+        assert (2, 0) not in t
+        assert (1, 1) in t
+
+    def test_truncate_at_leaf_rejected(self):
+        with pytest.raises(ClusteringError, match="internal"):
+            truncate_tree(self.CHILDREN, self.ROOT, [(3, 0)])
+
+    def test_truncate_root_rejected(self):
+        with pytest.raises(ClusteringError, match="no tree"):
+            truncate_tree(self.CHILDREN, self.ROOT, [self.ROOT])
+
+    def test_fig3_coarse_diamond_schedulable(self):
+        """Fig. 3's point: the coarsened diamond still admits an
+        IC-optimal schedule."""
+        coarse = coarsened_diamond(self.CHILDREN, self.ROOT, [(2, 1), (2, 2)])
+        r = schedule_dag(coarse)
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_cluster_map_reproduces_coarse_structure(self):
+        fine = diamond_chain(self.CHILDREN, self.ROOT)
+        cmap = diamond_cluster_map(self.CHILDREN, self.ROOT, [(2, 1)])
+        q = quotient_dag(fine.dag, cmap)
+        coarse = coarsened_diamond(self.CHILDREN, self.ROOT, [(2, 1)])
+        assert q.is_isomorphic_to(coarse.dag)
+
+    def test_coarsening_reduces_communication(self):
+        fine = diamond_chain(self.CHILDREN, self.ROOT)
+        cmap = diamond_cluster_map(
+            self.CHILDREN, self.ROOT, [(1, 0), (1, 1)]
+        )
+        rep = clustering_report(fine.dag, cmap)
+        assert rep.communication_fraction < 1.0
+        assert rep.max_work > 1
+
+
+class TestMeshCoarsening:
+    @pytest.mark.parametrize("depth,b", [(3, 2), (5, 2), (7, 2), (7, 4), (11, 3)])
+    def test_quotient_is_smaller_out_mesh(self, depth, b):
+        """Fig. 7 / §4: equal-granularity coarsening of an out-mesh is
+        again an out-mesh (of depth (d+1)/b - 1)."""
+        q = coarsened_out_mesh(depth, b)
+        expected = mesh.out_mesh_dag((depth + 1) // b - 1)
+        assert q.is_isomorphic_to(expected)
+
+    def test_quadratic_work_linear_communication(self):
+        """§4's closing fact: coarse-task computation grows
+        quadratically with side length, communication only linearly."""
+        work_by_b = {}
+        cut_per_cluster = {}
+        for b in (1, 2, 4):
+            rep = mesh_coarsening_accounting(15, b)
+            work_by_b[b] = rep.max_work
+            cut_per_cluster[b] = rep.cut_arcs / len(rep.work)
+        # work scales ~b² (full blocks), cut per cluster ~b
+        assert work_by_b[4] / work_by_b[2] == pytest.approx(4.0, rel=0.2)
+        assert cut_per_cluster[4] / cut_per_cluster[2] == pytest.approx(
+            2.0, rel=0.35
+        )
+
+    def test_communication_fraction_decreases(self):
+        fracs = [
+            mesh_coarsening_accounting(11, b).communication_fraction
+            for b in (1, 2, 3, 4)
+        ]
+        assert fracs[0] == 1.0
+        assert all(x > y for x, y in zip(fracs, fracs[1:]))
+
+    def test_bad_block_side(self):
+        with pytest.raises(ClusteringError):
+            mesh_block_cluster_map(4, 0)
+
+
+class TestButterflyCoarsening:
+    @pytest.mark.parametrize("a,b", [(1, 1), (2, 1), (1, 2), (2, 2), (3, 1)])
+    def test_quotient_is_b_a(self, a, b):
+        """§5.1: B_{a+b} coarsens to (a copy of) B_a."""
+        q = coarsened_butterfly(a, b)
+        assert q.same_structure(butterfly_net.butterfly_dag(a))
+
+    def test_input_supernodes_are_full_b_b_copies(self):
+        rep = butterfly_coarsening_accounting(2, 2)
+        # super-level-0 clusters carry (b+1)·2^b = 12 nodes; later
+        # clusters carry 2^b = 4
+        works = sorted(set(rep.work.values()))
+        assert works == [4, 12]
+
+    def test_quotient_schedulable(self):
+        q = coarsened_butterfly(2, 2)
+        from repro.families.butterfly_net import butterfly_chain
+
+        r = schedule_dag(butterfly_chain(2))
+        assert r.ic_optimal  # the coarse dag is B_2, already certified
+
+    def test_bad_params(self):
+        with pytest.raises(ClusteringError):
+            butterfly_cluster_map(0, 1)

@@ -1,0 +1,79 @@
+"""Tests for the graph-paths computation (§6.2.2, Fig. 16)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.compute.graph_paths import (
+    all_paths_reference,
+    paths_matrix,
+    paths_task_graph,
+)
+from repro.exceptions import ComputeError
+
+
+def random_adjacency(n, p, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n)) < p
+    np.fill_diagonal(a, False)
+    return a
+
+
+class TestReference:
+    def test_chain_graph(self):
+        a = np.zeros((4, 4), dtype=bool)
+        for i in range(3):
+            a[i, i + 1] = True
+        m = all_paths_reference(a, 3)
+        assert m[0, 1, 0] and m[0, 2, 1] and m[0, 3, 2]
+        assert not m[0, 3, 0]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ComputeError):
+            all_paths_reference(np.ones((2, 3), bool), 2)
+
+
+class TestFig16:
+    def test_paper_instance_9_nodes_8_powers(self):
+        """Fig. 16: the 9-node graph with K = 8 powers."""
+        a = random_adjacency(9, 0.25, 0)
+        m = paths_matrix(a, 8)
+        assert m.shape == (9, 9, 8)
+        assert np.array_equal(m, all_paths_reference(a, 8))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 4), (6, 7), (9, 8)])
+    def test_matches_reference(self, n, k):
+        a = random_adjacency(n, 0.3, n * k)
+        assert np.array_equal(paths_matrix(a, k), all_paths_reference(a, k))
+
+    def test_matches_networkx_walks(self):
+        """β^(k)_{ij} = 1 iff A^k has a nonzero (i,j) entry — checked
+        independently with networkx walk counting."""
+        a = random_adjacency(6, 0.35, 42)
+        m = paths_matrix(a, 4)
+        g = nx.from_numpy_array(a.astype(int), create_using=nx.DiGraph)
+        power = np.eye(6, dtype=np.int64)
+        adj = nx.to_numpy_array(g, dtype=np.int64)
+        for k in range(4):
+            power = power @ adj
+            assert np.array_equal(m[:, :, k], power > 0)
+
+    def test_min_power_count(self):
+        with pytest.raises(ComputeError):
+            paths_matrix(random_adjacency(4, 0.3, 1), 1)
+
+    def test_task_graph_complete(self):
+        tg, chain = paths_task_graph(random_adjacency(5, 0.3, 2), 4)
+        assert tg.missing_tasks() == []
+
+    def test_root_accumulates_all_powers(self):
+        a = random_adjacency(5, 0.4, 3)
+        tg, chain = paths_task_graph(a, 4)
+        values = tg.run()
+        root_val = values[chain.dag.sinks[0]]
+        assert sorted(root_val) == [0, 1, 2, 3]
+
+    def test_empty_graph(self):
+        a = np.zeros((4, 4), dtype=bool)
+        m = paths_matrix(a, 2)
+        assert not m.any()

@@ -1,0 +1,85 @@
+"""Tests for summed-area tables via prefix scans (the §4
+computer-vision motif meets the §6.1 scan operator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.integral_image import rectangle_sum, summed_area_table
+from repro.exceptions import ComputeError
+
+
+class TestSummedAreaTable:
+    def test_matches_cumsum(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((7, 11))
+        assert np.allclose(
+            summed_area_table(img), img.cumsum(axis=0).cumsum(axis=1)
+        )
+
+    def test_single_pixel(self):
+        # 1x1 images short-circuit the scan; still correct
+        assert summed_area_table(np.array([[5.0]]))[0, 0] == 5.0
+
+    def test_single_row_and_column(self):
+        row = np.arange(6.0).reshape(1, 6)
+        assert np.allclose(summed_area_table(row), row.cumsum(axis=1))
+        col = np.arange(5.0).reshape(5, 1)
+        assert np.allclose(summed_area_table(col), col.cumsum(axis=0))
+
+    def test_bottom_right_is_total(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((5, 5))
+        assert summed_area_table(img)[-1, -1] == pytest.approx(img.sum())
+
+    def test_validation(self):
+        with pytest.raises(ComputeError):
+            summed_area_table(np.zeros((0, 3)))
+        with pytest.raises(ComputeError):
+            summed_area_table(np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(0, 10_000),
+    )
+    def test_property_matches_cumsum(self, h, w, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(-5, 6, size=(h, w)).astype(float)
+        assert np.allclose(
+            summed_area_table(img), img.cumsum(axis=0).cumsum(axis=1)
+        )
+
+
+class TestRectangleSum:
+    def setup_method(self):
+        rng = np.random.default_rng(2)
+        self.img = rng.random((8, 10))
+        self.table = summed_area_table(self.img)
+
+    def test_full_image(self):
+        assert rectangle_sum(self.table, 0, 0, 7, 9) == pytest.approx(
+            self.img.sum()
+        )
+
+    def test_interior(self):
+        got = rectangle_sum(self.table, 2, 3, 5, 7)
+        assert got == pytest.approx(self.img[2:6, 3:8].sum())
+
+    def test_touching_edges(self):
+        assert rectangle_sum(self.table, 0, 0, 3, 0) == pytest.approx(
+            self.img[:4, 0].sum()
+        )
+
+    def test_single_cell(self):
+        assert rectangle_sum(self.table, 4, 4, 4, 4) == pytest.approx(
+            self.img[4, 4]
+        )
+
+    def test_bad_ranges(self):
+        with pytest.raises(ComputeError):
+            rectangle_sum(self.table, 5, 0, 2, 3)
+        with pytest.raises(ComputeError):
+            rectangle_sum(self.table, 0, 0, 0, 99)

@@ -1,0 +1,117 @@
+"""Tests for adaptive-quadrature integration (Section 3.2)."""
+
+import math
+
+import pytest
+from scipy import integrate as sp_integrate
+
+from repro.compute.integration import (
+    build_quadrature_tree,
+    integrate,
+    panel_area,
+    quadrature_diamond,
+)
+from repro.core import linear_composition_schedule, schedule_dag
+from repro.exceptions import ComputeError
+
+
+class TestPanels:
+    def test_trapezoid_linear_exact(self):
+        # trapezoid rule is exact on linear functions
+        assert panel_area(lambda x: 2 * x + 1, 0, 4, "trapezoid") == pytest.approx(20.0)
+
+    def test_simpson_cubic_exact(self):
+        assert panel_area(lambda x: x**3, 0, 2, "simpson") == pytest.approx(4.0)
+
+    def test_unknown_rule(self):
+        with pytest.raises(ComputeError, match="unknown quadrature"):
+            panel_area(math.sin, 0, 1, "gauss")
+
+
+class TestTreeConstruction:
+    def test_smooth_function_converges_shallow(self):
+        children, _root, leaves = build_quadrature_tree(
+            lambda x: x, 0, 1, tol=1e-3
+        )
+        assert children == {}  # linear: single panel suffices
+        assert len(leaves) == 1
+
+    def test_refinement_is_data_dependent(self):
+        """A function with a sharp feature on the left half forces an
+        irregular tree: deeper on the left."""
+        f = lambda x: math.exp(-200 * (x - 0.2) ** 2)  # noqa: E731
+        children, root, leaves = build_quadrature_tree(f, 0, 1, tol=1e-6)
+        min_width_left = min(
+            hi - lo for (_t, lo, hi) in leaves if (lo + hi) / 2 < 0.4
+        )
+        min_width_right = min(
+            hi - lo for (_t, lo, hi) in leaves if (lo + hi) / 2 > 0.6
+        )
+        assert min_width_left < min_width_right
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ComputeError):
+            build_quadrature_tree(math.sin, 1, 1, tol=1e-6)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ComputeError):
+            build_quadrature_tree(math.sin, 0, 1, tol=0)
+
+    def test_max_depth_caps_recursion(self):
+        children, _root, _ = build_quadrature_tree(
+            lambda x: abs(x - 0.3) ** 0.5, 0, 1, tol=1e-14, max_depth=6
+        )
+        assert all(
+            -(math.log2(hi - lo)) <= 6 + 1e-9 for (_t, lo, hi) in children
+        )
+
+
+class TestIntegrate:
+    CASES = [
+        (math.sin, 0.0, math.pi, 2.0),
+        (lambda x: x * x, 0.0, 3.0, 9.0),
+        (math.exp, 0.0, 1.0, math.e - 1.0),
+        (lambda x: 1.0 / (1.0 + x * x), 0.0, 1.0, math.pi / 4.0),
+    ]
+
+    @pytest.mark.parametrize("f,a,b,exact", CASES)
+    def test_trapezoid_matches_exact(self, f, a, b, exact):
+        r = integrate(f, a, b, tol=1e-6)
+        assert r.value == pytest.approx(exact, abs=1e-5)
+
+    @pytest.mark.parametrize("f,a,b,exact", CASES)
+    def test_simpson_matches_exact(self, f, a, b, exact):
+        r = integrate(f, a, b, tol=1e-8, rule="simpson")
+        assert r.value == pytest.approx(exact, abs=1e-7)
+
+    def test_matches_scipy(self):
+        f = lambda x: math.sin(3 * x) * math.exp(-x)  # noqa: E731
+        ref, _err = sp_integrate.quad(f, 0, 2)
+        r = integrate(f, 0, 2, tol=1e-7, rule="simpson")
+        assert r.value == pytest.approx(ref, abs=1e-6)
+
+    def test_single_panel_shortcut(self):
+        r = integrate(lambda x: 5.0, 0, 1, tol=1e-3)
+        assert r.panels == 1
+        assert r.chain is None
+        assert r.value == pytest.approx(5.0)
+
+    def test_panel_count_grows_with_tolerance(self):
+        loose = integrate(math.sin, 0, math.pi, tol=1e-3)
+        tight = integrate(math.sin, 0, math.pi, tol=1e-7)
+        assert tight.panels > loose.panels
+
+
+class TestDiamondExecution:
+    def test_diamond_is_certified(self):
+        chain, _tg = quadrature_diamond(math.sin, 0, math.pi, tol=1e-3)
+        r = schedule_dag(chain)
+        assert r.ic_optimal
+
+    def test_value_invariant_under_schedules(self):
+        chain, tg = quadrature_diamond(math.cos, 0, 1, tol=1e-4)
+        root = chain.dag.sinks[0]
+        v1 = tg.run(linear_composition_schedule(chain))[root]
+        v2 = tg.run()[root]  # plain topological order
+        assert v1 == pytest.approx(v2)
+        assert v1 == pytest.approx(math.sin(1), abs=1e-3)

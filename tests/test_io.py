@@ -1,0 +1,82 @@
+"""Tests for dag/schedule serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ComputationDag,
+    Schedule,
+    dag_from_dict,
+    dag_from_json,
+    dag_to_dict,
+    dag_to_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.exceptions import DagStructureError
+from repro.families import mesh
+
+
+class TestDagRoundTrip:
+    def test_structure_preserved(self):
+        dag = mesh.out_mesh_dag(3)
+        back = dag_from_dict(dag_to_dict(dag))
+        assert len(back) == len(dag)
+        assert len(back.arcs) == len(dag.arcs)
+        assert back.is_isomorphic_to(dag)
+
+    def test_labels_become_indices_with_legend(self):
+        dag = ComputationDag(arcs=[(("a", 1), "b")])
+        back = dag_from_dict(dag_to_dict(dag))
+        assert set(back.nodes) == {0, 1}
+        assert back.label_reprs == [repr(("a", 1)), repr("b")]
+
+    def test_json_text_round_trip(self):
+        dag = mesh.out_mesh_dag(2)
+        text = dag_to_json(dag, indent=2)
+        parsed = json.loads(text)  # genuinely valid JSON
+        assert parsed["n"] == 6
+        assert dag_from_json(text).is_isomorphic_to(dag)
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(DagStructureError, match="format"):
+            dag_from_dict({"format": 99, "n": 0, "arcs": []})
+
+    def test_bad_arc_index_rejected(self):
+        with pytest.raises(DagStructureError, match="out of range"):
+            dag_from_dict(
+                {"format": 1, "n": 2, "arcs": [[0, 5]], "label_reprs": []}
+            )
+
+    def test_cycle_rejected_on_load(self):
+        with pytest.raises(Exception):
+            dag_from_dict(
+                {
+                    "format": 1,
+                    "n": 2,
+                    "arcs": [[0, 1], [1, 0]],
+                    "label_reprs": [],
+                }
+            )
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_revalidates(self):
+        dag = ComputationDag(arcs=[("a", "b"), ("a", "c")])
+        sched = Schedule(dag, ["a", "b", "c"], name="s")
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.name == "s"
+        assert back.profile == sched.profile
+
+    def test_tampered_order_rejected(self):
+        dag = ComputationDag(arcs=[("a", "b")])
+        sched = Schedule(dag, ["a", "b"])
+        data = schedule_to_dict(sched)
+        data["order"] = list(reversed(data["order"]))
+        with pytest.raises(Exception):
+            schedule_from_dict(data)
+
+    def test_unsupported_format(self):
+        with pytest.raises(DagStructureError):
+            schedule_from_dict({"format": 0})

@@ -1,0 +1,77 @@
+"""Tests for matrix-multiplication execution (Section 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.matmul import multiply_blocks_2x2, recursive_multiply
+from repro.exceptions import ComputeError
+
+
+class Test2x2:
+    def test_scalar_blocks(self):
+        a = [[1.0, 2.0], [3.0, 4.0]]
+        b = [[5.0, 6.0], [7.0, 8.0]]
+        got = np.array(multiply_blocks_2x2(a, b))
+        assert np.allclose(got, np.array(a) @ np.array(b))
+
+    def test_identity(self):
+        eye = [[1.0, 0.0], [0.0, 1.0]]
+        m = [[2.0, 3.0], [4.0, 5.0]]
+        assert np.allclose(np.array(multiply_blocks_2x2(eye, m)), np.array(m))
+
+    def test_matrix_blocks(self):
+        """Identity (7.1) 'does not invoke the commutativity of
+        multiplication, so the equation holds when the elements are
+        themselves matrices'."""
+        rng = np.random.default_rng(0)
+        blocks_a = [[rng.random((3, 3)) for _ in range(2)] for _ in range(2)]
+        blocks_b = [[rng.random((3, 3)) for _ in range(2)] for _ in range(2)]
+        got = multiply_blocks_2x2(blocks_a, blocks_b)
+        full_a = np.block(blocks_a)
+        full_b = np.block(blocks_b)
+        assert np.allclose(np.block(got), full_a @ full_b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-50, 50), min_size=8, max_size=8),
+    )
+    def test_property_scalars(self, vals):
+        a = [[vals[0], vals[1]], [vals[2], vals[3]]]
+        b = [[vals[4], vals[5]], [vals[6], vals[7]]]
+        got = np.array(multiply_blocks_2x2(a, b))
+        assert np.allclose(got, np.array(a) @ np.array(b), atol=1e-6)
+
+
+class TestRecursive:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.random((n, n))
+        b = rng.random((n, n))
+        assert np.allclose(recursive_multiply(a, b), a @ b)
+
+    def test_identity(self):
+        eye = np.eye(4)
+        m = np.arange(16.0).reshape(4, 4)
+        assert np.allclose(recursive_multiply(eye, m), m)
+        assert np.allclose(recursive_multiply(m, eye), m)
+
+    def test_negative_entries(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        assert np.allclose(recursive_multiply(a, b), a @ b)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ComputeError):
+            recursive_multiply(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ComputeError):
+            recursive_multiply(np.ones((3, 3)), np.ones((3, 3)))
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ComputeError):
+            recursive_multiply(np.ones((1, 1)), np.ones((1, 1)))

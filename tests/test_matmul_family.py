@@ -1,0 +1,119 @@
+"""Tests for the matrix-multiplication dag M (Section 7, Fig. 17) —
+including the reproduction findings about the §7 boxed schedule."""
+
+import pytest
+
+from repro.core import (
+    Certificate,
+    ExecutionState,
+    dominates,
+    is_ic_optimal,
+    max_eligibility_profile,
+    schedule_dag,
+)
+from repro.exceptions import DagStructureError
+from repro.families import matmul_dag as mm
+
+
+class TestStructure:
+    def test_20_nodes(self):
+        dag = mm.matmul_chain().dag
+        assert len(dag) == 20
+        assert len(dag.sources) == 8  # operand loads
+        assert len(dag.sinks) == 4  # result entries
+
+    def test_composite_type(self):
+        ch = mm.matmul_chain()
+        names = [rec.block.name for rec in ch.blocks]
+        assert names == ["C4", "C4", "Λ", "Λ", "Λ", "Λ"]
+
+    def test_product_parents(self):
+        dag = mm.matmul_chain().dag
+        assert set(dag.parents("AE")) == {"A", "E"}
+        assert set(dag.parents("CF")) == {"C", "F"}
+        assert set(dag.parents("DH")) == {"D", "H"}
+
+    def test_sum_parents_fix_paper_typo(self):
+        # bottom-right entry is CF + DH (the paper's display shows the
+        # typo CF + BH)
+        dag = mm.matmul_chain().dag
+        assert set(dag.parents("r11")) == {"CF", "DH"}
+        assert set(dag.parents("r01")) == {"AF", "BH"}
+
+
+class TestSchedules:
+    def test_theorem21_certificate(self):
+        r = schedule_dag(mm.matmul_chain())
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_paper_schedule_ic_optimal(self):
+        dag = mm.matmul_chain().dag
+        assert is_ic_optimal(mm.paper_schedule(dag))
+
+    def test_load_order_renders_box_product_order(self):
+        """The §7 box's product order AE, CE, CF, AF, BG, DG, DH, BH is
+        exactly the ELIGIBLE-rendering order of the cycle-order load
+        schedule."""
+        dag = mm.matmul_chain().dag
+        st = ExecutionState(dag)
+        rendered = []
+        for v in mm.LOAD_ORDER:
+            rendered.extend(st.execute(v))
+        assert rendered == ["AE", "CE", "CF", "AF", "BG", "DG", "DH", "BH"]
+
+    def test_verbatim_box_reading_is_not_ic_optimal(self):
+        """Reproduction finding (EXPERIMENTS.md E-F17): executing the
+        product *tasks* in the box's verbatim order is not IC-optimal;
+        the sum-paired order strictly dominates it at steps 10-14."""
+        dag = mm.matmul_chain().dag
+        verbatim = mm.verbatim_box_schedule(dag)
+        paired = mm.paper_schedule(dag)
+        ceiling = max_eligibility_profile(dag)
+        assert not is_ic_optimal(verbatim, ceiling)
+        assert dominates(paired.profile, verbatim.profile)
+        diffs = [
+            t
+            for t, (p, v) in enumerate(zip(paired.profile, verbatim.profile))
+            if p != v
+        ]
+        assert diffs == [10, 11, 12, 13, 14]
+
+    def test_profile_peaks(self):
+        # E = 8 after each full load cycle (all four of a block's
+        # products become eligible together)
+        r = schedule_dag(mm.matmul_chain())
+        prof = r.schedule.profile
+        assert prof[0] == 8 and prof[4] == 8 and prof[8] == 8
+
+
+class TestRecursiveDag:
+    @pytest.mark.parametrize("k,n", [(1, 2), (2, 4), (3, 8)])
+    def test_node_counts(self, k, n):
+        dag = mm.recursive_matmul_dag(k)
+        muls = sum(1 for v in dag.nodes if v[0] == "mul")
+        adds = sum(1 for v in dag.nodes if v[0] == "add")
+        loads = sum(1 for v in dag.nodes if v[0] in ("a", "b"))
+        assert muls == n**3
+        assert adds == n**3 - n**2
+        assert loads == 2 * n**2
+
+    def test_k1_is_fig17_shape(self):
+        dag = mm.recursive_matmul_dag(1)
+        assert len(dag) == 20
+        assert len(dag.sources) == 8
+        assert len(dag.sinks) == 4
+
+    def test_k1_isomorphic_to_matmul_chain(self):
+        assert mm.recursive_matmul_dag(1).is_isomorphic_to(
+            mm.matmul_chain().dag
+        )
+
+    def test_sinks_are_top_level_adds(self):
+        dag = mm.recursive_matmul_dag(2)
+        for v in dag.sinks:
+            assert v[0] == "add" and v[1] == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(DagStructureError):
+            mm.recursive_matmul_dag(-1)

@@ -1,0 +1,98 @@
+"""Tests for mesh dags and Section 4's claims (Figs. 5-6)."""
+
+import pytest
+
+from repro.core import Certificate, is_ic_optimal, schedule_dag
+from repro.exceptions import DagStructureError
+from repro.families import mesh
+
+
+class TestStructure:
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_node_count(self, d):
+        dag = mesh.out_mesh_dag(d)
+        assert len(dag) == (d + 1) * (d + 2) // 2
+
+    def test_out_mesh_degrees(self):
+        dag = mesh.out_mesh_dag(3)
+        assert dag.sources == [(0, 0)]
+        assert len(dag.sinks) == 4
+        # interior node has indegree 2 (except diagonal ends)
+        assert dag.indegree((2, 1)) == 2
+        assert dag.indegree((2, 0)) == 1
+        assert dag.indegree((2, 2)) == 1
+
+    def test_in_mesh_is_dual(self):
+        assert mesh.in_mesh_dag(4).same_structure(mesh.out_mesh_dag(4).dual())
+
+    def test_chain_matches_dag(self):
+        for d in (1, 2, 4):
+            assert mesh.out_mesh_chain(d).dag.same_structure(mesh.out_mesh_dag(d))
+            assert mesh.in_mesh_chain(d).dag.same_structure(mesh.in_mesh_dag(d))
+
+    def test_w_decomposition(self):
+        """Fig. 6: the out-mesh is a composition of W-dags with
+        *increasing* numbers of sources."""
+        ch = mesh.out_mesh_chain(4)
+        sizes = [len(rec.block.sources) for rec in ch.blocks]
+        assert sizes == [1, 2, 3, 4]
+
+    def test_m_decomposition(self):
+        ch = mesh.in_mesh_chain(4)
+        sizes = [len(rec.block.sinks) for rec in ch.blocks]
+        assert sizes == [4, 3, 2, 1]
+
+    def test_bad_depth(self):
+        with pytest.raises(DagStructureError):
+            mesh.out_mesh_dag_chain = mesh.out_mesh_chain(0)
+
+    def test_is_out_mesh(self):
+        assert mesh.is_out_mesh(mesh.out_mesh_dag(3))
+        assert not mesh.is_out_mesh(mesh.in_mesh_dag(3))
+
+    def test_mesh_levels(self):
+        lv = mesh.mesh_levels(mesh.out_mesh_dag(2))
+        assert lv == {0: [(0, 0)], 1: [(1, 0), (1, 1)], 2: [(2, 0), (2, 1), (2, 2)]}
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_out_mesh_certified_optimal(self, d):
+        r = schedule_dag(mesh.out_mesh_chain(d))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_in_mesh_certified_optimal(self, d):
+        r = schedule_dag(mesh.in_mesh_chain(d))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_diagonal_schedule_out(self):
+        for d in (1, 3, 4):
+            assert is_ic_optimal(mesh.diagonal_schedule(mesh.out_mesh_dag(d)))
+
+    def test_diagonal_schedule_in(self):
+        for d in (1, 3, 4):
+            assert is_ic_optimal(mesh.diagonal_schedule(mesh.in_mesh_dag(d)))
+
+    def test_out_mesh_profile_shape(self):
+        """The IC-optimal out-mesh profile climbs one unit per
+        completed diagonal: after finishing diagonal k the frontier has
+        k + 2 eligible nodes."""
+        r = schedule_dag(mesh.out_mesh_chain(3))
+        prof = r.schedule.profile
+        # completing diagonals at steps 1, 3, 6, 10
+        assert prof[1] == 2
+        assert prof[3] == 3
+        assert prof[6] == 4
+
+    def test_column_major_is_suboptimal(self):
+        """Sweeping rows (not anti-diagonals) produces strictly fewer
+        eligible nodes at some step."""
+        from repro.core import Schedule, max_eligibility_profile
+
+        dag = mesh.out_mesh_dag(3)
+        order = sorted(dag.nodes, key=lambda v: (v[1], v[0]))
+        s = Schedule(dag, order)
+        assert not is_ic_optimal(s, max_eligibility_profile(dag))

@@ -1,0 +1,91 @@
+"""Tests for parallel-prefix dags and Section 6.1's claims
+(Figs. 11-12)."""
+
+import pytest
+
+from repro.core import (
+    Certificate,
+    Schedule,
+    is_ic_optimal,
+    max_eligibility_profile,
+    schedule_dag,
+)
+from repro.exceptions import DagStructureError
+from repro.families import prefix as px
+
+
+class TestStructure:
+    def test_levels(self):
+        assert px.prefix_levels(2) == 1
+        assert px.prefix_levels(8) == 3
+        assert px.prefix_levels(9) == 4
+        assert px.prefix_levels(1) == 0
+
+    def test_node_count(self):
+        # (L + 1) levels of n columns each
+        dag = px.prefix_dag(8)
+        assert len(dag) == 4 * 8
+
+    def test_matches_pseudocode(self):
+        """The dag's arcs mirror the §6.1 loop
+        ``x_i <- x_{i-2^j} * x_i`` exactly."""
+        n = 8
+        dag = px.prefix_dag(n)
+        for j in range(px.prefix_levels(n)):
+            step = 1 << j
+            for i in range(n):
+                parents = set(dag.parents(px.px_node(j + 1, i)))
+                if i >= step:
+                    assert parents == {
+                        px.px_node(j, i - step),
+                        px.px_node(j, i),
+                    }
+                else:
+                    assert parents == {px.px_node(j, i)}
+
+    def test_p1_rejected(self):
+        with pytest.raises(DagStructureError):
+            px.prefix_dag(1)
+
+    def test_chain_matches_dag(self):
+        for n in (2, 3, 5, 8):
+            assert px.prefix_chain(n).dag.same_structure(px.prefix_dag(n))
+
+    def test_p8_ndag_type_from_paper(self):
+        """Section 6.2.1: P_8 is composite of type
+        N_8 ⇑ N_4 ⇑ N_4 ⇑ N_2 ⇑ N_2 ⇑ N_2 ⇑ N_2."""
+        assert px.prefix_ndag_sizes(8) == [8, 4, 4, 2, 2, 2, 2]
+        names = [rec.block.name for rec in px.prefix_chain(8).blocks]
+        assert names == ["N8", "N4", "N4", "N2", "N2", "N2", "N2"]
+
+    def test_ndag_sizes_non_power_of_two(self):
+        assert px.prefix_ndag_sizes(6) == [6, 3, 3, 2, 2, 1, 1]
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_certified_and_optimal(self, n):
+        r = schedule_dag(px.prefix_chain(n))
+        assert r.certificate is Certificate.COMPOSITION
+        assert is_ic_optimal(r.schedule)
+
+    def test_p8_certified(self):
+        r = schedule_dag(px.prefix_chain(8))
+        assert r.certificate is Certificate.COMPOSITION
+
+    def test_nonincreasing_ndag_order_claim(self):
+        """Section 6.1 box: any schedule executing the constituent
+        N-dags in nonincreasing source-count order is IC-optimal — our
+        chain emits exactly such an order."""
+        sizes = px.prefix_ndag_sizes(8)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_level_scrambled_order_suboptimal(self):
+        """Executing a later (smaller) N-dag's sources before finishing
+        the big first-level N-dag violates optimality."""
+        dag = px.prefix_dag(4)
+        ceiling = max_eligibility_profile(dag)
+        # column-major order: finish column 0 through all levels first
+        order = sorted(dag.nodes, key=lambda v: (v[1], v[0]))
+        s = Schedule(dag, order)
+        assert not is_ic_optimal(s, ceiling)

@@ -1,0 +1,120 @@
+"""Tests for the ▷ relation machinery (equation 2.1)."""
+
+import pytest
+
+from repro.blocks import block
+from repro.core import (
+    ComputationDag,
+    has_priority,
+    optimal_nonsink_profile,
+    priority_chain_holds,
+    priority_matrix,
+    profiles_have_priority,
+)
+from repro.exceptions import PriorityError
+
+
+class TestProfilesPredicate:
+    def test_hand_checked_vee_over_lambda(self):
+        # E_V = [1, 2], E_Λ = [2, 1, 1]
+        assert profiles_have_priority([1, 2], [2, 1, 1])
+
+    def test_hand_checked_lambda_not_over_vee(self):
+        # x=0, y=1 shift fails: 2+2 > 1+1
+        assert not profiles_have_priority([2, 1, 1], [1, 2])
+
+    def test_reflexive_on_constant_profiles(self):
+        assert profiles_have_priority([3, 3, 3, 4], [3, 3, 3, 4])
+
+    def test_trivial_profiles(self):
+        assert profiles_have_priority([1], [1])
+
+
+class TestOptimalNonsinkProfile:
+    def test_uses_supplied_schedule(self):
+        g, s = block("W", 3)
+        assert optimal_nonsink_profile(g, s) == [3, 3, 3, 4]
+
+    def test_searches_when_missing(self):
+        g, _ = block("Λ")
+        assert optimal_nonsink_profile(g) == [2, 1, 1]
+
+    def test_raises_without_ic_optimal(self):
+        # the frozen no-IC-optimal example from test_optimality
+        g = ComputationDag(
+            arcs=[("a", "w")]
+            + [(s, t) for s in ("b", "c") for t in ("x", "y", "z")]
+        )
+        with pytest.raises(PriorityError, match="no IC-optimal"):
+            optimal_nonsink_profile(g)
+
+
+class TestHasPriority:
+    def test_with_schedules(self):
+        g1, s1 = block("V")
+        g2, s2 = block("Λ")
+        assert has_priority(g1, g2, s1, s2)
+        assert not has_priority(g2, g1, s2, s1)
+
+    def test_without_schedules(self):
+        g1, _ = block("N", 3)
+        g2, _ = block("Λ")
+        assert has_priority(g1, g2)
+
+    def test_non_transpose_symmetric(self):
+        g1, s1 = block("W", 2)
+        g2, s2 = block("W", 4)
+        assert has_priority(g1, g2, s1, s2)
+        assert not has_priority(g2, g1, s2, s1)
+
+
+class TestChainAndMatrix:
+    def test_chain_holds(self):
+        # the §6.2.1 chain V₃ ▷ V₃ ▷ Λ ▷ Λ
+        pairs = [block("V", 3), block("V", 3), block("Λ"), block("Λ")]
+        dags = [p[0] for p in pairs]
+        scheds = [p[1] for p in pairs]
+        assert priority_chain_holds(dags, scheds)
+
+    def test_chain_fails_on_lambda_before_vee(self):
+        pairs = [block("Λ"), block("V")]
+        assert not priority_chain_holds(
+            [p[0] for p in pairs], [p[1] for p in pairs]
+        )
+
+    def test_chain_length_mismatch(self):
+        pairs = [block("V"), block("Λ")]
+        with pytest.raises(PriorityError):
+            priority_chain_holds([p[0] for p in pairs], [pairs[0][1]])
+
+    def test_matrix_diagonal_self_priority(self):
+        pairs = [block("V"), block("Λ"), block("B")]
+        m = priority_matrix([p[0] for p in pairs], [p[1] for p in pairs])
+        assert all(m[i][i] for i in range(3))
+
+    def test_matrix_off_diagonal(self):
+        pairs = [block("V"), block("Λ")]
+        m = priority_matrix([p[0] for p in pairs], [p[1] for p in pairs])
+        assert m[0][1] is True  # V ▷ Λ
+        assert m[1][0] is False  # ¬(Λ ▷ V)
+
+
+class TestWDagMonotonicity:
+    def test_w_priority_iff_smaller(self):
+        """Section 4: smaller W-dags have ▷-priority over larger ones —
+        and (checked here) *only* smaller-or-equal ones."""
+        sizes = [1, 2, 3, 4, 5]
+        profs = {s: block("W", s)[1].nonsink_profile() for s in sizes}
+        for s in sizes:
+            for t in sizes:
+                expect = s <= t
+                got = profiles_have_priority(profs[s], profs[t])
+                assert got == expect, (s, t)
+
+    def test_n_dag_universal_priority(self):
+        """Section 6.1: N_s ▷ N_t for ALL s and t."""
+        sizes = [1, 2, 3, 5, 8]
+        profs = {s: block("N", s)[1].nonsink_profile() for s in sizes}
+        for s in sizes:
+            for t in sizes:
+                assert profiles_have_priority(profs[s], profs[t]), (s, t)

@@ -1,0 +1,119 @@
+"""Every priority (▷) fact asserted anywhere in the paper, re-derived
+computationally from equation (2.1) — the validation of our
+reconstruction of the elided display equation (see DESIGN.md)."""
+
+import pytest
+
+from repro.blocks import PAPER_PRIORITY_FACTS, block
+from repro.core import (
+    dual_dag,
+    dual_schedule,
+    has_priority,
+    is_ic_optimal,
+    profiles_have_priority,
+)
+
+
+@pytest.mark.parametrize(
+    "lhs,rhs,expected",
+    PAPER_PRIORITY_FACTS,
+    ids=[
+        f"{k1}{p1 or ''}>{k2}{p2 or ''}={e}"
+        for (k1, p1), (k2, p2), e in PAPER_PRIORITY_FACTS
+    ],
+)
+def test_paper_priority_fact(lhs, rhs, expected):
+    g1, s1 = block(*lhs)
+    g2, s2 = block(*rhs)
+    assert has_priority(g1, g2, s1, s2) is expected
+
+
+class TestTheorem23:
+    """Theorem 2.3: G1 ▷ G2 iff dual(G2) ▷ dual(G1)."""
+
+    PAIRS = [
+        (("V", 2), ("Λ", 2)),
+        (("Λ", 2), ("V", 2)),
+        (("W", 2), ("W", 4)),
+        (("W", 4), ("W", 2)),
+        (("N", 3), ("Λ", 2)),
+        (("C", 4), ("Λ", 2)),
+        (("B", None), ("B", None)),
+        (("V", 3), ("Λ", 3)),
+    ]
+
+    @pytest.mark.parametrize("lhs,rhs", PAIRS)
+    def test_duality_of_priority(self, lhs, rhs):
+        g1, s1 = block(*lhs)
+        g2, s2 = block(*rhs)
+        d1, d2 = dual_dag(g1), dual_dag(g2)
+        ds1 = dual_schedule(s1, d1)
+        ds2 = dual_schedule(s2, d2)
+        # dual schedules are IC-optimal by Theorem 2.2, so they are
+        # valid witnesses for the ▷ computation on the duals
+        assert is_ic_optimal(ds1) and is_ic_optimal(ds2)
+        forward = has_priority(g1, g2, s1, s2)
+        backward = has_priority(d2, d1, ds2, ds1)
+        assert forward == backward
+
+
+class TestChainsUsedByTheorems:
+    """The full ▷-chains each section's Theorem 2.1 application needs."""
+
+    def test_section3_diamond_chain(self):
+        # V ▷ V ▷ ... ▷ V ▷ Λ ▷ ... ▷ Λ
+        v, sv = block("V")
+        lam, sl = block("Λ")
+        pv = sv.nonsink_profile()
+        pl = sl.nonsink_profile()
+        assert profiles_have_priority(pv, pv)
+        assert profiles_have_priority(pv, pl)
+        assert profiles_have_priority(pl, pl)
+
+    def test_section4_mesh_chain(self):
+        profs = [block("W", s)[1].nonsink_profile() for s in range(1, 6)]
+        for a, b in zip(profs, profs[1:]):
+            assert profiles_have_priority(a, b)
+
+    def test_section4_in_mesh_chain_via_duality(self):
+        # in-mesh chain is M_d ⇑ ... ⇑ M_1; larger M-dags first
+        profs = {
+            s: block("M", s)[1].nonsink_profile() for s in range(1, 6)
+        }
+        for s in range(5, 1, -1):
+            assert profiles_have_priority(profs[s], profs[s - 1])
+        # and the reverse generally fails (duality of W monotonicity)
+        assert not profiles_have_priority(profs[1], profs[4])
+
+    def test_section5_butterfly_chain(self):
+        pb = block("B")[1].nonsink_profile()
+        assert profiles_have_priority(pb, pb)
+
+    def test_section6_prefix_chain(self):
+        # N_8 ▷ N_4 ▷ N_4 ▷ N_2 ▷ ... (any order of sizes works)
+        sizes = [8, 4, 4, 2, 2, 2, 2]
+        profs = [block("N", s)[1].nonsink_profile() for s in sizes]
+        for a, b in zip(profs, profs[1:]):
+            assert profiles_have_priority(a, b)
+
+    def test_section621_dlt_chain(self):
+        # N_s ▷ Λ and Λ ▷ Λ complete the L_n chain
+        pn = block("N", 8)[1].nonsink_profile()
+        pl = block("Λ")[1].nonsink_profile()
+        assert profiles_have_priority(pn, pl)
+        assert profiles_have_priority(pl, pl)
+
+    def test_section7_matmul_chain(self):
+        pc = block("C", 4)[1].nonsink_profile()
+        pl = block("Λ")[1].nonsink_profile()
+        assert profiles_have_priority(pc, pc)
+        assert profiles_have_priority(pc, pl)
+        assert profiles_have_priority(pl, pl)
+
+    def test_mixed_degree_vee_priorities(self):
+        # V₃ ▷ V₂ holds but V₂ ▷ V₃ fails — why mixed-degree out-trees
+        # need block reordering for their Theorem 2.1 certificate
+        p2 = block("V", 2)[1].nonsink_profile()
+        p3 = block("V", 3)[1].nonsink_profile()
+        assert profiles_have_priority(p3, p2)
+        assert not profiles_have_priority(p2, p3)

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core theory invariants,
+over randomly generated dags."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ComputationDag,
+    Schedule,
+    dominates,
+    dual_schedule,
+    find_ic_optimal_schedule,
+    greedy_schedule,
+    is_ic_optimal,
+    max_eligibility_profile,
+    normalize_nonsinks_first,
+    optimal_nonsink_profile,
+    profiles_have_priority,
+)
+
+
+@st.composite
+def small_dags(draw, max_nodes=8):
+    """Random dags: nodes 0..n-1 with arcs only low -> high (acyclic by
+    construction)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    dag = ComputationDag(nodes=list(range(n)), name="rand")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                dag.add_arc(u, v)
+    return dag
+
+
+@st.composite
+def dag_with_schedule(draw, max_nodes=7):
+    """A random dag plus a random valid nonsink-first schedule."""
+    dag = draw(small_dags(max_nodes))
+    from repro.core import ExecutionState
+
+    state = ExecutionState(dag)
+    order = []
+    nonsinks = sum(1 for v in dag.nodes if not dag.is_sink(v))
+    while len(order) < nonsinks:
+        choices = [v for v in state.eligible if not dag.is_sink(v)]
+        pick = draw(st.sampled_from(sorted(choices, key=repr)))
+        state.execute(pick)
+        order.append(pick)
+    order.extend(v for v in dag.nodes if dag.is_sink(v))
+    return dag, Schedule(dag, order)
+
+
+class TestExecutionInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(dag_with_schedule())
+    def test_profile_below_ceiling(self, pair):
+        """No schedule can exceed the exhaustive max profile at any
+        step."""
+        dag, sched = pair
+        ceiling = max_eligibility_profile(dag)
+        assert all(e <= m for e, m in zip(sched.profile, ceiling))
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag_with_schedule())
+    def test_profile_step_bounds(self, pair):
+        """Each execution changes E by at least -1 (the executed node)
+        and at most outdegree - 1."""
+        dag, sched = pair
+        prof = sched.profile
+        for t, v in enumerate(sched.order):
+            delta = prof[t + 1] - prof[t]
+            assert -1 <= delta <= dag.outdegree(v) - 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(dag_with_schedule())
+    def test_profile_ends_at_zero(self, pair):
+        _dag, sched = pair
+        assert sched.profile[-1] == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(dag_with_schedule())
+    def test_normalization_dominates(self, pair):
+        _dag, sched = pair
+        norm = normalize_nonsinks_first(sched)
+        assert dominates(norm.profile, sched.profile)
+
+
+class TestDualityInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(small_dags())
+    def test_dual_involution(self, dag):
+        assert dag.dual().dual().same_structure(dag)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_dags())
+    def test_dual_swaps_source_sink_counts(self, dag):
+        d = dag.dual()
+        assert len(d.sources) == len(dag.sinks)
+        assert len(d.sinks) == len(dag.sources)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags(max_nodes=7))
+    def test_theorem22_random(self, dag):
+        """Theorem 2.2 on random dags: whenever an IC-optimal schedule
+        exists, its dual schedule is IC-optimal for the dual."""
+        sched = find_ic_optimal_schedule(dag)
+        if sched is None:
+            return
+        ds = dual_schedule(sched)
+        assert is_ic_optimal(ds)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=6), small_dags(max_nodes=6))
+    def test_theorem23_random(self, g1, g2):
+        """Theorem 2.3 on random pairs: G1 ▷ G2 iff ~G2 ▷ ~G1."""
+        s1 = find_ic_optimal_schedule(g1)
+        s2 = find_ic_optimal_schedule(g2)
+        if s1 is None or s2 is None:
+            return
+        forward = profiles_have_priority(
+            s1.nonsink_profile(), s2.nonsink_profile()
+        )
+        d1, d2 = g1.dual(), g2.dual()
+        ds1, ds2 = dual_schedule(s1, d1), dual_schedule(s2, d2)
+        backward = profiles_have_priority(
+            ds2.nonsink_profile(), ds1.nonsink_profile()
+        )
+        assert forward == backward
+
+
+class TestOptimalitySearchInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(small_dags(max_nodes=7))
+    def test_found_schedules_verify(self, dag):
+        sched = find_ic_optimal_schedule(dag)
+        if sched is not None:
+            assert is_ic_optimal(sched)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_dags(max_nodes=7))
+    def test_greedy_always_valid_and_below_ceiling(self, dag):
+        s = greedy_schedule(dag)
+        ceiling = max_eligibility_profile(dag)
+        assert all(e <= m for e, m in zip(s.profile, ceiling))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_dags(max_nodes=7))
+    def test_ceiling_head_and_tail(self, dag):
+        ceiling = max_eligibility_profile(dag)
+        assert ceiling[0] == len(dag.sources)
+        assert ceiling[-1] == 0
+        n = sum(1 for v in dag.nodes if not dag.is_sink(v))
+        for t in range(n, len(dag) + 1):
+            assert ceiling[t] == len(dag) - t
+
+
+class TestPriorityInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=5), small_dags(max_nodes=5))
+    def test_theorem21_on_disjoint_sums(self, g1, g2):
+        """Theorem 2.1 semantics check for the reconstructed eq. (2.1):
+        when G1 ▷ G2, running Σ1's nonsinks then Σ2's is IC-optimal for
+        the disjoint sum G1 + G2."""
+        s1 = find_ic_optimal_schedule(g1)
+        s2 = find_ic_optimal_schedule(g2)
+        if s1 is None or s2 is None:
+            return
+        if not profiles_have_priority(
+            s1.nonsink_profile(), s2.nonsink_profile()
+        ):
+            return
+        a = g1.prefixed("a")
+        b = g2.prefixed("b")
+        from repro.core import sum_dags
+
+        total = sum_dags(a, b)
+        order = (
+            [("a", v) for v in s1.nonsink_order()]
+            + [("b", v) for v in s2.nonsink_order()]
+            + [v for v in total.nodes if total.is_sink(v)]
+        )
+        assert is_ic_optimal(Schedule(total, order))
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=6))
+    def test_optimal_nonsink_profile_matches_ceiling(self, dag):
+        s = find_ic_optimal_schedule(dag)
+        if s is None:
+            return
+        n = sum(1 for v in dag.nodes if not dag.is_sink(v))
+        ceiling = max_eligibility_profile(dag)
+        assert optimal_nonsink_profile(dag, s) == ceiling[: n + 1]
+
+
+class TestTheorem21OnRandomChains:
+    """End-to-end validation of Theorem 2.1: random composition chains
+    of random catalogued blocks with random merges — whenever the
+    ▷-chain (reordered if needed) holds, the Theorem 2.1 schedule must
+    match the exhaustive ceiling pointwise."""
+
+    BLOCK_SPECS = [
+        ("V", 2),
+        ("V", 3),
+        ("Λ", 2),
+        ("W", 2),
+        ("M", 2),
+        ("N", 2),
+        ("N", 3),
+        ("C", 3),
+        ("B", None),
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_chain(self, data):
+        from repro.blocks import block
+        from repro.core import (
+            CompositionChain,
+            linear_composition_schedule,
+        )
+
+        n_blocks = data.draw(st.integers(2, 4), label="n_blocks")
+        specs = [
+            data.draw(st.sampled_from(self.BLOCK_SPECS), label=f"b{i}")
+            for i in range(n_blocks)
+        ]
+        g0, s0 = block(*specs[0])
+        chain = CompositionChain(g0, s0, name="rand-chain")
+        for i, spec in enumerate(specs[1:], start=1):
+            g, s = block(*spec)
+            sinks = chain.dag.sinks
+            sources = g.sources
+            k_max = min(len(sinks), len(sources))
+            k = data.draw(st.integers(0, k_max), label=f"merge{i}")
+            picked_sinks = data.draw(
+                st.permutations(sinks), label=f"perm{i}"
+            )[:k]
+            merge = list(zip(picked_sinks, sources[:k]))
+            chain.compose_with(g, s, merge_pairs=merge)
+        if len(chain.dag) > 16:
+            return  # keep the exhaustive check affordable
+        candidate = chain
+        if not candidate.is_priority_linear():
+            candidate = chain.priority_reordered()
+        if not candidate.is_priority_linear():
+            return  # Theorem 2.1 does not apply; nothing to claim
+        sched = linear_composition_schedule(candidate)
+        assert is_ic_optimal(sched)

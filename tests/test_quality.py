@@ -1,0 +1,126 @@
+"""Tests for almost-optimal scheduling quality (Section 8, thrust 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import block
+from repro.core import (
+    ComputationDag,
+    Schedule,
+    best_effort_schedule,
+    find_ic_optimal_schedule,
+    greedy_schedule,
+    is_ic_optimal,
+    max_eligibility_profile,
+    quality_deficit,
+    quality_ratio,
+    quality_report,
+)
+from repro.core.quality import area_ratio
+from repro.exceptions import OptimalityError
+
+
+def no_optimum_dag() -> ComputationDag:
+    """The frozen 7-node dag with no IC-optimal schedule."""
+    return ComputationDag(
+        arcs=[("a", "w")]
+        + [(s, t) for s in ("b", "c") for t in ("x", "y", "z")]
+    )
+
+
+class TestMetrics:
+    def test_ic_optimal_scores_perfect(self):
+        _g, s = block("W", 3)
+        rep = quality_report(s)
+        assert rep.ratio == 1.0
+        assert rep.deficit == 0
+        assert rep.area == 1.0
+        assert rep.ic_optimal
+
+    def test_suboptimal_scores_below(self):
+        g, _ = block("N", 4)
+        srcs = sorted(
+            (v for v in g.nodes if v[0] == "src"), key=lambda v: -v[1]
+        )
+        snks = [v for v in g.nodes if v[0] == "snk"]
+        s = Schedule(g, srcs + snks)
+        rep = quality_report(s)
+        assert rep.ratio < 1.0
+        assert rep.deficit >= 1
+        assert rep.area < 1.0
+        assert not rep.ic_optimal
+
+    def test_metrics_consistent_with_is_ic_optimal(self):
+        g = no_optimum_dag()
+        s = greedy_schedule(g)
+        ceiling = max_eligibility_profile(g)
+        assert (quality_deficit(s, ceiling) == 0) == is_ic_optimal(s, ceiling)
+
+    def test_reuses_ceiling(self):
+        _g, s = block("C", 4)
+        ceiling = max_eligibility_profile(s.dag)
+        assert quality_ratio(s, ceiling) == 1.0
+
+    def test_ceiling_length_mismatch(self):
+        _g, s = block("V")
+        with pytest.raises(OptimalityError):
+            quality_ratio(s, [1, 2])
+
+    def test_area_ratio_bounds(self):
+        g = no_optimum_dag()
+        s = greedy_schedule(g)
+        assert 0.0 < area_ratio(s) <= 1.0
+
+
+class TestBestEffort:
+    def test_matches_ic_optimal_when_exists(self):
+        for kind, param in (("W", 3), ("C", 4), ("Λ", 3)):
+            g, _ = block(kind, param)
+            s = best_effort_schedule(g)
+            assert is_ic_optimal(s), (kind, param)
+
+    def test_strictly_beats_greedy_on_hard_dag(self):
+        g = no_optimum_dag()
+        assert find_ic_optimal_schedule(g) is None
+        be = quality_report(best_effort_schedule(g))
+        gr = quality_report(greedy_schedule(g))
+        assert be.deficit <= gr.deficit
+        assert (be.deficit, -be.area) <= (gr.deficit, -gr.area)
+        assert be.deficit == 1  # the provably unavoidable shortfall
+
+    def test_exists_for_every_dag(self):
+        # the whole point of "almost optimal": every dag gets a schedule
+        g = no_optimum_dag()
+        s = best_effort_schedule(g)
+        assert len(s) == len(g)
+
+    def test_large_dag_falls_back_to_greedy(self):
+        from repro.families.mesh import out_mesh_dag
+
+        dag = out_mesh_dag(12)
+        s = best_effort_schedule(dag, exhaustive_limit=5)
+        assert len(s) == len(dag)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_best_effort_dominates_nothing_weirdly(self, seed):
+        """On random dags the best-effort deficit is never worse than
+        greedy's, and equals 0 exactly when an IC-optimal schedule
+        exists."""
+        import random
+
+        rng = random.Random(seed)
+        dag = ComputationDag(nodes=range(6))
+        for u in range(6):
+            for v in range(u + 1, 6):
+                if rng.random() < 0.4:
+                    dag.add_arc(u, v)
+        ceiling = max_eligibility_profile(dag)
+        be = best_effort_schedule(dag)
+        gr = greedy_schedule(dag)
+        d_be = quality_deficit(be, ceiling)
+        d_gr = quality_deficit(gr, ceiling)
+        assert d_be <= d_gr
+        exists = find_ic_optimal_schedule(dag) is not None
+        assert (d_be == 0) == exists

@@ -1,0 +1,134 @@
+"""Tests for the parallel-prefix/scan executor (§6.1)."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.scan import (
+    bool_matmul,
+    parallel_scan,
+    powers,
+    scan_task_graph,
+    sequential_scan,
+)
+from repro.exceptions import ComputeError
+
+
+class TestSequentialScan:
+    def test_addition(self):
+        assert sequential_scan([1, 2, 3, 4], operator.add) == [1, 3, 6, 10]
+
+    def test_empty(self):
+        assert sequential_scan([], operator.add) == []
+
+    def test_concatenation(self):
+        # §6.1 lists "concatenate" among the associative ops
+        assert sequential_scan(["a", "b", "c"], operator.add) == ["a", "ab", "abc"]
+
+
+class TestParallelScan:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16])
+    def test_matches_sequential_addition(self, n):
+        vals = list(range(1, n + 1))
+        assert parallel_scan(vals, operator.add) == sequential_scan(
+            vals, operator.add
+        )
+
+    def test_min_max(self):
+        vals = [5, 3, 8, 1, 9, 2, 7, 4]
+        assert parallel_scan(vals, min) == sequential_scan(vals, min)
+        assert parallel_scan(vals, max) == sequential_scan(vals, max)
+
+    def test_trivial_sizes(self):
+        assert parallel_scan([], operator.add) == []
+        assert parallel_scan([7], operator.add) == [7]
+
+    def test_noncommutative_op(self):
+        # scan only requires associativity; string concat is a good
+        # noncommutative probe for operand-order bugs
+        vals = list("abcdefgh")
+        assert parallel_scan(vals, operator.add) == sequential_scan(
+            vals, operator.add
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=2, max_size=12))
+    def test_property_addition(self, vals):
+        assert parallel_scan(vals, operator.add) == sequential_scan(
+            vals, operator.add
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.text(alphabet="xyz", max_size=3), min_size=2, max_size=9))
+    def test_property_concat(self, vals):
+        assert parallel_scan(vals, operator.add) == sequential_scan(
+            vals, operator.add
+        )
+
+    def test_task_graph_complete(self):
+        tg, levels = scan_task_graph([1, 2, 3, 4, 5], operator.add)
+        assert tg.missing_tasks() == []
+        assert levels == 3
+
+    def test_too_small_graph(self):
+        with pytest.raises(ComputeError):
+            scan_task_graph([1], operator.add)
+
+
+class TestPowers:
+    def test_integer_powers(self):
+        """§6.1: 'to generate the first n powers of an integer N'."""
+        assert powers(2, 10, operator.mul) == [2**i for i in range(1, 11)]
+
+    def test_complex_powers(self):
+        """§6.1: powers of a complex ω via complex multiplication."""
+        import cmath
+
+        w = cmath.exp(2j * cmath.pi / 8)
+        got = powers(w, 8, operator.mul)
+        for i, v in enumerate(got, start=1):
+            assert cmath.isclose(v, w**i, abs_tol=1e-12)
+        assert cmath.isclose(got[-1], 1.0, abs_tol=1e-12)
+
+    def test_logical_matrix_powers(self):
+        """§6.1: logical powers of an adjacency matrix."""
+        a = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]], dtype=bool)
+        got = powers(a, 3, bool_matmul)
+        assert np.array_equal(got[0], a)
+        assert got[1][0, 2]  # path of length 2 from 0 to 2
+        assert not got[2].any()  # no length-3 paths in a 3-chain
+
+    def test_bad_count(self):
+        with pytest.raises(ComputeError):
+            powers(2, 0, operator.mul)
+
+
+class TestBoolMatmul:
+    def test_or_of_ands(self):
+        a = np.array([[1, 0], [0, 1]], dtype=bool)
+        b = np.array([[0, 1], [1, 0]], dtype=bool)
+        assert np.array_equal(bool_matmul(a, b), b)
+
+    def test_matches_networkx_reachability(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(7)
+        a = rng.random((6, 6)) < 0.3
+        np.fill_diagonal(a, False)
+        g = nx.from_numpy_array(
+            a.astype(int), create_using=nx.DiGraph
+        )
+        p2 = bool_matmul(a, a)
+        for i in range(6):
+            for j in range(6):
+                has = any(
+                    a[i, k] and a[k, j] for k in range(6)
+                )
+                assert p2[i, j] == has
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ComputeError):
+            bool_matmul(np.ones((2, 3), bool), np.ones((2, 3), bool))

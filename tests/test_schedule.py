@@ -1,0 +1,132 @@
+"""Unit tests for Schedule, profiles, packets and normalization."""
+
+import pytest
+
+from repro.blocks import block
+from repro.core import (
+    ComputationDag,
+    Schedule,
+    dominates,
+    normalize_nonsinks_first,
+    profiles_equal,
+)
+from repro.exceptions import ScheduleError
+
+
+def diamond():
+    return ComputationDag(arcs=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestValidation:
+    def test_valid_schedule(self):
+        s = Schedule(diamond(), ["a", "b", "c", "d"])
+        assert len(s) == 4
+        assert list(s) == ["a", "b", "c", "d"]
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ScheduleError, match="covers 2"):
+            Schedule(diamond(), ["a", "b"])
+
+    def test_repeat_rejected(self):
+        with pytest.raises(ScheduleError, match="repeats"):
+            Schedule(diamond(), ["a", "b", "b", "d"])
+
+    def test_precedence_violation_rejected(self):
+        with pytest.raises(ScheduleError, match="not ELIGIBLE"):
+            Schedule(diamond(), ["a", "d", "b", "c"])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule(diamond(), ["a", "b", "c", "zzz"])
+
+
+class TestProfiles:
+    def test_full_profile(self):
+        s = Schedule(diamond(), ["a", "b", "c", "d"])
+        assert s.profile == [1, 2, 1, 1, 0]
+        assert s.eligible_after(1) == 2
+
+    def test_profile_returns_copy(self):
+        s = Schedule(diamond(), ["a", "b", "c", "d"])
+        s.profile.append(99)
+        assert s.profile == [1, 2, 1, 1, 0]
+
+    def test_nonsink_order(self):
+        s = Schedule(diamond(), ["a", "b", "c", "d"])
+        assert s.nonsink_order() == ["a", "b", "c"]
+
+    def test_nonsink_profile_defers_sinks(self):
+        # Λ: sources are the nonsinks; the sink never appears.
+        lam, sched = block("Λ")
+        assert sched.nonsink_profile() == [2, 1, 1]
+
+    def test_nonsink_profile_of_sink_heavy_order(self):
+        # schedule executing the sink mid-way still yields the
+        # normalized nonsink profile
+        d = diamond()
+        s1 = Schedule(d, ["a", "b", "c", "d"])
+        s2 = Schedule(d, ["a", "c", "b", "d"])
+        assert s1.nonsink_profile() == s2.nonsink_profile()
+
+
+class TestPackets:
+    def test_packets_partition_nonsources(self):
+        d = diamond()
+        s = Schedule(d, ["a", "b", "c", "d"])
+        packets = s.packets()
+        flat = [v for p in packets for v in p]
+        assert sorted(flat) == sorted(d.nonsources)
+
+    def test_packet_contents(self):
+        d = diamond()
+        s = Schedule(d, ["a", "b", "c", "d"])
+        assert s.packets() == [["b", "c"], [], ["d"]]
+
+    def test_empty_packets_possible(self):
+        lam, sched = block("Λ")
+        # first source renders nothing; the second renders the sink
+        assert sched.packets() == [[], ["sink"]]
+
+
+class TestNormalization:
+    def test_normalize_moves_sinks_last(self):
+        d = ComputationDag(arcs=[("a", "s1"), ("a", "b"), ("b", "s2")])
+        s = Schedule(d, ["a", "s1", "b", "s2"])
+        n = normalize_nonsinks_first(s)
+        assert list(n) == ["a", "b", "s1", "s2"]
+
+    def test_normalized_profile_dominates(self):
+        d = ComputationDag(arcs=[("a", "s1"), ("a", "b"), ("b", "s2")])
+        s = Schedule(d, ["a", "s1", "b", "s2"])
+        n = normalize_nonsinks_first(s)
+        assert dominates(n.profile, s.profile)
+
+    def test_normalize_preserves_relative_order(self):
+        d = diamond()
+        s = Schedule(d, ["a", "c", "b", "d"])
+        n = normalize_nonsinks_first(s)
+        assert n.nonsink_order() == ["a", "c", "b"]
+
+
+class TestComparisons:
+    def test_dominates(self):
+        assert dominates([3, 2, 1], [3, 1, 1])
+        assert not dominates([3, 1, 1], [3, 2, 1])
+        assert dominates([1, 1], [1, 1])
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ScheduleError):
+            dominates([1, 2], [1, 2, 3])
+
+    def test_profiles_equal(self):
+        assert profiles_equal([1, 2], [1, 2])
+        assert not profiles_equal([1, 2], [1, 3])
+        assert not profiles_equal([1, 2], [1, 2, 0])
+
+    def test_schedule_equality_and_hash(self):
+        d = diamond()
+        s1 = Schedule(d, ["a", "b", "c", "d"])
+        s2 = Schedule(diamond(), ["a", "b", "c", "d"])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != Schedule(d, ["a", "c", "b", "d"])

@@ -1,0 +1,79 @@
+"""Tests for the high-level scheduling front end."""
+
+import pytest
+
+from repro.core import (
+    Certificate,
+    ComputationDag,
+    greedy_schedule,
+    is_ic_optimal,
+    schedule_dag,
+)
+from repro.families import diamond, mesh, prefix, trees
+
+
+class TestCertificates:
+    def test_composition_certificate(self):
+        r = schedule_dag(mesh.out_mesh_chain(4))
+        assert r.certificate is Certificate.COMPOSITION
+        assert r.ic_optimal
+
+    def test_segmented_certificate(self):
+        r = schedule_dag(diamond.table1_row1(1, depth=1))
+        assert r.certificate is Certificate.SEGMENTED
+        assert r.ic_optimal
+
+    def test_exhaustive_certificate(self):
+        g = ComputationDag(arcs=[("a", "b"), ("a", "c"), ("c", "d")])
+        r = schedule_dag(g)
+        assert r.certificate is Certificate.EXHAUSTIVE
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_none_exists_certificate(self):
+        g = ComputationDag(
+            arcs=[("a", "w")]
+            + [(s, t) for s in ("b", "c") for t in ("x", "y", "z")]
+        )
+        r = schedule_dag(g)
+        assert r.certificate is Certificate.NONE_EXISTS
+        assert not r.ic_optimal
+        assert len(r.schedule) == len(g)
+
+    def test_heuristic_certificate_for_large_dag(self):
+        big = mesh.out_mesh_dag(12)  # 91 nodes, too many nonsinks
+        r = schedule_dag(big, exhaustive_limit=10)
+        assert r.certificate is Certificate.HEURISTIC
+        assert len(r.schedule) == len(big)
+
+    def test_chain_beats_exhaustive_limit(self):
+        # composition certificates work regardless of size
+        ch = prefix.prefix_chain(16)
+        r = schedule_dag(ch)
+        assert r.certificate is Certificate.COMPOSITION
+
+
+class TestGreedy:
+    def test_valid_on_families(self):
+        for dag in (
+            mesh.out_mesh_dag(5),
+            trees.complete_out_tree(3).dag,
+            prefix.prefix_dag(8),
+        ):
+            s = greedy_schedule(dag)
+            assert len(s) == len(dag)
+
+    def test_nonsinks_first(self):
+        dag = mesh.out_mesh_dag(4)
+        s = greedy_schedule(dag)
+        n = len(dag.nonsinks)
+        assert all(not dag.is_sink(v) for v in s.order[:n])
+
+    def test_greedy_optimal_on_out_tree(self):
+        # every schedule of an out-tree is IC-optimal
+        dag = trees.complete_out_tree(3).dag
+        assert is_ic_optimal(greedy_schedule(dag))
+
+    def test_deterministic(self):
+        dag = mesh.out_mesh_dag(5)
+        assert greedy_schedule(dag).order == greedy_schedule(dag).order

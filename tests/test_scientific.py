@@ -1,0 +1,91 @@
+"""Tests for the scientific-workflow replicas (the [19] substitution)."""
+
+import pytest
+
+from repro.core import schedule_dag
+from repro.exceptions import SimulationError
+from repro.sim import compare_policies
+from repro.sim.scientific import (
+    SCIENTIFIC_WORKFLOWS,
+    cybershake_like,
+    epigenomics_like,
+    ligo_like,
+    montage_like,
+)
+
+
+class TestShapes:
+    def test_montage_structure(self):
+        dag, work = montage_like(8)
+        assert len([v for v in dag.nodes if v[0] == "project"]) == 8
+        assert dag.indegree("concatfit") == 7
+        assert dag.sinks == ["madd"]
+        assert work(("project", 0)) > work("concatfit")
+
+    def test_montage_background_needs_model_and_projection(self):
+        dag, _ = montage_like(4)
+        assert set(dag.parents(("background", 2))) == {
+            "bgmodel",
+            ("project", 2),
+        }
+
+    def test_cybershake_structure(self):
+        dag, _ = cybershake_like(2, 5)
+        assert dag.sinks == ["hazard"]
+        # each synthesis needs both SGT halves
+        assert set(dag.parents(("synth", 0, 3))) == {
+            ("sgt", 0, 0),
+            ("sgt", 0, 1),
+        }
+        assert dag.indegree(("site_merge", 1)) == 5
+
+    def test_epigenomics_structure(self):
+        dag, work = epigenomics_like(4, 5)
+        assert dag.sources == ["split"]
+        assert dag.sinks == ["register"]
+        # middle (alignment) stage dominates the lane's work
+        lane_work = [work(("stage", 0, d)) for d in range(5)]
+        assert max(lane_work) == lane_work[2]
+
+    def test_ligo_rounds_gate_each_other(self):
+        dag, _ = ligo_like(3, 4)
+        assert dag.parents(("bank", 1)) == [("thinca", 0)]
+        assert dag.indegree(("thinca", 2)) == 4
+
+    @pytest.mark.parametrize("name", sorted(SCIENTIFIC_WORKFLOWS))
+    def test_all_acyclic_and_connected(self, name):
+        dag, work = SCIENTIFIC_WORKFLOWS[name]()
+        dag.validate()
+        assert dag.is_connected()
+        assert all(work(v) > 0 for v in dag.nodes)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            montage_like(1)
+        with pytest.raises(SimulationError):
+            cybershake_like(0)
+        with pytest.raises(SimulationError):
+            epigenomics_like(0)
+        with pytest.raises(SimulationError):
+            ligo_like(0)
+
+
+class TestPolicyComparison:
+    @pytest.mark.parametrize("name", sorted(SCIENTIFIC_WORKFLOWS))
+    def test_all_policies_complete(self, name):
+        dag, work = SCIENTIFIC_WORKFLOWS[name]()
+        sched = schedule_dag(dag, exhaustive_limit=0).schedule
+        cmp = compare_policies(dag, sched, clients=5, work=work, seed=0)
+        assert all(r.completed == len(dag) for r in cmp.results.values())
+
+    def test_deterministic(self):
+        dag, work = montage_like(6)
+        sched = schedule_dag(dag, exhaustive_limit=0).schedule
+        a = compare_policies(dag, sched, clients=4, work=work, seed=7)
+        b = compare_policies(dag, sched, clients=4, work=work, seed=7)
+        assert a.table_rows() == b.table_rows()
+
+    def test_scaling_parameters_scale_nodes(self):
+        small, _ = cybershake_like(2, 4)
+        large, _ = cybershake_like(4, 8)
+        assert len(large) > len(small)

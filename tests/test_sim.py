@@ -1,0 +1,223 @@
+"""Tests for the IC server/client simulation and policies."""
+
+import pytest
+
+from repro.core import ComputationDag, Schedule, schedule_dag
+from repro.exceptions import SimulationError
+from repro.families import mesh
+from repro.sim import (
+    ClientSpec,
+    batch_satisfaction,
+    compare_policies,
+    make_policy,
+    simulate,
+)
+from repro.sim.heuristics import (
+    CriticalPathPolicy,
+    FifoPolicy,
+    LifoPolicy,
+    MaxOutDegreePolicy,
+    RandomPolicy,
+    SchedulePolicy,
+)
+from repro.sim.workloads import (
+    random_diamond,
+    random_fork_join,
+    random_layered_dag,
+    random_out_tree_children,
+)
+
+
+def chain_dag(n=5):
+    return ComputationDag(arcs=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestPolicies:
+    def test_fifo_picks_oldest(self):
+        assert FifoPolicy().select([3, 1, 2]) == 3
+
+    def test_lifo_picks_newest(self):
+        assert LifoPolicy().select([3, 1, 2]) == 2
+
+    def test_random_seeded(self):
+        p1, p2 = RandomPolicy(seed=5), RandomPolicy(seed=5)
+        picks1 = [p1.select([1, 2, 3, 4]) for _ in range(10)]
+        picks2 = [p2.select([1, 2, 3, 4]) for _ in range(10)]
+        assert picks1 == picks2
+
+    def test_maxout(self):
+        dag = ComputationDag(arcs=[("a", "x"), ("b", "y"), ("b", "z")])
+        p = MaxOutDegreePolicy()
+        p.attach(dag)
+        assert p.select(["a", "b"]) == "b"
+
+    def test_critical_path(self):
+        dag = ComputationDag(arcs=[("a", "b"), ("b", "c"), ("d", "e")])
+        p = CriticalPathPolicy()
+        p.attach(dag)
+        assert p.select(["d", "a"]) == "a"
+
+    def test_schedule_policy_follows_order(self):
+        dag = chain_dag(3)
+        s = Schedule(dag, [0, 1, 2])
+        p = SchedulePolicy(s)
+        assert p.select([2, 1]) == 1
+
+    def test_make_policy(self):
+        assert make_policy("FIFO").name == "FIFO"
+        with pytest.raises(SimulationError):
+            make_policy("IC-OPT")
+        with pytest.raises(SimulationError):
+            make_policy("NOPE")
+
+
+class TestSimulate:
+    def test_completes_all_tasks(self):
+        res = simulate(chain_dag(6), make_policy("FIFO"), clients=2)
+        assert res.completed == 6
+        assert res.makespan == pytest.approx(6.0)  # fully serial chain
+
+    def test_serial_chain_starves_extra_clients(self):
+        res = simulate(chain_dag(5), make_policy("FIFO"), clients=3)
+        assert res.starvation_events > 0
+        assert res.idle_time > 0
+
+    def test_wide_dag_uses_parallelism(self):
+        dag = ComputationDag()
+        for i in range(8):
+            dag.add_arc("root", ("leaf", i))
+        res = simulate(dag, make_policy("FIFO"), clients=4)
+        # root (1) + 8 leaves over 4 clients (2 rounds) = 3 time units
+        assert res.makespan == pytest.approx(3.0)
+
+    def test_speeds_scale_makespan(self):
+        fast = [ClientSpec(speed=2.0)]
+        slow = [ClientSpec(speed=1.0)]
+        d = chain_dag(4)
+        t_fast = simulate(d, make_policy("FIFO"), fast).makespan
+        t_slow = simulate(d, make_policy("FIFO"), slow).makespan
+        assert t_fast == pytest.approx(t_slow / 2)
+
+    def test_dropout_slows(self):
+        flaky = [ClientSpec(dropout=1.0, slowdown=3.0)]
+        solid = [ClientSpec()]
+        d = chain_dag(4)
+        t_flaky = simulate(d, make_policy("FIFO"), flaky, seed=1).makespan
+        t_solid = simulate(d, make_policy("FIFO"), solid, seed=1).makespan
+        assert t_flaky == pytest.approx(3 * t_solid)
+
+    def test_deterministic_given_seed(self):
+        dag = random_layered_dag(4, 5, seed=2)
+        r1 = simulate(dag, make_policy("RANDOM"), clients=3, seed=9)
+        r2 = simulate(dag, make_policy("RANDOM"), clients=3, seed=9)
+        assert r1.makespan == r2.makespan
+        assert r1.headroom_series == r2.headroom_series
+
+    def test_variable_work(self):
+        res = simulate(
+            chain_dag(3),
+            make_policy("FIFO"),
+            clients=1,
+            work=lambda v: float(v + 1),
+        )
+        assert res.makespan == pytest.approx(1.0 + 2.0 + 3.0)
+
+    def test_utilization_bounds(self):
+        res = simulate(random_fork_join(3, seed=4), make_policy("FIFO"), clients=3)
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(chain_dag(3), make_policy("FIFO"), clients=[])
+
+    def test_mean_headroom_nonnegative(self):
+        res = simulate(
+            random_layered_dag(4, 4, seed=0), make_policy("FIFO"), clients=2
+        )
+        assert res.mean_headroom >= 0.0
+
+
+class TestComparison:
+    def test_compare_policies_runs_all(self):
+        ch = random_diamond(10, seed=1)
+        sched = schedule_dag(ch).schedule
+        cmp = compare_policies(ch.dag, sched, clients=4)
+        assert set(cmp.results) == {
+            "IC-OPT",
+            "FIFO",
+            "LIFO",
+            "RANDOM",
+            "MAXOUT",
+            "CRITPATH",
+        }
+        rows = cmp.table_rows()
+        assert len(rows) == 6
+
+    def test_all_policies_complete(self):
+        ch = random_diamond(8, seed=2)
+        sched = schedule_dag(ch).schedule
+        cmp = compare_policies(ch.dag, sched, clients=3)
+        assert all(r.completed == len(ch.dag) for r in cmp.results.values())
+
+    def test_best_by(self):
+        ch = random_diamond(8, seed=3)
+        sched = schedule_dag(ch).schedule
+        cmp = compare_policies(ch.dag, sched, clients=3)
+        name = cmp.best_by("makespan")
+        assert name in cmp.results
+
+    def test_ic_opt_headroom_on_mesh(self):
+        """With a single client the simulation replays the schedule
+        exactly, so IC-OPT's time-averaged headroom must match or beat
+        every baseline (it maximizes E(t) at every step)."""
+        ch = mesh.out_mesh_chain(6)
+        sched = schedule_dag(ch).schedule
+        cmp = compare_policies(ch.dag, sched, clients=1, seed=0)
+        ic = cmp.results["IC-OPT"].mean_headroom
+        for name, res in cmp.results.items():
+            assert ic >= res.mean_headroom - 1e-9, name
+
+
+class TestBatchSatisfaction:
+    def test_full_profile_serves_all(self):
+        assert batch_satisfaction([4, 4, 4], batch=4) == 1.0
+
+    def test_partial(self):
+        assert batch_satisfaction([2, 2], batch=4) == pytest.approx(0.5)
+
+    def test_monotone_in_profile(self):
+        lo = batch_satisfaction([1, 1, 1, 1], 3)
+        hi = batch_satisfaction([3, 3, 3, 3], 3)
+        assert hi > lo
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            batch_satisfaction([1], 0)
+
+
+class TestWorkloads:
+    def test_layered_structure(self):
+        dag = random_layered_dag(4, 3, seed=0)
+        assert len(dag) == 12
+        assert dag.is_acyclic()
+        assert len(dag.sources) <= 3
+
+    def test_layered_validation(self):
+        with pytest.raises(SimulationError):
+            random_layered_dag(1, 3)
+
+    def test_fork_join_single_source_sink(self):
+        dag = random_fork_join(4, seed=1)
+        assert len(dag.sources) == 1
+        assert len(dag.sinks) == 1
+
+    def test_random_out_tree_spec_valid(self):
+        from repro.families.trees import validate_tree_spec
+
+        children, root = random_out_tree_children(10, seed=5)
+        assert len(validate_tree_spec(children, root)) == 10
+
+    def test_random_diamond_certified(self):
+        ch = random_diamond(6, seed=7)
+        r = schedule_dag(ch)
+        assert r.ic_optimal or r.certificate.value == "heuristic"

@@ -1,0 +1,91 @@
+"""Tests for comparator-network sorting (§5.2, transformation 5.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compute.sorting import (
+    bitonic_comparators,
+    bitonic_sort,
+    sorting_network_chain,
+    sorting_task_graph,
+)
+from repro.core import is_ic_optimal, schedule_dag
+from repro.exceptions import ComputeError
+
+
+class TestComparators:
+    def test_counts(self):
+        stages = bitonic_comparators(8)
+        assert len(stages) == 6
+        assert sum(len(s) for s in stages) == 24
+
+    def test_direction_rule(self):
+        # phase 1 (first stage): comparator on (0,1) ascends, (2,3)
+        # descends, alternating by bit 1 of the low wire
+        first = bitonic_comparators(4)[0]
+        directions = {(lo, hi): up for lo, hi, up in first}
+        assert directions[(0, 1)] is True
+        assert directions[(2, 3)] is False
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ComputeError):
+            bitonic_comparators(5)
+
+
+class TestSort:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_random_keys(self, n):
+        rng = random.Random(n)
+        keys = [rng.randint(0, 999) for _ in range(n)]
+        assert bitonic_sort(keys) == sorted(keys)
+
+    def test_duplicates(self):
+        keys = [3, 1, 3, 1, 2, 2, 3, 3]
+        assert bitonic_sort(keys) == sorted(keys)
+
+    def test_already_sorted(self):
+        assert bitonic_sort(list(range(8))) == list(range(8))
+
+    def test_reverse_sorted(self):
+        assert bitonic_sort(list(range(8, 0, -1))) == list(range(1, 9))
+
+    def test_trivial_sizes(self):
+        assert bitonic_sort([]) == []
+        assert bitonic_sort([42]) == [42]
+
+    def test_floats_and_negatives(self):
+        keys = [0.5, -1.25, 3.0, -7.5]
+        assert bitonic_sort(keys) == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=8, max_size=8))
+    def test_property_sorts_any_sequence(self, keys):
+        """'some iterated compositions of the butterfly building block
+        will sort any sequence of keys' — §5.2."""
+        assert bitonic_sort(keys) == sorted(keys)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.permutations(list(range(16))))
+    def test_property_permutations(self, keys):
+        assert bitonic_sort(list(keys)) == list(range(16))
+
+
+class TestNetworkStructure:
+    def test_network_certified_ic_optimal(self):
+        """§5.2's point: the sorting network, being an iterated
+        composition of B, is IC-optimally schedulable."""
+        r = schedule_dag(sorting_network_chain(4))
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_larger_network_certified(self):
+        r = schedule_dag(sorting_network_chain(8))
+        assert r.ic_optimal
+
+    def test_task_graph_complete(self):
+        tg, chain, n_stages = sorting_task_graph([3, 1, 2, 0])
+        assert tg.missing_tasks() == []
+        assert n_stages == 3

@@ -1,0 +1,152 @@
+"""Stateful property testing of the execution engine, plus extra
+hypothesis coverage for batched schedulers and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import (
+    ComputationDag,
+    ExecutionState,
+    Schedule,
+    coffman_graham_batches,
+    dag_from_dict,
+    dag_to_dict,
+    hu_batches,
+    min_rounds_lower_bound,
+)
+
+
+def fixed_dag() -> ComputationDag:
+    """A small dag with interesting shape for the state machine."""
+    return ComputationDag(
+        arcs=[
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "d"),
+            ("b", "e"),
+            ("c", "f"),
+            ("d", "f"),
+            ("d", "g"),
+        ]
+    )
+
+
+class ExecutionMachine(RuleBasedStateMachine):
+    """Random interleavings of execute / snapshot / restore must keep
+    the ELIGIBLE set consistent with first principles."""
+
+    @initialize()
+    def setup(self):
+        self.dag = fixed_dag()
+        self.state = ExecutionState(self.dag)
+        self.snapshots = []
+
+    @rule(data=st.data())
+    def execute_eligible(self, data):
+        eligible = sorted(self.state.eligible, key=repr)
+        if not eligible:
+            return
+        pick = data.draw(st.sampled_from(eligible))
+        newly = self.state.execute(pick)
+        # every newly eligible node really has all parents executed
+        for v in newly:
+            assert all(self.state.is_executed(p) for p in self.dag.parents(v))
+
+    @rule()
+    def take_snapshot(self):
+        if len(self.snapshots) < 4:
+            self.snapshots.append(
+                (self.state.snapshot(), set(self.state.executed))
+            )
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def restore_snapshot(self):
+        snap, executed = self.snapshots.pop()
+        self.state.restore(snap)
+        assert set(self.state.executed) == executed
+
+    @invariant()
+    def eligible_matches_first_principles(self):
+        if not hasattr(self, "state"):
+            return
+        executed = set(self.state.executed)
+        expected = {
+            v
+            for v in self.dag.nodes
+            if v not in executed
+            and all(p in executed for p in self.dag.parents(v))
+        }
+        assert set(self.state.eligible) == expected
+
+    @invariant()
+    def profile_length_tracks_steps(self):
+        if not hasattr(self, "state"):
+            return
+        assert len(self.state.profile) == self.state.steps + 1
+
+
+TestExecutionMachine = ExecutionMachine.TestCase
+
+
+@st.composite
+def layered_dags(draw):
+    layers = draw(st.integers(2, 4))
+    width = draw(st.integers(1, 4))
+    dag = ComputationDag(name="hyp-layered")
+    for lv in range(layers):
+        for i in range(width):
+            dag.add_node((lv, i))
+    for lv in range(layers - 1):
+        for i in range(width):
+            targets = draw(
+                st.sets(st.integers(0, width - 1), min_size=1, max_size=width)
+            )
+            for j in targets:
+                dag.add_arc((lv, i), (lv + 1, j))
+    return dag
+
+
+class TestBatchedProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layered_dags(), st.integers(1, 5))
+    def test_heuristic_batchers_respect_bounds(self, dag, cap):
+        lb = min_rounds_lower_bound(dag, cap)
+        for batcher in (hu_batches, coffman_graham_batches):
+            bs = batcher(dag, cap)
+            assert bs.rounds >= lb
+            assert bs.rounds <= len(dag)
+            # the flattened order is a valid schedule
+            Schedule(dag, bs.flat_order())
+
+    @settings(max_examples=30, deadline=None)
+    @given(layered_dags())
+    def test_capacity_one_serializes(self, dag):
+        bs = hu_batches(dag, 1)
+        assert bs.rounds == len(dag)
+
+
+class TestIoProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layered_dags())
+    def test_round_trip_isomorphic(self, dag):
+        back = dag_from_dict(dag_to_dict(dag))
+        assert len(back) == len(dag)
+        assert len(back.arcs) == len(dag.arcs)
+        assert back.is_isomorphic_to(dag)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layered_dags())
+    def test_degree_multiset_preserved(self, dag):
+        back = dag_from_dict(dag_to_dict(dag))
+        orig = sorted((dag.indegree(v), dag.outdegree(v)) for v in dag.nodes)
+        got = sorted((back.indegree(v), back.outdegree(v)) for v in back.nodes)
+        assert orig == got

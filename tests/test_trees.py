@@ -1,0 +1,202 @@
+"""Tests for out-/in-tree builders and the Section 3.1 boxed claims."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    all_ic_optimal_nonsink_orders,
+    is_ic_optimal,
+    max_eligibility_profile,
+    schedule_dag,
+)
+from repro.exceptions import DagStructureError
+from repro.families import trees
+
+
+IRREGULAR = (
+    {"r": ["a", "b"], "a": ["c", "d", "e"], "d": ["f", "g"]},
+    "r",
+)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        children, root = IRREGULAR
+        internal = trees.validate_tree_spec(children, root)
+        assert internal == ["r", "a", "d"]
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(DagStructureError, match="two parents"):
+            trees.validate_tree_spec({"r": ["a", "b"], "b": ["a"]}, "r")
+
+    def test_repeated_child_rejected(self):
+        with pytest.raises(DagStructureError, match="repeated"):
+            trees.validate_tree_spec({"r": ["a", "a"]}, "r")
+
+    def test_unreachable_internal_rejected(self):
+        with pytest.raises(DagStructureError, match="unreachable"):
+            trees.validate_tree_spec({"r": ["a"], "z": ["q"]}, "r")
+
+
+class TestOutTree:
+    def test_structure(self):
+        children, root = IRREGULAR
+        ch = trees.out_tree_chain(children, root)
+        dag = ch.dag
+        assert trees.is_out_tree(dag)
+        assert set(dag.nodes) == {"r", "a", "b", "c", "d", "e", "f", "g"}
+        assert dag.children("a") == ["c", "d", "e"]
+
+    def test_one_block_per_internal_node(self):
+        children, root = IRREGULAR
+        ch = trees.out_tree_chain(children, root)
+        assert len(ch) == 3
+
+    def test_complete_out_tree(self):
+        ch = trees.complete_out_tree(3)
+        assert len(ch.dag) == 15
+        assert len(ch.dag.sinks) == 8
+        assert trees.is_out_tree(ch.dag)
+
+    def test_ternary(self):
+        ch = trees.complete_out_tree(2, arity=3)
+        assert len(ch.dag) == 13
+        assert len(ch.dag.sinks) == 9
+
+    def test_depth_zero_rejected(self):
+        with pytest.raises(DagStructureError):
+            trees.complete_out_tree(0)
+
+    def test_schedule_certified_and_optimal(self):
+        ch = trees.complete_out_tree(2)
+        r = schedule_dag(ch)
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_every_nonsink_order_of_uniform_out_tree_optimal(self):
+        """Section 3.1: 'every schedule for an out-tree is IC optimal'
+        — for uniform-arity trees; checked over all nonsink topological
+        orders of the complete binary depth-2 out-tree."""
+        dag = trees.complete_out_tree(2).dag
+        ceiling = max_eligibility_profile(dag)
+        nonsinks = dag.nonsinks
+        sinks = [v for v in dag.nodes if dag.is_sink(v)]
+        count = 0
+        for perm in itertools.permutations(nonsinks):
+            try:
+                s = Schedule(dag, list(perm) + sinks)
+            except Exception:
+                continue
+            count += 1
+            assert is_ic_optimal(s, ceiling), perm
+        assert count >= 2  # multiple valid orders really were checked
+
+    def test_mixed_arity_order_matters(self):
+        """Reproduction caveat: with mixed arities, nonsink orders
+        differ in quality — executing the higher-degree eligible node
+        first dominates — and some mixed out-trees admit *no*
+        IC-optimal schedule at all."""
+        from repro.core import find_ic_optimal_schedule
+
+        # r(2) -> a(V2 subtree), b(V3 subtree): running b first wins
+        children = {"r": ["a", "b"], "a": ["c", "d"], "b": ["e", "f", "g"]}
+        dag = trees.out_tree_chain(children, "r").dag
+        sinks = [v for v in dag.nodes if dag.is_sink(v)]
+        from repro.core import dominates
+
+        s_ab = Schedule(dag, ["r", "a", "b"] + sinks)
+        s_ba = Schedule(dag, ["r", "b", "a"] + sinks)
+        assert dominates(s_ba.profile, s_ab.profile)
+        assert not is_ic_optimal(s_ab)
+        assert is_ic_optimal(s_ba)
+        # and a conflicted mixed tree with no IC-optimal schedule:
+        # x=2 wants the degree-4 child of r, x=3 wants the chain
+        # through the degree-2 child to reach a degree-5 node
+        conflicted = {
+            "r": ["a", "b"],
+            "a": ["a1", "a2", "a3", "a4"],
+            "b": ["c", "c2"],
+            "c": ["c3", "c4", "c5", "c6", "c7"],
+        }
+        cdag = trees.out_tree_chain(conflicted, "r").dag
+        assert find_ic_optimal_schedule(cdag) is None
+
+    def test_out_tree_schedule_helper(self):
+        dag = trees.complete_out_tree(3).dag
+        assert is_ic_optimal(trees.out_tree_schedule(dag))
+
+    def test_out_tree_schedule_rejects_non_tree(self):
+        dag = trees.complete_in_tree(2).dag
+        with pytest.raises(DagStructureError):
+            trees.out_tree_schedule(dag)
+
+
+class TestInTree:
+    def test_structure(self):
+        children, root = IRREGULAR
+        ch = trees.in_tree_chain(children, root)
+        dag = ch.dag
+        assert trees.is_in_tree(dag)
+        assert dag.sinks == ["r"] or set(dag.sinks) == {"r"}
+        assert set(dag.parents("a")) == {"c", "d", "e"}
+
+    def test_complete_in_tree(self):
+        ch = trees.complete_in_tree(3)
+        assert len(ch.dag) == 15
+        assert len(ch.dag.sources) == 8
+
+    def test_schedule_certified_and_optimal(self):
+        ch = trees.complete_in_tree(2)
+        r = schedule_dag(ch)
+        assert r.ic_optimal
+        assert is_ic_optimal(r.schedule)
+
+    def test_in_tree_schedule_helper_irregular(self):
+        children, root = IRREGULAR
+        dag = trees.in_tree_chain(children, root).dag
+        s = trees.in_tree_schedule(dag)
+        assert is_ic_optimal(s)
+
+    def test_paired_sources_characterization(self):
+        """Section 3.1 box ([23]): a schedule for a binary in-tree is
+        IC-optimal iff it executes the two sources of each Λ copy in
+        consecutive steps — verified in both directions by exhaustive
+        enumeration on the 4-leaf complete in-tree."""
+        dag = trees.complete_in_tree(2).dag
+        lambda_groups = [
+            tuple(dag.parents(v)) for v in dag.nodes if dag.parents(v)
+        ]
+
+        def pairs_consecutive(order):
+            pos = {v: i for i, v in enumerate(order)}
+            return all(
+                abs(pos[a] - pos[b]) == 1
+                for a, b in lambda_groups
+                if a in pos and b in pos
+            )
+
+        optimal = set(all_ic_optimal_nonsink_orders(dag))
+        assert optimal, "in-tree must admit optimal orders"
+        # forward: every optimal order pairs Λ sources consecutively
+        for order in optimal:
+            assert pairs_consecutive(order), order
+        # converse: every valid nonsink order pairing consecutively is
+        # optimal
+        nonsinks = dag.nonsinks
+        sinks = [v for v in dag.nodes if dag.is_sink(v)]
+        ceiling = max_eligibility_profile(dag)
+        for perm in itertools.permutations(nonsinks):
+            try:
+                s = Schedule(dag, list(perm) + sinks)
+            except Exception:
+                continue
+            if pairs_consecutive(perm):
+                assert is_ic_optimal(s, ceiling), perm
+
+    def test_is_in_tree_rejects_mesh(self):
+        from repro.families.mesh import out_mesh_dag
+
+        assert not trees.is_in_tree(out_mesh_dag(2))
+        assert not trees.is_out_tree(out_mesh_dag(2))

@@ -1,0 +1,68 @@
+"""Tests for wavefront computations on mesh dags (Section 4)."""
+
+import math
+
+import pytest
+
+from repro.compute.wavefront import (
+    mesh_task_graph,
+    pascal_triangle,
+    wavefront_relaxation,
+)
+from repro.exceptions import ComputeError
+
+
+class TestPascal:
+    @pytest.mark.parametrize("depth", [1, 3, 6, 10])
+    def test_matches_binomials(self, depth):
+        rows = pascal_triangle(depth)
+        for k, row in enumerate(rows):
+            assert row == [math.comb(k, m) for m in range(k + 1)]
+
+    def test_row_count(self):
+        assert len(pascal_triangle(5)) == 6
+
+    def test_bad_depth(self):
+        with pytest.raises(ComputeError):
+            pascal_triangle(0)
+
+
+class TestRelaxation:
+    def test_zero_source_stays_zero(self):
+        vals = wavefront_relaxation(4, source=lambda k, m: 0.0)
+        assert all(v == 0.0 for v in vals.values())
+
+    def test_constant_source_accumulates(self):
+        vals = wavefront_relaxation(3, source=lambda k, m: 1.0)
+        # each level adds exactly one unit along any path
+        for (k, m), v in vals.items():
+            assert v == pytest.approx(float(k))
+
+    def test_apex_value_propagates(self):
+        vals = wavefront_relaxation(
+            3, source=lambda k, m: 0.0, apex_value=7.0
+        )
+        assert all(v == pytest.approx(7.0) for v in vals.values())
+
+    def test_deterministic(self):
+        s = lambda k, m: math.sin(k * 3 + m)  # noqa: E731
+        assert wavefront_relaxation(5, s) == wavefront_relaxation(5, s)
+
+
+class TestMeshTaskGraph:
+    def test_border_vs_interior_tasks(self):
+        tg = mesh_task_graph(
+            2,
+            apex_value=1.0,
+            combine=lambda k, m, a, b: a + b,
+            edge=lambda k, m, p: -p,
+        )
+        vals = tg.run()
+        assert vals[(1, 0)] == -1.0  # border uses edge()
+        assert vals[(2, 1)] == -2.0  # interior sums its two parents
+
+    def test_complete_tasks(self):
+        tg = mesh_task_graph(
+            4, 0.0, lambda k, m, a, b: 0.0, lambda k, m, p: 0.0
+        )
+        assert tg.missing_tasks() == []

@@ -1,0 +1,157 @@
+"""Tests for dag width / maximum antichains and the eligibility bound
+``E(t) <= width(G)``."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ComputationDag,
+    dag_width,
+    hopcroft_karp,
+    max_antichain,
+    max_eligibility_profile,
+    width_attained,
+)
+from repro.families import butterfly_net, mesh, prefix, trees
+
+
+def brute_force_width(dag: ComputationDag) -> int:
+    """Independent check: enumerate all antichains (closure-based)."""
+    nodes = dag.nodes
+    desc = {v: dag.descendants(v) for v in nodes}
+    best = 0
+    for r in range(len(nodes), 0, -1):
+        if r <= best:
+            break
+        for combo in itertools.combinations(nodes, r):
+            s = set(combo)
+            if all(not (desc[u] & s) for u in combo):
+                best = max(best, r)
+                break
+    return best
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adj = {0: ["a", "b"], 1: ["a"], 2: ["b", "c"]}
+        m = hopcroft_karp([0, 1, 2], adj)
+        assert len(m) == 3
+        assert len(set(m.values())) == 3
+
+    def test_deficient_side(self):
+        adj = {0: ["a"], 1: ["a"], 2: ["a"]}
+        m = hopcroft_karp([0, 1, 2], adj)
+        assert len(m) == 1
+
+    def test_empty(self):
+        assert hopcroft_karp([], {}) == {}
+
+    def test_augmenting_path_needed(self):
+        # greedy would match 0-a then strand 1; HK must augment
+        adj = {0: ["a", "b"], 1: ["a"]}
+        m = hopcroft_karp([0, 1], adj)
+        assert len(m) == 2
+
+
+class TestWidth:
+    KNOWN = [
+        (lambda: mesh.out_mesh_dag(5), 6),  # longest anti-diagonal
+        (lambda: prefix.prefix_dag(8), 8),  # a full level
+        (lambda: butterfly_net.butterfly_dag(3), 8),
+        (lambda: trees.complete_out_tree(3).dag, 8),  # the leaves
+        (lambda: ComputationDag(arcs=[(i, i + 1) for i in range(5)]), 1),
+        (lambda: ComputationDag(nodes=range(7)), 7),
+    ]
+
+    @pytest.mark.parametrize("build,expected", KNOWN)
+    def test_known_widths(self, build, expected):
+        assert dag_width(build()) == expected
+
+    def test_empty_dag(self):
+        assert dag_width(ComputationDag()) == 0
+        assert max_antichain(ComputationDag()) == []
+
+    def test_antichain_is_antichain_and_maximum(self):
+        for build, expected in self.KNOWN:
+            dag = build()
+            ac = max_antichain(dag)
+            assert len(ac) == expected
+            for u in ac:
+                assert not (dag.descendants(u) & set(ac)), u
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_matches_brute_force_on_random_dags(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 8)
+        dag = ComputationDag(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.35:
+                    dag.add_arc(u, v)
+        assert dag_width(dag) == brute_force_width(dag)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_eligibility_never_exceeds_width(self, seed):
+        """The theoretical bound the module documents: every eligible
+        set is an antichain, so max_t M(t) <= width."""
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        dag = ComputationDag(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.4:
+                    dag.add_arc(u, v)
+        assert max(max_eligibility_profile(dag)) <= dag_width(dag)
+
+
+class TestWidthAttainment:
+    """``max_t M(t) == width(G)`` is a small theorem (execute exactly
+    the ancestors of a maximum antichain: a valid ideal disjoint from
+    the antichain, after which every member is ELIGIBLE), so the two
+    engines must agree on every dag."""
+
+    def test_regular_families_attain(self):
+        assert width_attained(mesh.out_mesh_dag(4))
+        assert width_attained(prefix.prefix_dag(4))
+        assert width_attained(trees.complete_out_tree(2).dag)
+        assert width_attained(butterfly_net.butterfly_dag(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_always_attained_on_random_dags(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        dag = ComputationDag(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.4:
+                    dag.add_arc(u, v)
+        assert width_attained(dag)
+
+    def test_ancestor_ideal_construction(self):
+        """The constructive half of the theorem, executed literally."""
+        from repro.core import ExecutionState
+
+        dag = mesh.out_mesh_dag(4)
+        antichain = max_antichain(dag)
+        ideal = set()
+        for v in antichain:
+            ideal |= dag.ancestors(v)
+        assert not (ideal & set(antichain))
+        state = ExecutionState(dag)
+        # execute the ideal in topological order
+        for v in dag.topological_order():
+            if v in ideal:
+                state.execute(v)
+        assert set(antichain) <= set(state.eligible)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Assemble every regenerated experiment artifact into one file.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/out/``, this script concatenates the per-experiment
+reports (ordered by experiment id) into
+``benchmarks/out/ALL_EXPERIMENTS.txt`` — a single paste-ready record of
+the reproduction run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT = Path(__file__).resolve().parent.parent / "benchmarks" / "out"
+
+
+def main() -> int:
+    if not OUT.is_dir():
+        print(
+            "benchmarks/out/ missing — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    reports = sorted(
+        p for p in OUT.glob("E-*.txt") if p.name != "ALL_EXPERIMENTS.txt"
+    )
+    if not reports:
+        print("no experiment reports found")
+        return 1
+    chunks = []
+    for path in reports:
+        chunks.append("=" * 72)
+        chunks.append(path.stem)
+        chunks.append("=" * 72)
+        chunks.append(path.read_text().rstrip())
+        chunks.append("")
+    target = OUT / "ALL_EXPERIMENTS.txt"
+    target.write_text("\n".join(chunks) + "\n")
+    print(f"wrote {target} ({len(reports)} experiments)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
