@@ -105,7 +105,9 @@ def cmd_families(_args) -> int:
 
 def cmd_schedule(args) -> int:
     chain = build_family(args.family, args.param)
-    result = schedule_dag(chain)
+    result = schedule_dag(
+        chain, parallel=args.parallel, cache=not args.no_cache
+    )
     print(chain.dag.summary())
     print("composite type:", chain.type_string())
     print("certificate:", result.certificate.value)
@@ -117,8 +119,15 @@ def cmd_schedule(args) -> int:
 
 def cmd_verify(args) -> int:
     chain = build_family(args.family, args.param)
-    result = schedule_dag(chain)
-    rep = quality_report(result.schedule)
+    result = schedule_dag(
+        chain, parallel=args.parallel, cache=not args.no_cache
+    )
+    from .core import max_eligibility_profile
+
+    ceiling = max_eligibility_profile(
+        result.schedule.dag, parallel=args.parallel
+    )
+    rep = quality_report(result.schedule, max_profile=ceiling)
     print("certificate:", result.certificate.value)
     print(
         f"exhaustive check: ratio={rep.ratio:.3f} deficit={rep.deficit} "
@@ -179,6 +188,21 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def _add_search_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the exhaustive ideal-lattice search out over a "
+        "process pool (same result, sized from os.cpu_count(); "
+        "see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed certification cache",
+    )
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,10 +216,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("family")
     p.add_argument("param", nargs="?", type=int)
     p.add_argument("--show-dag", action="store_true")
+    _add_search_flags(p)
 
     p = sub.add_parser("verify", help="exhaustively verify IC-optimality")
     p.add_argument("family")
     p.add_argument("param", nargs="?", type=int)
+    _add_search_flags(p)
 
     p = sub.add_parser("simulate", help="IC server policy comparison")
     p.add_argument("family")

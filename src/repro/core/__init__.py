@@ -29,11 +29,18 @@ from .io import (
 )
 from .execution import ExecutionState, eligibility_profile, run_order
 from .optimality import (
+    SearchStats,
     all_ic_optimal_nonsink_orders,
     find_ic_optimal_schedule,
     ic_optimal_exists,
     is_ic_optimal,
     max_eligibility_profile,
+)
+from .profile_cache import (
+    CacheStats,
+    ProfileCache,
+    global_profile_cache,
+    set_global_profile_cache,
 )
 from .priority import (
     has_priority,
@@ -92,13 +99,16 @@ __all__ = [
     "max_antichain",
     "width_attained",
     "BlockRecord",
+    "CacheStats",
     "Certificate",
     "CompositionChain",
     "ComputationDag",
     "ExecutionState",
     "Node",
+    "ProfileCache",
     "Schedule",
     "SchedulingResult",
+    "SearchStats",
     "all_ic_optimal_nonsink_orders",
     "compose",
     "dominates",
@@ -106,6 +116,7 @@ __all__ = [
     "dual_schedule",
     "eligibility_profile",
     "find_ic_optimal_schedule",
+    "global_profile_cache",
     "greedy_schedule",
     "has_priority",
     "ic_optimal_exists",
@@ -120,5 +131,6 @@ __all__ = [
     "profiles_have_priority",
     "run_order",
     "schedule_dag",
+    "set_global_profile_cache",
     "sum_dags",
 ]

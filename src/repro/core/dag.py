@@ -22,6 +22,7 @@ independent cross-checks in the test-suite.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import Callable
@@ -67,6 +68,9 @@ class ComputationDag:
         # node -> insertion-ordered dict-as-set of children / parents.
         self._children: dict[Node, dict[Node, None]] = {}
         self._parents: dict[Node, dict[Node, None]] = {}
+        # mutation counter; invalidates the memoized fingerprint.
+        self._version: int = 0
+        self._fp_cache: tuple[int, str] | None = None
         for v in nodes:
             self.add_node(v)
         for u, v in arcs:
@@ -80,6 +84,7 @@ class ComputationDag:
         if v not in self._children:
             self._children[v] = {}
             self._parents[v] = {}
+            self._version += 1
         return v
 
     def add_arc(self, u: Node, v: Node) -> Arc:
@@ -94,6 +99,7 @@ class ComputationDag:
         self.add_node(v)
         self._children[u][v] = None
         self._parents[v][u] = None
+        self._version += 1
         return (u, v)
 
     def add_arcs(self, arcs: Iterable[Arc]) -> None:
@@ -110,6 +116,7 @@ class ComputationDag:
             del self._children[p][v]
         del self._children[v]
         del self._parents[v]
+        self._version += 1
 
     def remove_arc(self, u: Node, v: Node) -> None:
         """Remove arc ``(u -> v)``; it must exist."""
@@ -119,6 +126,7 @@ class ComputationDag:
             raise DagStructureError(f"arc ({u!r} -> {v!r}) does not exist")
         del self._children[u][v]
         del self._parents[v][u]
+        self._version += 1
 
     def _require(self, v: Node) -> None:
         if v not in self._children:
@@ -403,6 +411,33 @@ class ComputationDag:
     # ------------------------------------------------------------------
     # comparison / interop
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A content-addressed identity for the dag's *structure*.
+
+        SHA-256 over the canonically ordered node and arc label reprs —
+        independent of insertion order, the ``name``, and the process
+        (unlike ``hash()``, which is salted per interpreter), so two
+        dags built separately from the same family/size fingerprint
+        identically.  This is the cache key used by
+        :mod:`repro.core.profile_cache` to reuse eligibility ceilings
+        and certificates across repeated certifications.
+
+        The value is memoized and invalidated on any mutation, so
+        repeated calls on an unchanged dag are O(1).
+        """
+        if self._fp_cache is not None and self._fp_cache[0] == self._version:
+            return self._fp_cache[1]
+        h = hashlib.sha256()
+        for line in sorted(f"n:{v!r}" for v in self._children):
+            h.update(line.encode())
+            h.update(b"\x00")
+        for line in sorted(f"a:{u!r}\x01{v!r}" for u, v in self.arcs):
+            h.update(line.encode())
+            h.update(b"\x00")
+        fp = h.hexdigest()
+        self._fp_cache = (self._version, fp)
+        return fp
+
     def same_structure(self, other: "ComputationDag") -> bool:
         """True iff node sets and arc sets coincide (labels compared)."""
         return set(self.nodes) == set(other.nodes) and set(self.arcs) == set(other.arcs)

@@ -29,10 +29,12 @@ class ExecutionState:
 
     Tracks, per node, the number of unexecuted parents, and maintains
     the ELIGIBLE set incrementally: each :meth:`execute` call is
-    ``O(out-degree)``.
+    ``O(out-degree)``, and so is each :meth:`undo` — backtracking
+    searches (e.g. :func:`~repro.core.quality.best_effort_schedule`)
+    walk the ideal lattice without ever copying the state.
 
-    The state can be :meth:`snapshot`-ed and :meth:`restore`-d cheaply,
-    which the exhaustive optimality search relies on.
+    The state can also be :meth:`snapshot`-ed and :meth:`restore`-d for
+    non-LIFO rollback.
     """
 
     def __init__(self, dag: ComputationDag) -> None:
@@ -44,6 +46,8 @@ class ExecutionState:
             v: None for v in dag.nodes if dag.indegree(v) == 0
         }
         self._executed: dict[Node, None] = {}
+        #: per-execute (node, newly-eligible) records driving undo().
+        self._undo_log: list[tuple[Node, list[Node]]] = []
         #: eligibility profile so far; E(0) = number of sources.
         self.profile: list[int] = [len(self._eligible)]
 
@@ -99,6 +103,7 @@ class ExecutionState:
             if self._pending_parents[c] == 0:
                 self._eligible[c] = None
                 newly.append(c)
+        self._undo_log.append((v, newly))
         self.profile.append(len(self._eligible))
         return newly
 
@@ -106,6 +111,29 @@ class ExecutionState:
         """Execute each node of ``order`` in turn."""
         for v in order:
             self.execute(v)
+
+    def undo(self) -> Node:
+        """Revert the most recent :meth:`execute`; return its node.
+
+        ``O(out-degree)`` — exactly inverts the bookkeeping of the
+        undone step, so an ``execute``/``undo`` pair leaves the state
+        semantically unchanged (the only visible difference is that the
+        undone node moves to the *end* of the eligible iteration order;
+        consumers needing a canonical order must sort).
+
+        Raises :class:`ScheduleError` when no step remains to undo.
+        """
+        if not self._undo_log:
+            raise ScheduleError("nothing to undo: no node has been executed")
+        v, newly = self._undo_log.pop()
+        for c in newly:
+            del self._eligible[c]
+        for c in self.dag.children(v):
+            self._pending_parents[c] += 1
+        del self._executed[v]
+        self._eligible[v] = None
+        self.profile.pop()
+        return v
 
     # ------------------------------------------------------------------
     def snapshot(self) -> tuple:
@@ -115,15 +143,17 @@ class ExecutionState:
             dict(self._eligible),
             dict(self._executed),
             list(self.profile),
+            list(self._undo_log),
         )
 
     def restore(self, snap: tuple) -> None:
         """Restore a state previously captured by :meth:`snapshot`."""
-        pending, eligible, executed, profile = snap
+        pending, eligible, executed, profile, undo_log = snap
         self._pending_parents = dict(pending)
         self._eligible = dict(eligible)
         self._executed = dict(executed)
         self.profile = list(profile)
+        self._undo_log = list(undo_log)
 
     def executed_frozenset(self) -> frozenset:
         """The executed set as a hashable key (for memoized searches)."""

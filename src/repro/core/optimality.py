@@ -37,14 +37,34 @@ tractable for the block/family sizes the paper works with:
    never lowers the profile.  The existence search therefore explores
    only nonsink-first orders.
 
-The ideal enumeration is a level-synchronous BFS over executed-set
-states with memoized eligible sets; a configurable state budget guards
-against accidentally exploding dags.
+The performance model (see ``docs/PERFORMANCE.md``)
+---------------------------------------------------
+The enumeration is a level-synchronous BFS over ideal states.  Each
+ideal is represented by its **canonical frontier key**: the executed
+set encoded as an integer bitmask over the dag's node-index order.  An
+ideal is uniquely determined by its executed set, so the bitmask is a
+perfect canonicalization — visited-set dedup on it expands every
+distinct ideal exactly once, and all per-step work (eligibility
+updates on execute, membership, hashing) is machine-word integer
+arithmetic instead of ``frozenset`` algebra.  Eligibility is
+maintained incrementally: executing node *u* flips one bit out and
+ORs in the children of *u* whose parents are all executed —
+``O(out-degree)`` per transition.
+
+``parallel=True`` fans the BFS out over the first-level branches (one
+per initially eligible nonsink) to a ``multiprocessing`` pool sized
+from ``os.cpu_count()``; the profile is the pointwise max of the
+branch profiles, so the result is byte-identical to the sequential
+path regardless of worker scheduling.  A configurable state budget
+guards against accidentally exploding dags (applied per branch in
+parallel mode, since branches cannot share a visited set).
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from ..exceptions import OptimalityError
 from .dag import ComputationDag, Node
@@ -56,20 +76,195 @@ __all__ = [
     "find_ic_optimal_schedule",
     "ic_optimal_exists",
     "all_ic_optimal_nonsink_orders",
+    "SearchStats",
 ]
 
 #: default cap on distinct ideal states explored per dag.
 DEFAULT_STATE_BUDGET = 2_000_000
 
 
+@dataclass
+class SearchStats:
+    """Instrumentation of one ideal-lattice search.
+
+    Filled in place when passed as the ``stats=`` argument of
+    :func:`max_eligibility_profile`; consumed by
+    ``benchmarks/bench_optimality_scale.py`` for the perf-regression
+    record (``states_expanded`` is deterministic, so it doubles as a
+    machine-independent regression signal).
+    """
+
+    #: distinct ideal states expanded (deduped; summed over branches
+    #: when parallel — branches cannot share a visited set).
+    states_expanded: int = 0
+    #: largest BFS frontier encountered.
+    frontier_peak: int = 0
+    #: first-level branches fanned out (0 = sequential path taken).
+    branches: int = 0
+    #: pool size used (0 = sequential path taken).
+    workers: int = 0
+
+
+# ----------------------------------------------------------------------
+# bitmask tables
+# ----------------------------------------------------------------------
+
+
+def _bit_tables(dag: ComputationDag):
+    """Index the dag for the bitmask engine.
+
+    Returns ``(nodes, children, parents_mask, nonsink_mask,
+    init_eligible)`` where ``children[i]`` lists child indices of node
+    *i*, ``parents_mask[i]`` is the bitmask of its parents, and masks
+    are over the node-insertion-order indexing (the same order every
+    other deterministic iteration in the library uses).
+    """
+    nodes = dag.nodes
+    index = {v: i for i, v in enumerate(nodes)}
+    children: list[list[int]] = []
+    parents_mask: list[int] = []
+    nonsink_mask = 0
+    init_eligible = 0
+    for i, v in enumerate(nodes):
+        cs = [index[c] for c in dag.children(v)]
+        children.append(cs)
+        if cs:
+            nonsink_mask |= 1 << i
+        pm = 0
+        for p in dag.parents(v):
+            pm |= 1 << index[p]
+        parents_mask.append(pm)
+        if pm == 0:
+            init_eligible |= 1 << i
+    return nodes, children, parents_mask, nonsink_mask, init_eligible
+
+
+def _level_bfs(
+    children: list[list[int]],
+    parents_mask: list[int],
+    nonsink_mask: int,
+    start_exec: int,
+    start_elig: int,
+    start_t: int,
+    n: int,
+    state_budget: int,
+    name: str,
+) -> tuple[list[int], int, int]:
+    """BFS the nonsink ideal lattice from one start state.
+
+    Returns ``(maxima, states_seen, frontier_peak)`` with ``maxima[k]``
+    the max eligible count over ideals of size ``start_t + 1 + k``, up
+    to size ``n``.
+    """
+    frontier: dict[int, int] = {start_exec: start_elig}
+    maxima: list[int] = []
+    states_seen = 1
+    frontier_peak = 1
+    for _t in range(start_t + 1, n + 1):
+        nxt: dict[int, int] = {}
+        for executed, eligible in frontier.items():
+            avail = eligible & nonsink_mask
+            while avail:
+                bit = avail & -avail
+                avail ^= bit
+                new_exec = executed | bit
+                if new_exec in nxt:
+                    continue
+                newly = 0
+                for c in children[bit.bit_length() - 1]:
+                    if parents_mask[c] & ~new_exec == 0:
+                        newly |= 1 << c
+                nxt[new_exec] = (eligible ^ bit) | newly
+                states_seen += 1
+                if states_seen > state_budget:
+                    raise OptimalityError(
+                        f"ideal enumeration for dag {name!r} exceeded "
+                        f"state budget {state_budget}"
+                    )
+        if not nxt:
+            # No eligible nonsink although nonsinks remain: impossible
+            # in an acyclic dag (a minimal unexecuted nonsink is
+            # eligible), so this is a defensive invariant check.
+            raise OptimalityError(
+                f"dag {name!r}: no eligible nonsink at step {_t}"
+            )
+        maxima.append(max(m.bit_count() for m in nxt.values()))
+        frontier = nxt
+        frontier_peak = max(frontier_peak, len(frontier))
+    return maxima, states_seen, frontier_peak
+
+
+def _branch_worker(payload) -> tuple[list[int], int, int]:
+    """Pool worker: explore one first-level branch of the ideal BFS.
+
+    ``payload`` carries the bitmask tables plus the index of the first
+    executed nonsink; returns ``([E(1), max E(2), ..., max E(n)],
+    states, frontier_peak)`` for ideals containing that first node.
+    Module-level so it pickles under every multiprocessing start
+    method.
+    """
+    (children, parents_mask, nonsink_mask, init_eligible, first, n,
+     state_budget, name) = payload
+    bit = 1 << first
+    newly = 0
+    for c in children[first]:
+        if parents_mask[c] & ~bit == 0:
+            newly |= 1 << c
+    elig = (init_eligible ^ bit) | newly
+    maxima, states, peak = _level_bfs(
+        children, parents_mask, nonsink_mask,
+        bit, elig, 1, n, state_budget, name,
+    )
+    return [elig.bit_count()] + maxima, states, peak
+
+
+def _iter_bits(mask: int):
+    """Yield set-bit indices of ``mask`` in ascending order."""
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        yield bit.bit_length() - 1
+
+
+def _resolve_workers(workers: int | None, branches: int) -> int:
+    return max(1, min(workers or (os.cpu_count() or 1), branches))
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+
 def max_eligibility_profile(
     dag: ComputationDag,
     state_budget: int = DEFAULT_STATE_BUDGET,
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
+    stats: SearchStats | None = None,
 ) -> list[int]:
     """Compute ``[M(0), M(1), ..., M(|N|)]`` for ``dag``.
 
     ``M(t)`` is the maximum, over all valid length-``t`` execution
     prefixes, of the number of ELIGIBLE unexecuted nodes.
+
+    Parameters
+    ----------
+    state_budget:
+        Cap on distinct ideal states explored (per branch when
+        parallel).
+    parallel:
+        Fan the search out over first-level branches on a
+        ``multiprocessing`` pool.  The returned profile is
+        byte-identical to the sequential result (pointwise max is
+        order-insensitive); the trade-off is losing cross-branch
+        dedup, so total states expanded can grow — see
+        ``docs/PERFORMANCE.md`` for when this wins.
+    workers:
+        Pool size; defaults to ``os.cpu_count()`` clamped to the
+        branch count.
+    stats:
+        Optional :class:`SearchStats` filled with instrumentation.
 
     Raises
     ------
@@ -78,73 +273,105 @@ def max_eligibility_profile(
     """
     dag.validate()
     total = len(dag)
-    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
-    n = len(nonsinks)
-    nonsink_set = set(nonsinks)
+    _nodes, children, parents_mask, nonsink_mask, init_eligible = (
+        _bit_tables(dag)
+    )
+    n = nonsink_mask.bit_count()
 
-    # Children restricted to the dag; parent counts for incremental
-    # eligibility updates.
-    parents_count = {v: dag.indegree(v) for v in dag.nodes}
+    profile: list[int] = [init_eligible.bit_count()]
+    first_moves = list(_iter_bits(init_eligible & nonsink_mask))
 
-    # State: executed frozenset (nonsinks only) -> eligible frozenset.
-    init_eligible = frozenset(v for v in dag.nodes if parents_count[v] == 0)
-    profile: list[int] = [len(init_eligible)]
-    frontier: dict[frozenset, frozenset] = {frozenset(): init_eligible}
-    states_seen = 1
+    if parallel and n > 1 and len(first_moves) > 1:
+        n_workers = _resolve_workers(workers, len(first_moves))
+        payloads = [
+            (children, parents_mask, nonsink_mask, init_eligible,
+             first, n, state_budget, dag.name)
+            for first in first_moves
+        ]
+        results = _run_branches(payloads, n_workers)
+        if results is not None:
+            merged = [0] * n
+            states = 0
+            peak = 0
+            for branch_profile, branch_states, branch_peak in results:
+                states += branch_states
+                peak = max(peak, branch_peak)
+                for k, m in enumerate(branch_profile):
+                    if m > merged[k]:
+                        merged[k] = m
+            profile.extend(merged)
+            for t in range(n + 1, total + 1):
+                profile.append(total - t)
+            if stats is not None:
+                stats.states_expanded = states
+                stats.frontier_peak = peak
+                stats.branches = len(first_moves)
+                stats.workers = n_workers
+            return profile
+        # pool unavailable in this environment: fall through to the
+        # (byte-identical) sequential path.
 
-    for _t in range(1, n + 1):
-        nxt: dict[frozenset, frozenset] = {}
-        for executed, eligible in frontier.items():
-            for u in eligible:
-                if u not in nonsink_set:
-                    continue
-                new_exec = executed | {u}
-                if new_exec in nxt:
-                    continue
-                newly = [
-                    c
-                    for c in dag.children(u)
-                    if all(p in new_exec for p in dag.parents(c))
-                ]
-                nxt[new_exec] = (eligible - {u}) | frozenset(newly)
-                states_seen += 1
-                if states_seen > state_budget:
-                    raise OptimalityError(
-                        f"ideal enumeration for dag {dag.name!r} exceeded "
-                        f"state budget {state_budget}"
-                    )
-        if not nxt:
-            # No eligible nonsink although nonsinks remain: impossible
-            # in an acyclic dag (a minimal unexecuted nonsink is
-            # eligible), so this is a defensive invariant check.
-            raise OptimalityError(
-                f"dag {dag.name!r}: no eligible nonsink at step {_t}"
-            )
-        profile.append(max(len(e) for e in nxt.values()))
-        frontier = nxt
+    if n:
+        maxima, states, peak = _level_bfs(
+            children, parents_mask, nonsink_mask,
+            0, init_eligible, 0, n, state_budget, dag.name,
+        )
+        profile.extend(maxima)
+    else:
+        states, peak = 1, 1
 
     # Once all nonsinks are executed, every remaining node is an
     # eligible sink; executing sinks decrements the count by one.
     for t in range(n + 1, total + 1):
         profile.append(total - t)
+    if stats is not None:
+        stats.states_expanded = states
+        stats.frontier_peak = peak
+        stats.branches = 0
+        stats.workers = 0
     return profile
+
+
+def _run_branches(payloads, n_workers):
+    """Map :func:`_branch_worker` over ``payloads`` on a process pool.
+
+    Returns the result list, or ``None`` when the platform cannot
+    start worker processes (restricted sandboxes) — callers then take
+    the sequential path, which produces identical output.
+    """
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=n_workers) as pool:
+            return pool.map(_branch_worker, payloads)
+    except OptimalityError:
+        raise
+    except (OSError, ValueError, ImportError):
+        return None
 
 
 def is_ic_optimal(
     schedule: Schedule,
     max_profile: Sequence[int] | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> bool:
     """True iff ``schedule`` attains the maximum eligible count at
     every step of the execution.
 
     ``max_profile`` may be passed to reuse a previously computed
-    ceiling (it must come from the same dag).
+    ceiling (it must come from the same dag); otherwise the ceiling is
+    computed here (``parallel=``/``workers=`` forwarded).
     """
     ceiling = (
         list(max_profile)
         if max_profile is not None
-        else max_eligibility_profile(schedule.dag, state_budget)
+        else max_eligibility_profile(
+            schedule.dag, state_budget, parallel=parallel, workers=workers
+        )
     )
     prof = schedule.profile
     if len(prof) != len(ceiling):
@@ -158,6 +385,10 @@ def find_ic_optimal_schedule(
     dag: ComputationDag,
     state_budget: int = DEFAULT_STATE_BUDGET,
     name: str = "ic-optimal",
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
+    max_profile: Sequence[int] | None = None,
 ) -> Schedule | None:
     """Search for an IC-optimal schedule of ``dag``.
 
@@ -165,55 +396,77 @@ def find_ic_optimal_schedule(
     when the dag admits no IC-optimal schedule (by reduction 2 in the
     module docstring, searching nonsink-first orders is complete).
 
-    The search is a DFS that only follows steps keeping the running
-    profile equal to the ceiling ``M``; visited dead states are
-    memoized so each ideal is expanded at most once.
+    The search is a DFS over bitmask states that only follows steps
+    keeping the running profile equal to the ceiling ``M``; visited
+    dead states are memoized by their canonical frontier key so each
+    ideal is expanded at most once.  Candidate nodes are tried in
+    ascending node-index (insertion) order, so the returned schedule
+    is deterministic — ``parallel=`` only accelerates the ceiling
+    computation and never changes the result.
+
+    ``max_profile`` may supply a precomputed ceiling (e.g. from
+    :mod:`repro.core.profile_cache`).
     """
-    ceiling = max_eligibility_profile(dag, state_budget)
-    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
-    n = len(nonsinks)
-    nonsink_set = set(nonsinks)
+    if max_profile is not None:
+        ceiling = list(max_profile)
+    else:
+        ceiling = max_eligibility_profile(
+            dag, state_budget, parallel=parallel, workers=workers
+        )
+    nodes, children, parents_mask, nonsink_mask, init_eligible = (
+        _bit_tables(dag)
+    )
+    n = nonsink_mask.bit_count()
 
-    index = {v: i for i, v in enumerate(dag.nodes)}
-    dead: set[frozenset] = set()
-    order: list[Node] = []
+    dead: set[int] = set()
+    order_idx: list[int] = []
 
-    def dfs(executed: frozenset, eligible: frozenset, t: int) -> bool:
+    def dfs(executed: int, eligible: int, t: int) -> bool:
         if t == n:
             return True
         if executed in dead:
             return False
-        for u in sorted(eligible, key=index.__getitem__):
-            if u not in nonsink_set:
+        avail = eligible & nonsink_mask
+        while avail:
+            bit = avail & -avail
+            avail ^= bit
+            new_exec = executed | bit
+            newly = 0
+            u = bit.bit_length() - 1
+            for c in children[u]:
+                if parents_mask[c] & ~new_exec == 0:
+                    newly |= 1 << c
+            new_elig = (eligible ^ bit) | newly
+            if new_elig.bit_count() != ceiling[t + 1]:
                 continue
-            new_exec = executed | {u}
-            newly = [
-                c
-                for c in dag.children(u)
-                if all(p in new_exec for p in dag.parents(c))
-            ]
-            new_elig = (eligible - {u}) | frozenset(newly)
-            if len(new_elig) != ceiling[t + 1]:
-                continue
-            order.append(u)
+            order_idx.append(u)
             if dfs(new_exec, new_elig, t + 1):
                 return True
-            order.pop()
+            order_idx.pop()
         dead.add(executed)
         return False
 
-    init_eligible = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
-    if not dfs(frozenset(), init_eligible, 0):
+    if not dfs(0, init_eligible, 0):
         return None
-    sinks = [v for v in dag.nodes if dag.is_sink(v)]
+    order = [nodes[i] for i in order_idx]
+    sinks = [v for v in nodes if dag.is_sink(v)]
     return Schedule(dag, order + sinks, name=name)
 
 
 def ic_optimal_exists(
-    dag: ComputationDag, state_budget: int = DEFAULT_STATE_BUDGET
+    dag: ComputationDag,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> bool:
     """Decide whether ``dag`` admits an IC-optimal schedule."""
-    return find_ic_optimal_schedule(dag, state_budget) is not None
+    return (
+        find_ic_optimal_schedule(
+            dag, state_budget, parallel=parallel, workers=workers
+        )
+        is not None
+    )
 
 
 def all_ic_optimal_nonsink_orders(
@@ -225,38 +478,39 @@ def all_ic_optimal_nonsink_orders(
 
     Intended for small dags in tests (e.g. verifying the paper's
     "optimal iff consecutive-source" characterizations for in-trees and
-    butterflies).  Stops after ``limit`` orders.
+    butterflies).  Stops after ``limit`` orders.  Orders are emitted in
+    lexicographic node-index order (deterministic).
     """
     ceiling = max_eligibility_profile(dag, state_budget)
-    nonsinks = [v for v in dag.nodes if not dag.is_sink(v)]
-    n = len(nonsinks)
-    nonsink_set = set(nonsinks)
-    index = {v: i for i, v in enumerate(dag.nodes)}
+    nodes, children, parents_mask, nonsink_mask, init_eligible = (
+        _bit_tables(dag)
+    )
+    n = nonsink_mask.bit_count()
     out: list[tuple[Node, ...]] = []
-    order: list[Node] = []
+    order_idx: list[int] = []
 
-    def dfs(executed: frozenset, eligible: frozenset, t: int) -> None:
+    def dfs(executed: int, eligible: int, t: int) -> None:
         if len(out) >= limit:
             return
         if t == n:
-            out.append(tuple(order))
+            out.append(tuple(nodes[i] for i in order_idx))
             return
-        for u in sorted(eligible, key=index.__getitem__):
-            if u not in nonsink_set:
+        avail = eligible & nonsink_mask
+        while avail:
+            bit = avail & -avail
+            avail ^= bit
+            new_exec = executed | bit
+            newly = 0
+            u = bit.bit_length() - 1
+            for c in children[u]:
+                if parents_mask[c] & ~new_exec == 0:
+                    newly |= 1 << c
+            new_elig = (eligible ^ bit) | newly
+            if new_elig.bit_count() != ceiling[t + 1]:
                 continue
-            new_exec = executed | {u}
-            newly = [
-                c
-                for c in dag.children(u)
-                if all(p in new_exec for p in dag.parents(c))
-            ]
-            new_elig = (eligible - {u}) | frozenset(newly)
-            if len(new_elig) != ceiling[t + 1]:
-                continue
-            order.append(u)
+            order_idx.append(u)
             dfs(new_exec, new_elig, t + 1)
-            order.pop()
+            order_idx.pop()
 
-    init_eligible = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
-    dfs(frozenset(), init_eligible, 0)
+    dfs(0, init_eligible, 0)
     return out

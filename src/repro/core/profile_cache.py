@@ -1,0 +1,195 @@
+"""Content-addressed memoization of eligibility ceilings and
+IC-optimality certificates.
+
+The exhaustive searches in :mod:`repro.core.optimality` are the
+dominant cost of certification, yet the *same* dag structure is
+certified over and over: every benchmark rebuilds the same
+family/size, the sim server schedules the same workload dags per
+policy, and tests re-verify catalog blocks.  Because
+:meth:`~repro.core.dag.ComputationDag.fingerprint` is content-
+addressed (structure only — not identity, name, or insertion order),
+one bounded LRU map turns every repeat certification into an O(1)
+lookup.
+
+Two result kinds are cached per fingerprint:
+
+* the **max-eligibility profile** ``[M(0), ..., M(|N|)]``;
+* the **certificate**: the node order of the found IC-optimal
+  schedule, or the fact that none exists.
+
+Cached entries are exactly the sequential search's outputs, so cache
+hits are byte-identical to cold runs.  A schedule is re-validated
+against the *requesting* dag instance on every hit (``Schedule``
+construction replays the order), so a fingerprint collision — or a
+label set that coincides across semantically different uses — cannot
+smuggle in an invalid order.
+
+Entries record nothing about the ``state_budget`` they were computed
+under: a search that *completed* within any budget is correct under
+every budget, and failed searches are never cached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .dag import ComputationDag, Node
+from .optimality import DEFAULT_STATE_BUDGET, max_eligibility_profile
+from .schedule import Schedule
+
+__all__ = [
+    "CacheStats",
+    "ProfileCache",
+    "global_profile_cache",
+    "set_global_profile_cache",
+]
+
+#: sentinel distinguishing "no IC-optimal schedule exists" (a cachable
+#: fact) from "not cached".
+_NO_SCHEDULE = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ProfileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ProfileCache:
+    """A bounded LRU cache of certification results, keyed by dag
+    fingerprint.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of (fingerprint, kind) entries; least recently
+        *used* entries are evicted first.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def _get(self, key: tuple[str, str]):
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def _put(self, key: tuple[str, str], value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def max_profile(
+        self,
+        dag: ComputationDag,
+        state_budget: int = DEFAULT_STATE_BUDGET,
+        *,
+        parallel: bool = False,
+        workers: int | None = None,
+    ) -> list[int]:
+        """``max_eligibility_profile(dag, ...)``, memoized.
+
+        A hit returns a copy of the stored profile (callers may mutate
+        their list freely).  On a miss the profile is computed with the
+        given search options and stored; the stored value never depends
+        on ``parallel`` (both paths produce identical profiles).
+        """
+        key = (dag.fingerprint(), "profile")
+        cached = self._get(key)
+        if cached is not None:
+            return list(cached)
+        profile = max_eligibility_profile(
+            dag, state_budget, parallel=parallel, workers=workers
+        )
+        self._put(key, tuple(profile))
+        return profile
+
+    def find_schedule(
+        self,
+        dag: ComputationDag,
+        state_budget: int = DEFAULT_STATE_BUDGET,
+        name: str = "ic-optimal",
+        *,
+        parallel: bool = False,
+        workers: int | None = None,
+    ) -> Schedule | None:
+        """``find_ic_optimal_schedule(dag, ...)``, memoized.
+
+        The cached value is the node *order* (plus the none-exists
+        fact); a hit rebuilds — and thereby re-validates — a
+        :class:`Schedule` against the requesting dag instance.
+        """
+        from .optimality import find_ic_optimal_schedule
+
+        key = (dag.fingerprint(), "schedule")
+        cached = self._get(key)
+        if cached is _NO_SCHEDULE:
+            return None
+        if cached is not None:
+            order: tuple[Node, ...] = cached  # type: ignore[assignment]
+            return Schedule(dag, order, name=name)
+        sched = find_ic_optimal_schedule(
+            dag,
+            state_budget,
+            name,
+            parallel=parallel,
+            workers=workers,
+            max_profile=self.max_profile(
+                dag, state_budget, parallel=parallel, workers=workers
+            ),
+        )
+        self._put(key, _NO_SCHEDULE if sched is None else tuple(sched.order))
+        return sched
+
+
+#: process-wide default cache used by ``schedule_dag`` and the sim
+#: server unless a caller supplies (or disables) its own.
+_GLOBAL_CACHE = ProfileCache()
+
+
+def global_profile_cache() -> ProfileCache:
+    """The process-wide default :class:`ProfileCache`."""
+    return _GLOBAL_CACHE
+
+
+def set_global_profile_cache(cache: ProfileCache) -> ProfileCache:
+    """Replace the process-wide default cache; returns the old one.
+
+    Useful for isolating measurements (benchmarks install a fresh
+    cache so hit rates describe only their own workload).
+    """
+    global _GLOBAL_CACHE
+    old = _GLOBAL_CACHE
+    _GLOBAL_CACHE = cache
+    return old

@@ -162,20 +162,16 @@ def best_effort_schedule(
     index = {v: i for i, v in enumerate(dag.nodes)}
     best: dict = {"order": None, "key": None}
 
-    # state -> best (deficit, -area) found from that executed set with
-    # the given running prefix statistics are path-dependent, so we
-    # memoize only fully-expanded states' best suffix outcome keyed by
-    # (executed, running_deficit_clamp); a simple incumbent prune keeps
-    # this tractable at the supported sizes.
+    # Prefix statistics are path-dependent, so only an incumbent prune
+    # on the running deficit keeps the branch-and-bound tractable at
+    # the supported sizes.  The single ExecutionState backtracks via
+    # execute()/undo() — O(out-degree) per step, no state copying.
+    from .execution import ExecutionState
+
+    state = ExecutionState(dag)
     order: list[Node] = []
 
-    def dfs(
-        executed: frozenset,
-        eligible: frozenset,
-        t: int,
-        deficit: int,
-        area: int,
-    ) -> None:
+    def dfs(t: int, deficit: int, area: int) -> None:
         if best["key"] is not None and deficit > best["key"][0]:
             return  # cannot improve the incumbent's deficit
         if t == n:
@@ -187,29 +183,18 @@ def best_effort_schedule(
                 best["key"] = key
                 best["order"] = list(order)
             return
-        for u in sorted(eligible, key=index.__getitem__):
-            if u not in nonsink_set:
-                continue
-            new_exec = executed | {u}
-            newly = [
-                c
-                for c in dag.children(u)
-                if all(p in new_exec for p in dag.parents(c))
-            ]
-            new_elig = (eligible - {u}) | frozenset(newly)
-            e = len(new_elig)
+        for u in sorted(
+            (v for v in state.eligible if v in nonsink_set),
+            key=index.__getitem__,
+        ):
+            state.execute(u)
+            e = state.eligible_count()
             order.append(u)
-            dfs(
-                new_exec,
-                new_elig,
-                t + 1,
-                max(deficit, ceiling[t + 1] - e),
-                area + e,
-            )
+            dfs(t + 1, max(deficit, ceiling[t + 1] - e), area + e)
             order.pop()
+            state.undo()
 
-    init = frozenset(v for v in dag.nodes if dag.indegree(v) == 0)
-    dfs(frozenset(), init, 0, 0, len(init))
+    dfs(0, 0, state.eligible_count())
     assert best["order"] is not None
     sinks = [v for v in dag.nodes if dag.is_sink(v)]
     return Schedule(dag, best["order"] + sinks, name=name)

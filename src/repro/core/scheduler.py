@@ -23,7 +23,7 @@ from ..exceptions import OptimalityError
 from .composition import CompositionChain, linear_composition_schedule
 from .dag import ComputationDag, Node
 from .execution import ExecutionState
-from .optimality import find_ic_optimal_schedule
+from .profile_cache import ProfileCache, global_profile_cache
 from .schedule import Schedule
 
 __all__ = ["Certificate", "SchedulingResult", "schedule_dag", "greedy_schedule"]
@@ -102,6 +102,10 @@ def schedule_dag(
     target: ComputationDag | CompositionChain,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
+    cache: ProfileCache | bool = True,
 ) -> SchedulingResult:
     """Schedule ``target`` with the strongest available certificate.
 
@@ -116,6 +120,17 @@ def schedule_dag(
     state_budget:
         Ideal-state cap for the exhaustive search; if exceeded the
         greedy fallback is used.
+    parallel:
+        Fan the exhaustive ceiling computation out over a process pool
+        (see :func:`~repro.core.optimality.max_eligibility_profile`).
+        Never changes the result — only how fast it arrives.
+    workers:
+        Pool size for ``parallel=True``; defaults to ``os.cpu_count()``.
+    cache:
+        ``True`` (default) memoizes exhaustive results in the
+        process-wide :func:`~repro.core.profile_cache
+        .global_profile_cache`; pass a :class:`ProfileCache` to use a
+        private one, or ``False`` to search from scratch.
     """
     if isinstance(target, CompositionChain):
         # each certification level is checked once; the builder is then
@@ -148,8 +163,22 @@ def schedule_dag(
     dag = target
     n_nonsinks = sum(1 for v in dag.nodes if not dag.is_sink(v))
     if n_nonsinks <= exhaustive_limit:
+        if cache is True:
+            cache = global_profile_cache()
         try:
-            sched = find_ic_optimal_schedule(dag, state_budget=state_budget)
+            if isinstance(cache, ProfileCache):
+                sched = cache.find_schedule(
+                    dag, state_budget, parallel=parallel, workers=workers
+                )
+            else:
+                from .optimality import find_ic_optimal_schedule
+
+                sched = find_ic_optimal_schedule(
+                    dag,
+                    state_budget=state_budget,
+                    parallel=parallel,
+                    workers=workers,
+                )
         except OptimalityError:
             sched = None
         else:

@@ -11,7 +11,13 @@ from .metrics import (
     compare_policies,
     granularity_tradeoff,
 )
-from .server import ClientSpec, SimulationResult, simulate, simulate_batched
+from .server import (
+    ClientSpec,
+    SimulationResult,
+    simulate,
+    simulate_batched,
+    simulate_scheduled,
+)
 
 __all__ = [
     "BASELINE_POLICIES",
@@ -30,5 +36,6 @@ __all__ = [
     "server",
     "simulate",
     "simulate_batched",
+    "simulate_scheduled",
     "workloads",
 ]

@@ -99,6 +99,73 @@ class TestSnapshot:
         assert st.executed_frozenset() == frozenset({"a"})
 
 
+class TestUndo:
+    def test_undo_returns_node_and_reverts(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        st.execute("b")
+        assert st.undo() == "b"
+        assert st.steps == 1
+        assert st.profile == [1, 2]
+        assert set(st.eligible) == {"b", "c"}
+        assert not st.is_executed("b") and st.is_eligible("b")
+
+    def test_undo_restores_pending_parents(self):
+        st = ExecutionState(diamond())
+        st.execute_all(["a", "b", "c"])
+        st.undo()
+        # d must wait on c again
+        with pytest.raises(ScheduleError, match="not ELIGIBLE"):
+            st.execute("d")
+        st.execute("c")
+        st.execute("d")
+        assert st.is_finished()
+
+    def test_undo_to_empty_then_error(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        st.undo()
+        assert st.steps == 0 and st.profile == [1]
+        with pytest.raises(ScheduleError, match="nothing to undo"):
+            st.undo()
+
+    def test_execute_undo_roundtrip_profile(self):
+        dag = diamond()
+        st = ExecutionState(dag)
+        for order in (["a", "b", "c", "d"], ["a", "c", "b", "d"]):
+            st.execute_all(order)
+            full = list(st.profile)
+            for _ in order:
+                st.undo()
+            assert st.profile == [1]
+            # the state is reusable and order-invariant
+            assert eligibility_profile(dag, order) == full
+
+    def test_undo_across_snapshot_restore(self):
+        st = ExecutionState(diamond())
+        st.execute("a")
+        snap = st.snapshot()
+        st.execute("b")
+        st.restore(snap)
+        assert st.undo() == "a"
+        assert st.steps == 0
+
+    def test_interleaved_with_search_pattern(self):
+        # the backtracking pattern best_effort_schedule relies on:
+        # branch, undo, branch the other way — no state copying.
+        dag = diamond()
+        st = ExecutionState(dag)
+        st.execute("a")
+        st.execute("b")
+        e_b = st.eligible_count()
+        st.undo()
+        st.execute("c")
+        e_c = st.eligible_count()
+        assert e_b == e_c == 1
+        st.undo()
+        assert st.eligible_count() == 2
+
+
 class TestHelpers:
     def test_eligibility_profile_prefix(self):
         prof = eligibility_profile(diamond(), ["a", "b"])

@@ -1,0 +1,149 @@
+"""Parallel-vs-sequential equivalence of the optimality searches.
+
+The contract of ``parallel=True`` (and of the bitmask engine behind
+both paths) is *byte-identical output*: same ``M(t)`` profile, same
+found schedule (or the same proof that none exists) on every dag.
+These tests pin that contract on every catalog block and on each
+family at two sizes.
+"""
+
+import pytest
+
+from repro.blocks import block
+from repro.blocks.catalog import BLOCK_KINDS
+from repro.core import (
+    SearchStats,
+    find_ic_optimal_schedule,
+    is_ic_optimal,
+    max_eligibility_profile,
+    schedule_dag,
+)
+from repro.exceptions import OptimalityError
+
+#: every catalog block kind at a representative parameter (or two
+#: where the family is parameterized interestingly).
+CATALOG_CASES = [
+    ("V", None),
+    ("V", 3),
+    ("Λ", None),
+    ("Λ", 3),
+    ("W", 2),
+    ("W", 4),
+    ("M", 3),
+    ("N", 3),
+    ("N", 5),
+    ("C", 3),
+    ("C", 5),
+    ("B", None),
+    ("Q", 2),
+]
+
+
+def _family_dags():
+    """Each paper family at two sizes (kept small: every case runs an
+    exhaustive search twice)."""
+    from repro.families.butterfly_net import butterfly_dag
+    from repro.families.diamond import complete_diamond
+    from repro.families.mesh import out_mesh_dag
+    from repro.families.prefix import prefix_chain
+    from repro.families.trees import complete_out_tree
+
+    cases = []
+    for d in (1, 2):
+        cases.append((f"butterfly-{d}", butterfly_dag(d)))
+    for d in (3, 4):
+        cases.append((f"mesh-{d}", out_mesh_dag(d)))
+    for d in (2, 3):
+        cases.append((f"diamond-{d}", complete_diamond(d).dag))
+    for d in (2, 3):
+        cases.append((f"prefix-{d}", prefix_chain(d).dag))
+    for d in (2, 3):
+        cases.append((f"out-tree-{d}", complete_out_tree(d).dag))
+    return cases
+
+
+def _all_cases():
+    cases = [
+        (f"{kind}{param or ''}", block(kind, param)[0])
+        for kind, param in CATALOG_CASES
+    ]
+    return cases + _family_dags()
+
+
+@pytest.mark.parametrize("label,dag", _all_cases())
+def test_profile_equivalence(label, dag):
+    seq = max_eligibility_profile(dag)
+    par = max_eligibility_profile(dag, parallel=True, workers=2)
+    assert par == seq, label
+
+
+@pytest.mark.parametrize("label,dag", _all_cases())
+def test_schedule_equivalence(label, dag):
+    seq = find_ic_optimal_schedule(dag)
+    par = find_ic_optimal_schedule(dag, parallel=True, workers=2)
+    if seq is None:
+        assert par is None, label
+    else:
+        assert par is not None, label
+        # identical orders, not merely both optimal: the parallel path
+        # must be drop-in deterministic for golden outputs.
+        assert par.order == seq.order, label
+        assert par.profile == seq.profile, label
+        assert is_ic_optimal(seq)
+
+
+def test_every_catalog_kind_covered():
+    # guard: CATALOG_CASES tracks the catalog registry
+    assert {k for k, _ in CATALOG_CASES} == set(BLOCK_KINDS)
+
+
+def test_parallel_is_deterministic_across_runs():
+    g, _ = block("C", 5)
+    runs = [
+        max_eligibility_profile(g, parallel=True, workers=2)
+        for _ in range(3)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_parallel_stats_populated():
+    g, _ = block("W", 4)
+    stats = SearchStats()
+    seq = max_eligibility_profile(g, stats=stats)
+    assert stats.states_expanded > 0 and stats.branches == 0
+    par_stats = SearchStats()
+    par = max_eligibility_profile(
+        g, parallel=True, workers=2, stats=par_stats
+    )
+    assert par == seq
+    # the pool may be unavailable in restricted sandboxes, in which
+    # case the sequential fallback reports branches == 0.
+    assert par_stats.branches in (0, len(g.sources))
+    assert par_stats.states_expanded >= stats.states_expanded
+
+
+def test_parallel_budget_still_enforced():
+    from repro.families.mesh import out_mesh_dag
+
+    with pytest.raises(OptimalityError, match="state budget"):
+        max_eligibility_profile(
+            out_mesh_dag(10), state_budget=5, parallel=True, workers=2
+        )
+
+
+def test_schedule_dag_parallel_matches_sequential():
+    from repro.families.mesh import out_mesh_dag
+
+    dag = out_mesh_dag(4)
+    seq = schedule_dag(dag, cache=False)
+    par = schedule_dag(dag, cache=False, parallel=True, workers=2)
+    assert seq.certificate is par.certificate
+    assert seq.schedule.order == par.schedule.order
+
+
+def test_none_exists_agrees_in_parallel():
+    from tests.test_optimality import non_ic_optimal_dag
+
+    g = non_ic_optimal_dag()
+    assert find_ic_optimal_schedule(g) is None
+    assert find_ic_optimal_schedule(g, parallel=True, workers=2) is None

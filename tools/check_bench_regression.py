@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Gate perf regressions in the IC-optimality certification hot path.
+
+Compares a fresh ``BENCH_optimality.json`` (written by
+``benchmarks/bench_optimality_scale.py`` to ``benchmarks/out/``)
+against the committed baseline (``benchmarks/BENCH_optimality.json``)
+and exits nonzero when any guarded metric regresses by more than the
+threshold (default 20%).
+
+Guarded metrics — chosen to be *machine-independent* so the gate is
+meaningful on any CI host:
+
+* ``largest.speedup_vs_legacy`` — the engine-vs-reference ratio on the
+  largest certified dag (both sides timed on the same host, so the
+  ratio cancels host speed); must not drop by more than the threshold.
+* ``largest.states_expanded`` — deterministic search-effort count;
+  must not *grow* by more than the threshold (an algorithmic
+  regression signal even when timings are noisy).
+* ``sim_server.cache_hit_rate`` — must not drop by more than the
+  threshold (a wiring regression signal: the server stopped reusing
+  certifications).
+
+``--absolute`` additionally guards per-size ``states_per_sec``
+(host-dependent; only meaningful when baseline and fresh record come
+from the same machine).
+
+Usage::
+
+    python benchmarks/bench_optimality_scale.py        # writes fresh record
+    python tools/check_bench_regression.py             # gate vs baseline
+    python tools/check_bench_regression.py --threshold 0.1 --absolute
+
+See ``docs/PERFORMANCE.md`` for how these numbers are produced and
+how to refresh the baseline after an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_optimality.json"
+DEFAULT_FRESH = REPO / "benchmarks" / "out" / "BENCH_optimality.json"
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: record {path} not found "
+                 "(run benchmarks/bench_optimality_scale.py first)")
+
+
+def compare(baseline: dict, fresh: dict, threshold: float,
+            absolute: bool = False) -> list[str]:
+    """Return a list of regression messages (empty = pass)."""
+    failures: list[str] = []
+
+    def must_not_drop(label: str, base: float, new: float) -> None:
+        if base > 0 and new < base * (1.0 - threshold):
+            failures.append(
+                f"{label}: {new:g} fell more than {threshold:.0%} below "
+                f"baseline {base:g}"
+            )
+
+    def must_not_grow(label: str, base: float, new: float) -> None:
+        if new > base * (1.0 + threshold):
+            failures.append(
+                f"{label}: {new:g} exceeds baseline {base:g} by more "
+                f"than {threshold:.0%}"
+            )
+
+    must_not_drop(
+        "largest.speedup_vs_legacy",
+        baseline["largest"]["speedup_vs_legacy"],
+        fresh["largest"]["speedup_vs_legacy"],
+    )
+    must_not_grow(
+        "largest.states_expanded",
+        baseline["largest"]["states_expanded"],
+        fresh["largest"]["states_expanded"],
+    )
+    must_not_drop(
+        "sim_server.cache_hit_rate",
+        baseline["sim_server"]["cache_hit_rate"],
+        fresh["sim_server"]["cache_hit_rate"],
+    )
+    if absolute:
+        base_sizes = {s["dag"]: s for s in baseline["sizes"]}
+        for s in fresh["sizes"]:
+            b = base_sizes.get(s["dag"])
+            if b is None:
+                continue
+            must_not_drop(
+                f"{s['dag']}.states_per_sec",
+                b["states_per_sec"],
+                s["states_per_sec"],
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", nargs="?", type=pathlib.Path,
+                    default=DEFAULT_FRESH,
+                    help=f"fresh record (default: {DEFAULT_FRESH})")
+    ap.add_argument("--baseline", type=pathlib.Path,
+                    default=DEFAULT_BASELINE,
+                    help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed relative regression (default: 0.20)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also guard host-dependent throughput metrics")
+    args = ap.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = compare(baseline, fresh, args.threshold, args.absolute)
+    if failures:
+        print("PERF REGRESSION:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(
+        f"ok: no guarded metric regressed more than {args.threshold:.0%} "
+        f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
+        f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
