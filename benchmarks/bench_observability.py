@@ -1,0 +1,236 @@
+"""E-OBS — instrumentation overhead of the observability layer.
+
+PR 2 threaded the metrics registry and tracer through the certification
+hot path (``repro.core.optimality``).  This bench proves the wiring is
+effectively free: it times the PR-1 scale workload (the ``B_3``
+ideal-lattice search of ``bench_optimality_scale.py``) three ways —
+
+* **kernel** — the bare, *uninstrumented* search kernel
+  (``_bit_tables`` + ``_level_bfs`` + the closed-form sink tail),
+  i.e. exactly what ``max_eligibility_profile`` did before PR 2;
+* **disabled** — the instrumented public path with tracing disabled
+  (the default: per-call aggregate metrics only, no-op spans);
+* **enabled** — the same with structured tracing turned on.
+
+``overhead.disabled_pct`` — the headline metric gated by
+``tools/check_bench_regression.py`` — must stay **under 5%**: the
+instrumentation budget for code that is always on.  A primitive
+microbench (ns per no-op span, per counter increment, per live event)
+is recorded alongside so a regression can be localized.
+
+All three paths are asserted to produce byte-identical profiles before
+any number is recorded.  Run standalone (``python
+benchmarks/bench_observability.py``) or under pytest-benchmark; the
+fresh record lands in ``benchmarks/out/BENCH_observability.json`` and
+the committed baseline in ``benchmarks/BENCH_observability.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.optimality import (
+    _bit_tables,
+    _level_bfs,
+    max_eligibility_profile,
+)
+from repro.families.butterfly_net import butterfly_dag
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    global_registry,
+    global_tracer,
+    set_global_registry,
+    set_global_tracer,
+)
+from repro.sim import simulate
+from repro.sim.heuristics import make_policy
+from repro.core import schedule_dag
+
+from _harness import OUT_DIR, write_report
+
+FRESH_RECORD = OUT_DIR / "BENCH_observability.json"
+
+#: the PR-1 scale workload: the largest exactly certifiable butterfly.
+DIM = 3
+BUDGET = 20_000_000
+REPEATS = 5
+#: hard ceiling on the disabled-path overhead, in percent (gated).
+DISABLED_OVERHEAD_LIMIT_PCT = 5.0
+
+
+def _kernel_profile(dag, state_budget: int = BUDGET) -> list[int]:
+    """The uninstrumented sequential search: what the public path does
+    minus every observability touchpoint (no clock reads, no registry,
+    no span).  The reference the overhead is measured against."""
+    dag.validate()
+    total = len(dag)
+    _nodes, children, parents_mask, nonsink_mask, init_eligible = (
+        _bit_tables(dag)
+    )
+    n = nonsink_mask.bit_count()
+    profile = [init_eligible.bit_count()]
+    if n:
+        maxima, _states, _peak = _level_bfs(
+            children, parents_mask, nonsink_mask,
+            0, init_eligible, 0, n, state_budget, dag.name,
+        )
+        profile.extend(maxima)
+    for t in range(n + 1, total + 1):
+        profile.append(total - t)
+    return profile
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _time_primitive(fn, n: int = 20_000) -> float:
+    """Mean nanoseconds per call over ``n`` calls (loop cost included —
+    an upper bound, which is the conservative direction for a gate)."""
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n * 1e9
+
+
+def collect_record() -> dict:
+    dag = butterfly_dag(DIM)
+
+    # isolate this workload's metrics; keep tracing off for the
+    # kernel/disabled measurements.
+    old_reg = set_global_registry(MetricsRegistry())
+    old_tracer = set_global_tracer(Tracer(capacity=1 << 18))
+    try:
+        t_kernel, p_kernel = _best_of(
+            REPEATS, lambda: _kernel_profile(dag)
+        )
+        t_disabled, p_disabled = _best_of(
+            REPEATS, lambda: max_eligibility_profile(dag, BUDGET)
+        )
+        global_tracer().enable()
+        t_enabled, p_enabled = _best_of(
+            REPEATS, lambda: max_eligibility_profile(dag, BUDGET)
+        )
+        global_tracer().disable()
+        assert p_disabled == p_kernel, "instrumented path diverged"
+        assert p_enabled == p_kernel, "traced path diverged"
+
+        # primitive costs (disabled span is THE hot-path fast path).
+        tracer = global_tracer()
+        counter = global_registry().counter("bench_prim_total", "bench")
+        ns_span_disabled = _time_primitive(
+            lambda: tracer.span("bench.noop")
+        )
+        ns_counter_inc = _time_primitive(counter.inc)
+        tracer.enable()
+        ns_event_enabled = _time_primitive(
+            lambda: tracer.event("bench.event")
+        )
+        tracer.disable()
+        tracer.clear()
+
+        # sim trace segment (informational): a traced simulation of
+        # the same dag, counting structured records emitted.
+        scheduling = schedule_dag(dag)
+        tracer.enable()
+        res = simulate(
+            dag, make_policy("IC-OPT", scheduling.schedule),
+            clients=4, record_trace=True,
+        )
+        tracer.disable()
+        sim_events = len(tracer.records())
+        assert res.completed == len(dag)
+        assert len(res.trace) == res.completed + res.lost_allocations
+    finally:
+        set_global_registry(old_reg)
+        set_global_tracer(old_tracer)
+
+    overhead_disabled = max(0.0, (t_disabled / t_kernel - 1.0) * 100.0)
+    overhead_enabled = max(0.0, (t_enabled / t_kernel - 1.0) * 100.0)
+    return {
+        "schema": 1,
+        "workload": f"B_{DIM} ideal-lattice search "
+                    "(PR-1 scale benchmark workload)",
+        "search": {
+            "dag": f"B_{DIM}",
+            "nodes": len(dag),
+            "kernel_s": round(t_kernel, 6),
+            "disabled_s": round(t_disabled, 6),
+            "enabled_s": round(t_enabled, 6),
+        },
+        "overhead": {
+            "disabled_pct": round(overhead_disabled, 3),
+            "enabled_pct": round(overhead_enabled, 3),
+            "limit_disabled_pct": DISABLED_OVERHEAD_LIMIT_PCT,
+        },
+        "primitives_ns": {
+            "span_disabled": round(ns_span_disabled, 1),
+            "counter_inc": round(ns_counter_inc, 1),
+            "event_enabled": round(ns_event_enabled, 1),
+        },
+        "sim_trace": {
+            "allocations": len(res.trace),
+            "structured_events": sim_events,
+        },
+    }
+
+
+def _render(record: dict) -> str:
+    from repro.analysis import render_table
+
+    s, o, p = record["search"], record["overhead"], record["primitives_ns"]
+    rows = [
+        ("kernel (uninstrumented)", f"{s['kernel_s'] * 1e3:.3f}", "-"),
+        ("instrumented, tracing off", f"{s['disabled_s'] * 1e3:.3f}",
+         f"{o['disabled_pct']:.2f}%"),
+        ("instrumented, tracing on", f"{s['enabled_s'] * 1e3:.3f}",
+         f"{o['enabled_pct']:.2f}%"),
+    ]
+    report = render_table(
+        ["path", "best ms", "overhead"],
+        rows,
+        title=f"observability overhead on {s['dag']} "
+              f"(limit {o['limit_disabled_pct']:.0f}% disabled)",
+    )
+    report += (
+        f"\nprimitives: no-op span {p['span_disabled']:.0f} ns, "
+        f"counter.inc {p['counter_inc']:.0f} ns, "
+        f"live event {p['event_enabled']:.0f} ns"
+        f"\nsim trace: {record['sim_trace']['allocations']} allocations, "
+        f"{record['sim_trace']['structured_events']} structured events"
+    )
+    return report
+
+
+def run() -> dict:
+    record = collect_record()
+    OUT_DIR.mkdir(exist_ok=True)
+    FRESH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    write_report("E-OBS_observability", _render(record))
+    return record
+
+
+def test_observability_overhead(benchmark):
+    dag = butterfly_dag(DIM)
+    benchmark(lambda: max_eligibility_profile(dag, BUDGET))
+    record = run()
+    assert (record["overhead"]["disabled_pct"]
+            < DISABLED_OVERHEAD_LIMIT_PCT), (
+        f"disabled-path instrumentation overhead "
+        f"{record['overhead']['disabled_pct']}% breaches the "
+        f"{DISABLED_OVERHEAD_LIMIT_PCT}% budget"
+    )
+    assert record["sim_trace"]["structured_events"] > 0
+
+
+if __name__ == "__main__":
+    rec = run()
+    print(json.dumps(rec["overhead"], indent=2))

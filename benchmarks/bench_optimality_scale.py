@@ -171,7 +171,7 @@ def collect_record() -> dict:
                 requests += 1
     finally:
         set_global_profile_cache(old)
-    sim_stats = workload_cache.stats
+    sim_stats = workload_cache.stats()
 
     largest = sizes[-1]
     return {

@@ -7,7 +7,12 @@ structures of Figs. 1-17 in a terminal and in the bench reports.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.dag import ComputationDag, Node
+
+if TYPE_CHECKING:
+    from ..sim.server import TraceRecord
 
 __all__ = ["render_dag", "render_profile_bars", "render_gantt"]
 
@@ -61,16 +66,18 @@ def render_profile_bars(
 
 
 def render_gantt(
-    trace: list[tuple],
+    trace: "list[TraceRecord]",
     n_clients: int,
     width: int = 72,
     max_label: int = 6,
 ) -> str:
     """An ASCII Gantt chart of a simulation trace (one row per client).
 
-    ``trace`` rows are ``(client, task, start, end, outcome)`` as
-    produced by ``simulate(..., record_trace=True)``; lost allocations
-    render in lowercase-x fill, completed ones with ``=``.
+    ``trace`` rows are :class:`repro.sim.server.TraceRecord` entries
+    (``(client_id, task, start, end, kind)``, index-compatible with
+    the bare tuples of earlier versions) as produced by
+    ``simulate(..., record_trace=True)``; lost allocations render in
+    lowercase-x fill, completed ones with ``=``.
     """
     if not trace:
         return "(empty trace)"

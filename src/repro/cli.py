@@ -6,9 +6,18 @@
     python -m repro schedule mesh 6
     python -m repro schedule diamond 3 --show-dag
     python -m repro verify prefix 4
+    python -m repro verify N8 --metrics json
     python -m repro simulate butterfly 4 --clients 8 --seed 1
+    python -m repro simulate mesh 4 --trace /tmp/trace.jsonl
     python -m repro priority N4 L
     python -m repro batch mesh 4 --capacity 3
+    python -m repro stats --format prom
+
+``schedule``, ``verify``, and ``simulate`` accept the observability
+flags ``--metrics {json,prom}`` (dump the process metrics registry
+after the command) and ``--trace FILE`` (enable structured tracing and
+export the JSONL trace to FILE); ``repro stats`` prints the registry
+on its own.  See ``docs/OBSERVABILITY.md``.
 
 Family names: ``diamond DEPTH``, ``mesh DEPTH``, ``in-mesh DEPTH``,
 ``butterfly DIM``, ``prefix WIDTH``, ``dlt WIDTH``, ``dlt-tree WIDTH``,
@@ -118,11 +127,11 @@ def cmd_schedule(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    chain = build_family(args.family, args.param)
+    target = _family_or_block(args.family, args.param)
     result = schedule_dag(
-        chain, parallel=args.parallel, cache=not args.no_cache
+        target, parallel=args.parallel, cache=not args.no_cache
     )
-    from .core import max_eligibility_profile
+    from .core import global_profile_cache, max_eligibility_profile
 
     ceiling = max_eligibility_profile(
         result.schedule.dag, parallel=args.parallel
@@ -133,7 +142,36 @@ def cmd_verify(args) -> int:
         f"exhaustive check: ratio={rep.ratio:.3f} deficit={rep.deficit} "
         f"ic_optimal={rep.ic_optimal}"
     )
+    from .core.optimality import SearchStats
+
+    totals = SearchStats.from_registry()
+    cache_stats = global_profile_cache().stats()
+    print(
+        f"search: states_expanded={totals.states_expanded} "
+        f"frontier_peak={totals.frontier_peak}"
+    )
+    print(
+        f"cache: hits={cache_stats.hits} misses={cache_stats.misses} "
+        f"evictions={cache_stats.evictions} "
+        f"hit_rate={cache_stats.hit_rate:.3f}"
+    )
     return 0 if rep.ic_optimal else 1
+
+
+def _family_or_block(name: str, param: int | None):
+    """A family chain, or — when ``name`` is no known family but parses
+    as a block spec (V, L, W4, N8, C4, B, ...) — the catalog block's
+    dag, so ``repro verify N8`` certifies a single block."""
+    if name in FAMILY_HELP:
+        return build_family(name, param)
+    try:
+        dag, _sched = _parse_block(name)
+    except (SystemExit, KeyError):
+        raise SystemExit(
+            f"unknown family or block {name!r}; "
+            "try `repro families` or a block spec like N8"
+        ) from None
+    return dag
 
 
 def cmd_simulate(args) -> int:
@@ -188,6 +226,63 @@ def cmd_batch(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from .obs import global_registry
+
+    reg = global_registry()
+    fmt = getattr(args, "format", "table")
+    if fmt == "json":
+        print(reg.to_json(indent=2))
+    elif fmt == "prom":
+        print(reg.to_prometheus(), end="")
+    else:
+        snap = reg.snapshot()
+        if not snap:
+            print("(no metrics recorded in this process yet)")
+            return 0
+        rows = []
+        for name, m in snap.items():
+            if "series" in m:
+                for s in m["series"]:
+                    labels = ",".join(
+                        f"{k}={v}" for k, v in s["labels"].items()
+                    )
+                    rows.append((name, m["type"], labels,
+                                 _stat_value(s["value"])))
+            else:
+                rows.append((name, m["type"], "-", _stat_value(m["value"])))
+        print(render_table(["metric", "type", "labels", "value"], rows))
+    if getattr(args, "reset", False):
+        reg.reset()
+    return 0
+
+
+def _stat_value(v) -> str:
+    """Render a snapshot value; histograms show count/mean."""
+    if isinstance(v, dict):
+        count = v.get("count", 0)
+        mean = v.get("sum", 0.0) / count if count else 0.0
+        return f"n={count} mean={mean:.6f}s"
+    if isinstance(v, float):
+        return f"{v:g}"
+    return str(v)
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics",
+        choices=("json", "prom"),
+        help="after the command, dump the process metrics registry in "
+        "the chosen exposition format (see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable structured tracing and export the JSONL trace "
+        "to FILE when the command finishes",
+    )
+
+
 def _add_search_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--parallel",
@@ -217,11 +312,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("param", nargs="?", type=int)
     p.add_argument("--show-dag", action="store_true")
     _add_search_flags(p)
+    _add_obs_flags(p)
 
-    p = sub.add_parser("verify", help="exhaustively verify IC-optimality")
-    p.add_argument("family")
+    p = sub.add_parser(
+        "verify", help="exhaustively verify IC-optimality "
+        "(family or catalog block spec)"
+    )
+    p.add_argument("family", help="family name or block spec (e.g. N8)")
     p.add_argument("param", nargs="?", type=int)
     _add_search_flags(p)
+    _add_obs_flags(p)
 
     p = sub.add_parser("simulate", help="IC server policy comparison")
     p.add_argument("family")
@@ -230,6 +330,18 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dropout", type=float, default=0.0)
     p.add_argument("--hetero", action="store_true")
+    _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "stats", help="print the process metrics registry"
+    )
+    p.add_argument(
+        "--format", choices=("table", "json", "prom"), default="table"
+    )
+    p.add_argument(
+        "--reset", action="store_true",
+        help="zero every metric after printing",
+    )
 
     p = sub.add_parser("priority", help="test the ▷ relation on blocks")
     p.add_argument("block1")
@@ -244,7 +356,14 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    When the chosen subcommand carries the observability flags,
+    ``--trace FILE`` enables the process tracer for the duration of
+    the command and exports its JSONL records to FILE afterwards, and
+    ``--metrics {json,prom}`` dumps the metrics registry once the
+    command finishes (even on a nonzero exit).
+    """
     args = make_parser().parse_args(argv)
     handlers = {
         "families": cmd_families,
@@ -253,8 +372,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "priority": cmd_priority,
         "batch": cmd_batch,
+        "stats": cmd_stats,
     }
-    return handlers[args.command](args)
+    trace_file = getattr(args, "trace", None)
+    metrics_fmt = getattr(args, "metrics", None)
+    if trace_file is None and metrics_fmt is None:
+        return handlers[args.command](args)
+
+    from .obs import global_registry, global_tracer
+
+    tracer = global_tracer()
+    was_enabled = tracer.enabled
+    if trace_file:
+        tracer.enable()
+    try:
+        rc = handlers[args.command](args)
+    finally:
+        if trace_file:
+            tracer.enabled = was_enabled
+            n = tracer.export_jsonl(trace_file)
+            print(f"trace: {n} records -> {trace_file}", file=sys.stderr)
+        if metrics_fmt == "json":
+            print(global_registry().to_json(indent=2))
+        elif metrics_fmt == "prom":
+            print(global_registry().to_prometheus(), end="")
+    return rc
 
 
 if __name__ == "__main__":

@@ -63,10 +63,12 @@ parallel mode, since branches cannot share a visited set).
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..exceptions import OptimalityError
+from ..obs import global_registry, span
 from .dag import ComputationDag, Node
 from .schedule import Schedule
 
@@ -92,6 +94,12 @@ class SearchStats:
     ``benchmarks/bench_optimality_scale.py`` for the perf-regression
     record (``states_expanded`` is deterministic, so it doubles as a
     machine-independent regression signal).
+
+    Every search *also* records the same numbers into the process-wide
+    :class:`~repro.obs.MetricsRegistry` (metric names in
+    ``docs/OBSERVABILITY.md``), so the per-call dataclass is one view
+    and :meth:`from_registry` — the process-lifetime totals — is
+    another.
     """
 
     #: distinct ideal states expanded (deduped; summed over branches
@@ -103,6 +111,56 @@ class SearchStats:
     branches: int = 0
     #: pool size used (0 = sequential path taken).
     workers: int = 0
+
+    @classmethod
+    def from_registry(cls, registry=None) -> "SearchStats":
+        """The process-lifetime totals as recorded in ``registry``
+        (default: the global one) — a view over
+        ``search_states_expanded_total`` / ``search_frontier_peak`` /
+        ``search_branches_total`` / ``search_workers_peak``."""
+        reg = registry if registry is not None else global_registry()
+        return cls(
+            states_expanded=int(reg.value("search_states_expanded_total")),
+            frontier_peak=int(reg.value("search_frontier_peak")),
+            branches=int(reg.value("search_branches_total")),
+            workers=int(reg.value("search_workers_peak")),
+        )
+
+
+def _record_search(mode: str, states: int, peak: int, branches: int,
+                   workers: int, seconds: float) -> None:
+    """Aggregate one completed profile search into the global registry.
+
+    Called once per :func:`max_eligibility_profile` call (never per
+    state), so the cost is a handful of locked increments — the
+    disabled-path overhead gate in ``bench_observability.py`` covers
+    it.
+    """
+    reg = global_registry()
+    reg.counter(
+        "search_profile_total",
+        "max-eligibility-profile searches completed", ("mode",),
+    ).labels(mode).inc()
+    reg.counter(
+        "search_states_expanded_total",
+        "distinct ideal states expanded by profile searches", ("mode",),
+    ).labels(mode).inc(states)
+    reg.gauge(
+        "search_frontier_peak",
+        "largest BFS frontier seen by any profile search",
+    ).set_max(peak)
+    if branches:
+        reg.counter(
+            "search_branches_total",
+            "first-level branches fanned out to worker processes",
+        ).inc(branches)
+        reg.gauge(
+            "search_workers_peak", "largest worker pool used"
+        ).set_max(workers)
+    reg.histogram(
+        "search_profile_seconds",
+        "wall-clock duration of profile searches", ("mode",),
+    ).labels(mode).observe(seconds)
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +329,7 @@ def max_eligibility_profile(
     OptimalityError
         If the BFS would exceed ``state_budget`` distinct states.
     """
+    t_start = time.perf_counter()
     dag.validate()
     total = len(dag)
     _nodes, children, parents_mask, nonsink_mask, init_eligible = (
@@ -288,7 +347,9 @@ def max_eligibility_profile(
              first, n, state_budget, dag.name)
             for first in first_moves
         ]
-        results = _run_branches(payloads, n_workers)
+        with span("optimality.max_profile", dag=dag.name, nodes=total,
+                  mode="parallel"):
+            results = _run_branches(payloads, n_workers)
         if results is not None:
             merged = [0] * n
             states = 0
@@ -307,15 +368,19 @@ def max_eligibility_profile(
                 stats.frontier_peak = peak
                 stats.branches = len(first_moves)
                 stats.workers = n_workers
+            _record_search("parallel", states, peak, len(first_moves),
+                           n_workers, time.perf_counter() - t_start)
             return profile
         # pool unavailable in this environment: fall through to the
         # (byte-identical) sequential path.
 
     if n:
-        maxima, states, peak = _level_bfs(
-            children, parents_mask, nonsink_mask,
-            0, init_eligible, 0, n, state_budget, dag.name,
-        )
+        with span("optimality.max_profile", dag=dag.name, nodes=total,
+                  mode="sequential"):
+            maxima, states, peak = _level_bfs(
+                children, parents_mask, nonsink_mask,
+                0, init_eligible, 0, n, state_budget, dag.name,
+            )
         profile.extend(maxima)
     else:
         states, peak = 1, 1
@@ -329,6 +394,8 @@ def max_eligibility_profile(
         stats.frontier_peak = peak
         stats.branches = 0
         stats.workers = 0
+    _record_search("sequential", states, peak, 0, 0,
+                   time.perf_counter() - t_start)
     return profile
 
 
@@ -446,7 +513,13 @@ def find_ic_optimal_schedule(
         dead.add(executed)
         return False
 
-    if not dfs(0, init_eligible, 0):
+    with span("optimality.find_schedule", dag=dag.name, nodes=len(nodes)):
+        found = dfs(0, init_eligible, 0)
+    global_registry().counter(
+        "search_schedule_total",
+        "IC-optimal schedule existence searches", ("outcome",),
+    ).labels("found" if found else "none").inc()
+    if not found:
         return None
     order = [nodes[i] for i in order_idx]
     sinks = [v for v in nodes if dag.is_sink(v)]

@@ -32,8 +32,9 @@ every budget, and failed searches are never cached.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from ..obs import global_registry
 from .dag import ComputationDag, Node
 from .optimality import DEFAULT_STATE_BUDGET, max_eligibility_profile
 from .schedule import Schedule
@@ -48,6 +49,16 @@ __all__ = [
 #: sentinel distinguishing "no IC-optimal schedule exists" (a cachable
 #: fact) from "not cached".
 _NO_SCHEDULE = object()
+
+
+def _lookup_counter():
+    """The shared cache-lookup counter, resolved from the *current*
+    global registry at call time (so benchmarks that install a fresh
+    registry capture cache traffic too)."""
+    return global_registry().counter(
+        "profile_cache_lookups_total",
+        "certification cache lookups", ("kind", "result"),
+    )
 
 
 @dataclass
@@ -81,7 +92,7 @@ class ProfileCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
-        self.stats = CacheStats()
+        self._stats = CacheStats()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -90,16 +101,45 @@ class ProfileCache:
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._entries.clear()
-        self.stats = CacheStats()
+        self._stats = CacheStats()
+
+    # -- observability -------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to run the exhaustive search."""
+        return self._stats.misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound."""
+        return self._stats.evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        return self._stats.hit_rate
+
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the counters (safe to keep around;
+        it does not track later lookups)."""
+        return replace(self._stats)
 
     def _get(self, key: tuple[str, str]):
+        kind = key[1]
         try:
             value = self._entries[key]
         except KeyError:
-            self.stats.misses += 1
+            self._stats.misses += 1
+            _lookup_counter().labels(kind, "miss").inc()
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self._stats.hits += 1
+        _lookup_counter().labels(kind, "hit").inc()
         return value
 
     def _put(self, key: tuple[str, str], value) -> None:
@@ -107,7 +147,11 @@ class ProfileCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self._stats.evictions += 1
+            global_registry().counter(
+                "profile_cache_evictions_total",
+                "certification cache entries dropped by the LRU bound",
+            ).inc()
 
     # ------------------------------------------------------------------
     def max_profile(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..exceptions import OptimalityError
+from ..obs import global_registry, span
 from .composition import CompositionChain, linear_composition_schedule
 from .dag import ComputationDag, Node
 from .execution import ExecutionState
@@ -131,7 +132,35 @@ def schedule_dag(
         process-wide :func:`~repro.core.profile_cache
         .global_profile_cache`; pass a :class:`ProfileCache` to use a
         private one, or ``False`` to search from scratch.
+
+    Every request increments ``scheduler_requests_total`` (labeled by
+    the certificate granted) in the process-wide metrics registry and
+    opens a ``scheduler.schedule_dag`` span when tracing is enabled.
     """
+    name = target.dag.name if isinstance(target, CompositionChain) \
+        else target.name
+    with span("scheduler.schedule_dag", dag=name) as sp:
+        result = _schedule_dag(
+            target, exhaustive_limit, state_budget,
+            parallel=parallel, workers=workers, cache=cache,
+        )
+        sp.set(certificate=result.certificate.value)
+    global_registry().counter(
+        "scheduler_requests_total",
+        "schedule_dag requests by certificate granted", ("certificate",),
+    ).labels(result.certificate.value).inc()
+    return result
+
+
+def _schedule_dag(
+    target: ComputationDag | CompositionChain,
+    exhaustive_limit: int,
+    state_budget: int,
+    *,
+    parallel: bool,
+    workers: int | None,
+    cache: ProfileCache | bool,
+) -> SchedulingResult:
     if isinstance(target, CompositionChain):
         # each certification level is checked once; the builder is then
         # invoked unchecked to avoid recomputing block profiles

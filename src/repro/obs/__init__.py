@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry, structured tracing,
+profiling hooks.
+
+Zero-dependency instrumentation shared by every hot layer of the
+library (exhaustive search, certification cache, scheduler front end,
+sim server) and exposed through the CLI (``repro stats``,
+``--metrics``, ``--trace``).  See ``docs/OBSERVABILITY.md`` for the
+metric catalog, the trace schema, and the measured overhead.
+
+Three pieces:
+
+* :class:`MetricsRegistry` — thread-safe counters / gauges /
+  histograms with labels, snapshot/reset, and JSON + Prometheus text
+  exposition (:mod:`repro.obs.metrics`);
+* :class:`Tracer` — structured span/event records with contextvar
+  nesting, a bounded ring buffer, JSONL export, and a no-op fast path
+  when disabled (:mod:`repro.obs.tracing`);
+* :func:`span` / :func:`profiled` — the single instrumentation API
+  the rest of the library uses (:mod:`repro.obs.instrument`).
+"""
+
+from .instrument import profiled, span
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    set_global_registry,
+)
+from .tracing import (
+    TraceEvent,
+    Tracer,
+    global_tracer,
+    load_jsonl,
+    set_global_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "global_registry",
+    "global_tracer",
+    "load_jsonl",
+    "profiled",
+    "set_global_registry",
+    "set_global_tracer",
+    "span",
+]

@@ -1,0 +1,72 @@
+"""The single instrumentation API: ``span()`` and ``@profiled``.
+
+Instrumented library code never talks to a concrete registry or tracer
+instance — it calls :func:`span` (a context manager opening a trace
+span on the process-wide tracer) or decorates a function with
+:func:`profiled` (which additionally times each call into a labeled
+histogram on the process-wide registry).  Swapping the global registry
+or tracer (``set_global_registry`` / ``set_global_tracer``) redirects
+every instrumented layer at once.
+
+Both helpers resolve the globals *at call time*, not decoration time,
+so a benchmark that installs a fresh registry sees every subsequent
+call, including through functions decorated at import.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+from .metrics import global_registry
+from .tracing import global_tracer
+
+__all__ = ["span", "profiled"]
+
+
+def span(name: str, **attrs):
+    """Open a trace span named ``name`` on the process-wide tracer.
+
+    Returns the tracer's no-op context manager when tracing is
+    disabled — safe (and near-free) to leave in hot call paths.
+    """
+    return global_tracer().span(name, **attrs)
+
+
+def profiled(name: str | None = None, **const_labels):
+    """Decorate a function to time every call.
+
+    Each call observes its wall-clock duration into the histogram
+    ``<name>_seconds`` on the process-wide registry (labeled with
+    ``const_labels`` if given) and opens a span ``<name>`` on the
+    process-wide tracer.  ``name`` defaults to the function's
+    qualified name with ``.`` for ``<locals>``-free nesting.
+
+    Exceptions propagate; the failed call is still timed, and the
+    span records the exception type in its ``error`` attribute.
+    """
+
+    def decorate(fn):
+        metric_name = name or fn.__qualname__.replace(".<locals>", "")
+        hist_name = f"{metric_name.replace('.', '_')}_seconds"
+        labelnames = tuple(sorted(const_labels))
+        labelvalues = tuple(str(const_labels[k]) for k in labelnames)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            hist = global_registry().histogram(
+                hist_name, f"call duration of {metric_name}", labelnames
+            )
+            if labelnames:
+                hist = hist.labels(*labelvalues)
+            t0 = time.perf_counter()
+            try:
+                with global_tracer().span(metric_name):
+                    return fn(*args, **kwargs)
+            finally:
+                hist.observe(time.perf_counter() - t0)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

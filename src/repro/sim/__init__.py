@@ -14,6 +14,7 @@ from .metrics import (
 from .server import (
     ClientSpec,
     SimulationResult,
+    TraceRecord,
     simulate,
     simulate_batched,
     simulate_scheduled,
@@ -25,6 +26,7 @@ __all__ = [
     "Policy",
     "PolicyComparison",
     "SimulationResult",
+    "TraceRecord",
     "batch_satisfaction",
     "compare_policies",
     "granularity_tradeoff",

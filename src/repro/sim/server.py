@@ -26,18 +26,42 @@ import itertools
 import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..exceptions import SimulationError
 from ..core.dag import ComputationDag, Node
+from ..obs import global_registry, global_tracer, span
 from .heuristics import Policy
 
 __all__ = [
     "ClientSpec",
     "SimulationResult",
+    "TraceRecord",
     "simulate",
     "simulate_batched",
     "simulate_scheduled",
 ]
+
+
+class TraceRecord(NamedTuple):
+    """One allocation in a simulation trace.
+
+    Index-compatible with the bare ``(client_id, task, start, end,
+    kind)`` tuples earlier versions recorded, so positional consumers
+    (``analysis.ascii_dag.render_gantt``, archived traces) keep
+    working; new code should use the field names.
+    """
+
+    #: index of the client the task was allocated to
+    client_id: int
+    #: the task (dag node)
+    task: Node
+    #: allocation time
+    start: float
+    #: completion (or loss-detection) time
+    end: float
+    #: ``"done"`` or ``"lost"``
+    kind: str
 
 
 @dataclass(frozen=True)
@@ -91,9 +115,10 @@ class SimulationResult:
     lost_allocations: int = 0
     #: client-time burnt on lost allocations
     wasted_work: float = 0.0
-    #: per-allocation records (client, task, start, end, outcome);
-    #: populated only when ``simulate(..., record_trace=True)``
-    trace: list[tuple] = field(repr=False, default_factory=list)
+    #: per-allocation :class:`TraceRecord` entries; populated only
+    #: when ``simulate(..., record_trace=True)`` (guaranteed empty —
+    #: not merely discarded — on the non-trace path)
+    trace: list[TraceRecord] = field(repr=False, default_factory=list)
 
     @property
     def mean_headroom(self) -> float:
@@ -135,6 +160,15 @@ def simulate(
         client speed, since it is network- not CPU-bound.  Coarsening
         a dag reduces total indegree (cut arcs), which is exactly the
         granularity trade-off of Figs. 3/7.
+    record_trace:
+        Record one :class:`TraceRecord` per allocation into
+        ``SimulationResult.trace``.  Off by default; the trace list
+        stays empty (nothing is even appended) on the non-trace path.
+
+    Allocation/completion/loss/starvation counts and the per-step
+    allocatable-task gauge are recorded into the process-wide metrics
+    registry; with tracing enabled, every allocation outcome also
+    emits a structured trace event under the ``sim.simulate`` span.
     """
     if isinstance(clients, int):
         clients = [ClientSpec() for _ in range(clients)]
@@ -143,6 +177,22 @@ def simulate(
     work_fn = work if callable(work) else (lambda _v, _w=float(work): _w)
     rng = random.Random(seed)
     policy.attach(dag)
+
+    reg = global_registry()
+    m_alloc = reg.counter("sim_allocations_total",
+                          "tasks handed to clients")
+    m_done = reg.counter("sim_completions_total",
+                         "task results received by the server")
+    m_lost = reg.counter("sim_losses_total",
+                         "allocations lost (client vanished)")
+    m_starve = reg.counter(
+        "sim_starvation_total",
+        "client requests that found no allocatable task")
+    g_allocatable = reg.gauge(
+        "sim_allocatable",
+        "allocatable (eligible, unallocated) tasks at the latest "
+        "simulation step")
+    tracer = global_tracer()
 
     pending_parents = {v: dag.indegree(v) for v in dag.nodes}
     # allocatable = eligible and not yet handed to a client, in
@@ -163,7 +213,7 @@ def simulate(
 
     lost_allocations = 0
     wasted_work = 0.0
-    trace: list[tuple] = []
+    trace: list[TraceRecord] = []
 
     def try_allocate(client_id: int, now: float) -> bool:
         nonlocal busy_time, lost_allocations, wasted_work
@@ -184,46 +234,62 @@ def simulate(
         else:
             busy_time += duration
         kind = "lost" if lost else "done"
+        m_alloc.inc()
+        tracer.event("sim.allocate", client=client_id, task=str(task),
+                     t=now, kind=kind)
         if record_trace:
-            trace.append((client_id, task, now, now + duration, kind))
+            trace.append(
+                TraceRecord(client_id, task, now, now + duration, kind)
+            )
         heapq.heappush(
             events, (now + duration, next(counter), kind, client_id, task)
         )
         return True
 
-    now = 0.0
-    for cid in range(len(clients)):
-        if not try_allocate(cid, now):
-            starvation += 1
-            idle_clients.append(cid)
-            idle_since[cid] = now
-    headroom.append((now, len(allocatable)))
-
-    while events:
-        now, _tb, kind, cid, task = heapq.heappop(events)
-        assert task is not None
-        if kind == "lost":
-            # server detects the loss; the task goes back in the pool
-            allocated.discard(task)
-            allocatable.append(task)
-        else:
-            done.add(task)
-            for child in dag.children(task):
-                pending_parents[child] -= 1
-                if pending_parents[child] == 0:
-                    allocatable.append(child)
-        # wake idle clients while work exists
-        while idle_clients and allocatable:
-            wid = idle_clients.pop(0)
-            idle_time += now - idle_since.pop(wid)
-            try_allocate(wid, now)
-        # the finishing client requests again
-        if not try_allocate(cid, now):
-            if len(done) < len(dag):
+    with span("sim.simulate", dag=dag.name, policy=policy.name,
+              clients=len(clients)):
+        now = 0.0
+        for cid in range(len(clients)):
+            if not try_allocate(cid, now):
                 starvation += 1
-            idle_clients.append(cid)
-            idle_since[cid] = now
+                m_starve.inc()
+                idle_clients.append(cid)
+                idle_since[cid] = now
         headroom.append((now, len(allocatable)))
+        g_allocatable.set(len(allocatable))
+
+        while events:
+            now, _tb, kind, cid, task = heapq.heappop(events)
+            assert task is not None
+            if kind == "lost":
+                # server detects the loss; the task goes back in the pool
+                allocated.discard(task)
+                allocatable.append(task)
+                m_lost.inc()
+                tracer.event("sim.loss", client=cid, task=str(task), t=now)
+            else:
+                done.add(task)
+                m_done.inc()
+                tracer.event("sim.complete", client=cid, task=str(task),
+                             t=now)
+                for child in dag.children(task):
+                    pending_parents[child] -= 1
+                    if pending_parents[child] == 0:
+                        allocatable.append(child)
+            # wake idle clients while work exists
+            while idle_clients and allocatable:
+                wid = idle_clients.pop(0)
+                idle_time += now - idle_since.pop(wid)
+                try_allocate(wid, now)
+            # the finishing client requests again
+            if not try_allocate(cid, now):
+                if len(done) < len(dag):
+                    starvation += 1
+                    m_starve.inc()
+                idle_clients.append(cid)
+                idle_since[cid] = now
+            headroom.append((now, len(allocatable)))
+            g_allocatable.set(len(allocatable))
 
     if len(done) != len(dag):
         raise SimulationError(

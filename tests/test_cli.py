@@ -80,3 +80,92 @@ class TestCommands:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        """Isolate each test's metrics/traces from the process state."""
+        from repro.obs import (
+            MetricsRegistry,
+            Tracer,
+            set_global_registry,
+            set_global_tracer,
+        )
+
+        old_reg = set_global_registry(MetricsRegistry())
+        old_tracer = set_global_tracer(Tracer())
+        yield
+        set_global_registry(old_reg)
+        set_global_tracer(old_tracer)
+
+    def test_stats_empty(self, capsys):
+        assert main(["stats"]) == 0
+        assert "no metrics recorded" in capsys.readouterr().out
+
+    def test_stats_after_schedule(self, capsys):
+        assert main(["schedule", "mesh", "3"]) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler_requests_total" in out
+        assert "counter" in out
+
+    def test_stats_json_and_reset(self, capsys):
+        import json
+
+        main(["schedule", "mesh", "3"])
+        capsys.readouterr()
+        assert main(["stats", "--format", "json", "--reset"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["scheduler_requests_total"]["series"][0]["value"] == 1
+        capsys.readouterr()
+        main(["stats", "--format", "json"])
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["scheduler_requests_total"]["series"][0]["value"] == 0
+
+    def test_verify_metrics_json(self, capsys):
+        """Acceptance: verify --metrics json on a catalog block prints
+        search/cache counters from the shared MetricsRegistry."""
+        import json
+
+        assert main(["verify", "N8", "--metrics", "json"]) == 0
+        out = capsys.readouterr().out
+        assert "search: states_expanded=" in out
+        assert "cache: hits=" in out
+        snap = json.loads(out[out.index("{"):])
+        assert snap["search_states_expanded_total"]["series"][0]["value"] > 0
+        assert "profile_cache_lookups_total" in snap
+
+    def test_verify_metrics_prom(self, capsys):
+        assert main(["verify", "prefix", "4", "--metrics", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE search_states_expanded_total counter" in out
+        assert 'search_states_expanded_total{mode="sequential"}' in out
+
+    def test_verify_unknown_block(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "ZZZ9"])
+
+    def test_trace_export(self, tmp_path, capsys):
+        from repro.obs import global_tracer, load_jsonl
+
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(
+            ["simulate", "mesh", "3", "--trace", str(trace_file)]
+        ) == 0
+        records = load_jsonl(str(trace_file))
+        assert records, "trace file empty"
+        names = {r.name for r in records}
+        assert "sim.simulate" in names and "sim.allocate" in names
+        # the flag enables tracing only for the command's duration
+        assert not global_tracer().enabled
+
+    def test_schedule_trace_and_metrics_combined(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        assert main(
+            ["schedule", "diamond", "2", "--trace", str(trace_file),
+             "--metrics", "prom"]
+        ) == 0
+        assert trace_file.exists()
+        assert "scheduler_requests_total" in capsys.readouterr().out

@@ -66,7 +66,7 @@ class TestProfileCaching:
         fresh = max_eligibility_profile(g1)
         assert cache.max_profile(g1) == fresh
         assert cache.max_profile(g2) == fresh
-        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.hits == 1 and cache.misses == 1
 
     def test_returned_list_is_a_copy(self, cache):
         g, _ = block("W", 2)
@@ -78,7 +78,7 @@ class TestProfileCaching:
         g1, _ = block("V")
         g2, _ = block("Λ")
         assert cache.max_profile(g1) != cache.max_profile(g2)
-        assert cache.stats.misses == 2
+        assert cache.misses == 2
 
     def test_budget_failure_not_cached(self, cache):
         from repro.families.mesh import out_mesh_dag
@@ -96,19 +96,19 @@ class TestProfileCaching:
         for g in dags:
             small.max_profile(g)
         assert len(small) == 2
-        assert small.stats.evictions == 1
+        assert small.evictions == 1
         # oldest (N_2) was evicted -> miss; newest (N_4) still hits
         small.max_profile(dags[2])
-        assert small.stats.hits == 1
+        assert small.hits == 1
         small.max_profile(dags[0])
-        assert small.stats.misses == 4  # 3 cold + evicted N_2 again
+        assert small.misses == 4  # 3 cold + evicted N_2 again
 
     def test_clear(self, cache):
         g, _ = block("V")
         cache.max_profile(g)
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats.misses == 0 and cache.stats.hits == 0
+        assert cache.misses == 0 and cache.hits == 0
 
 
 class TestScheduleCaching:
@@ -130,9 +130,9 @@ class TestScheduleCaching:
 
     def test_none_exists_is_cached(self, cache):
         assert cache.find_schedule(non_ic_optimal_dag()) is None
-        before = cache.stats.hits
+        before = cache.hits
         assert cache.find_schedule(non_ic_optimal_dag()) is None
-        assert cache.stats.hits == before + 1
+        assert cache.hits == before + 1
 
 
 class TestScheduleDagWiring:
@@ -144,7 +144,7 @@ class TestScheduleDagWiring:
         r2 = schedule_dag(g2, cache=mine)
         assert r1.certificate is Certificate.EXHAUSTIVE
         assert r1.schedule.order == r2.schedule.order
-        assert mine.stats.hits > 0
+        assert mine.hits > 0
 
     def test_cache_false_bypasses(self):
         mine = ProfileCache()
@@ -168,7 +168,7 @@ class TestScheduleDagWiring:
         finally:
             assert set_global_profile_cache(old) is mine
         assert r1.schedule.order == r2.schedule.order
-        assert mine.stats.hits > 0
+        assert mine.hits > 0
         assert global_profile_cache() is old
 
     def test_cached_equals_uncached(self):
@@ -197,5 +197,5 @@ class TestSimServerWiring:
         finally:
             set_global_profile_cache(old)
         assert results[0] == results[1] == results[2]
-        assert mine.stats.hits > 0
-        assert mine.stats.hit_rate > 0.0
+        assert mine.hits > 0
+        assert mine.hit_rate > 0.0

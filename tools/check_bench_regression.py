@@ -5,7 +5,10 @@ Compares a fresh ``BENCH_optimality.json`` (written by
 ``benchmarks/bench_optimality_scale.py`` to ``benchmarks/out/``)
 against the committed baseline (``benchmarks/BENCH_optimality.json``)
 and exits nonzero when any guarded metric regresses by more than the
-threshold (default 20%).
+threshold (default 20%).  When a fresh ``BENCH_observability.json``
+(written by ``benchmarks/bench_observability.py``) is present, the
+observability layer's disabled-path instrumentation overhead is gated
+against its recorded absolute limit (5%) as well.
 
 Guarded metrics — chosen to be *machine-independent* so the gate is
 meaningful on any CI host:
@@ -44,6 +47,8 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_optimality.json"
 DEFAULT_FRESH = REPO / "benchmarks" / "out" / "BENCH_optimality.json"
+OBS_BASELINE = REPO / "benchmarks" / "BENCH_observability.json"
+OBS_FRESH = REPO / "benchmarks" / "out" / "BENCH_observability.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -102,6 +107,32 @@ def compare(baseline: dict, fresh: dict, threshold: float,
     return failures
 
 
+def compare_observability(fresh: dict) -> list[str]:
+    """Gate the observability record (empty list = pass).
+
+    The disabled-path overhead is a *budget*, not a relative metric:
+    the committed record carries its own absolute limit
+    (``overhead.limit_disabled_pct``, 5%) and any fresh measurement
+    above it fails regardless of what the baseline measured — timing
+    percentages are too noisy for relative thresholds, but the
+    always-on instrumentation cost must never exceed its budget.
+    """
+    failures: list[str] = []
+    overhead = fresh.get("overhead", {})
+    pct = overhead.get("disabled_pct")
+    limit = overhead.get("limit_disabled_pct", 5.0)
+    if pct is None:
+        failures.append(
+            "observability record lacks overhead.disabled_pct"
+        )
+    elif pct >= limit:
+        failures.append(
+            f"overhead.disabled_pct: {pct}% breaches the "
+            f"{limit}% instrumentation budget"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -114,11 +145,25 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default: 0.20)")
     ap.add_argument("--absolute", action="store_true",
                     help="also guard host-dependent throughput metrics")
+    ap.add_argument("--obs-fresh", type=pathlib.Path, default=OBS_FRESH,
+                    help="fresh observability record (gated when "
+                         f"present; default: {OBS_FRESH})")
     args = ap.parse_args(argv)
 
     baseline = _load(args.baseline)
     fresh = _load(args.fresh)
     failures = compare(baseline, fresh, args.threshold, args.absolute)
+
+    obs_note = "no fresh observability record (gate skipped)"
+    obs_fresh_path = args.obs_fresh
+    if obs_fresh_path.exists():
+        obs_fresh = _load(obs_fresh_path)
+        failures.extend(compare_observability(obs_fresh))
+        obs_note = (
+            f"obs disabled-path overhead "
+            f"{obs_fresh['overhead']['disabled_pct']}%"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -127,7 +172,8 @@ def main(argv=None) -> int:
     print(
         f"ok: no guarded metric regressed more than {args.threshold:.0%} "
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
-        f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']})"
+        f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
+        f"{obs_note})"
     )
     return 0
 
