@@ -12,12 +12,18 @@
     python -m repro priority N4 L
     python -m repro batch mesh 4 --capacity 3
     python -m repro stats --format prom
+    python -m repro serve-metrics --port 9100
+    python -m repro watch --url http://127.0.0.1:9100
 
 ``schedule``, ``verify``, and ``simulate`` accept the observability
 flags ``--metrics {json,prom}`` (dump the process metrics registry
-after the command) and ``--trace FILE`` (enable structured tracing and
-export the JSONL trace to FILE); ``repro stats`` prints the registry
-on its own.  See ``docs/OBSERVABILITY.md``.
+after the command), ``--trace FILE`` (enable structured tracing and
+export the JSONL trace to FILE), and ``--serve-metrics PORT`` (serve
+the HTTP exposition endpoints for the duration of the command);
+``repro stats`` prints the registry on its own, ``repro
+serve-metrics`` runs the exposition service standalone, and ``repro
+watch`` renders a live dashboard from a served ``/stats`` endpoint.
+See ``docs/OBSERVABILITY.md``.
 
 Family names: ``diamond DEPTH``, ``mesh DEPTH``, ``in-mesh DEPTH``,
 ``butterfly DIM``, ``prefix WIDTH``, ``dlt WIDTH``, ``dlt-tree WIDTH``,
@@ -268,6 +274,39 @@ def _stat_value(v) -> str:
     return str(v)
 
 
+def cmd_serve_metrics(args) -> int:
+    import time
+
+    from .obs import ObsServer
+
+    with ObsServer(host=args.host, port=args.port) as srv:
+        print(
+            f"serving observability endpoints on {srv.url} "
+            "(/metrics /stats /healthz /readyz /traces); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from .obs import watch
+
+    return watch(
+        args.url,
+        interval=args.interval,
+        count=args.count,
+        clear=not args.no_clear,
+    )
+
+
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--metrics",
@@ -280,6 +319,14 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="enable structured tracing and export the JSONL trace "
         "to FILE when the command finishes",
+    )
+    p.add_argument(
+        "--serve-metrics",
+        metavar="PORT",
+        type=int,
+        help="serve the HTTP observability endpoints (/metrics, "
+        "/stats, ...) on this port for the duration of the command "
+        "(0 = ephemeral; the bound URL is printed to stderr)",
     )
 
 
@@ -343,6 +390,42 @@ def make_parser() -> argparse.ArgumentParser:
         help="zero every metric after printing",
     )
 
+    p = sub.add_parser(
+        "serve-metrics",
+        help="serve the observability HTTP endpoints standalone",
+    )
+    p.add_argument("--port", type=int, default=9100)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--duration",
+        type=float,
+        help="serve for this many seconds then exit "
+        "(default: until interrupted)",
+    )
+
+    p = sub.add_parser(
+        "watch",
+        help="live in-terminal dashboard over a served /stats endpoint",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:9100",
+        help="root URL of a running exposition server "
+        "(default %(default)s)",
+    )
+    p.add_argument("--interval", type=float, default=2.0)
+    p.add_argument(
+        "--count",
+        type=int,
+        help="render this many frames then exit "
+        "(default: until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="do not clear the screen between frames (for piped output)",
+    )
+
     p = sub.add_parser("priority", help="test the ▷ relation on blocks")
     p.add_argument("block1")
     p.add_argument("block2")
@@ -360,9 +443,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     When the chosen subcommand carries the observability flags,
     ``--trace FILE`` enables the process tracer for the duration of
-    the command and exports its JSONL records to FILE afterwards, and
+    the command and exports its JSONL records to FILE afterwards,
     ``--metrics {json,prom}`` dumps the metrics registry once the
-    command finishes (even on a nonzero exit).
+    command finishes (even on a nonzero exit), and
+    ``--serve-metrics PORT`` serves the HTTP exposition endpoints
+    while the command runs (URL printed to stderr, so a concurrent
+    ``repro watch`` or Prometheus scraper can observe it live).
     """
     args = make_parser().parse_args(argv)
     handlers = {
@@ -373,10 +459,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "priority": cmd_priority,
         "batch": cmd_batch,
         "stats": cmd_stats,
+        "serve-metrics": cmd_serve_metrics,
+        "watch": cmd_watch,
     }
     trace_file = getattr(args, "trace", None)
     metrics_fmt = getattr(args, "metrics", None)
-    if trace_file is None and metrics_fmt is None:
+    serve_port = getattr(args, "serve_metrics", None)
+    if trace_file is None and metrics_fmt is None and serve_port is None:
         return handlers[args.command](args)
 
     from .obs import global_registry, global_tracer
@@ -385,6 +474,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     was_enabled = tracer.enabled
     if trace_file:
         tracer.enable()
+    server = None
+    if serve_port is not None:
+        from .obs import ObsServer
+
+        server = ObsServer(port=serve_port).start()
+        print(f"metrics: serving on {server.url}", file=sys.stderr)
     try:
         rc = handlers[args.command](args)
     finally:
@@ -396,6 +491,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(global_registry().to_json(indent=2))
         elif metrics_fmt == "prom":
             print(global_registry().to_prometheus(), end="")
+        if server is not None:
+            server.stop()
     return rc
 
 

@@ -58,6 +58,27 @@ branch profiles, so the result is byte-identical to the sequential
 path regardless of worker scheduling.  A configurable state budget
 guards against accidentally exploding dags (applied per branch in
 parallel mode, since branches cannot share a visited set).
+
+Observability across the process boundary
+-----------------------------------------
+Each pool worker records its telemetry into a *private* registry and
+tracer and ships ``(result, metrics_snapshot, trace_records)`` back
+with its branch result; the coordinator folds every worker delta into
+the process-wide registry (:meth:`MetricsRegistry.merge`) and tracer
+(:meth:`Tracer.adopt`), so nothing recorded in a worker is lost.
+
+The headline ``search_*`` totals are **identical between the parallel
+and sequential paths** even though branches duplicate work.  The trick
+is ownership accounting: every nonsink ideal's minimal elements are
+sources (an ideal contains all predecessors of its members), so each
+ideal contains at least one first-level move and is *owned* by the
+smallest-indexed one.  A branch can test ownership locally in O(1)
+(``lowest set bit of (state & first_moves_mask) == branch bit``), and
+the owned-per-level counts summed across branches reproduce exactly
+the deduplicated level sizes the sequential BFS sees — same
+``search_states_expanded_total``, same ``search_frontier_peak``.  The
+raw duplicated effort remains visible as ``search_branch_states_total``
+(recorded worker-side, merged back).
 """
 
 from __future__ import annotations
@@ -68,7 +89,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..exceptions import OptimalityError
-from ..obs import global_registry, span
+from ..obs import MetricsRegistry, Tracer, global_registry, global_tracer, span
 from .dag import ComputationDag, Node
 from .schedule import Schedule
 
@@ -102,8 +123,9 @@ class SearchStats:
     another.
     """
 
-    #: distinct ideal states expanded (deduped; summed over branches
-    #: when parallel — branches cannot share a visited set).
+    #: distinct ideal states expanded (deduped; identical between the
+    #: sequential and parallel paths — parallel branches report
+    #: ownership-deduplicated counts, see the module docstring).
     states_expanded: int = 0
     #: largest BFS frontier encountered.
     frontier_peak: int = 0
@@ -207,19 +229,31 @@ def _level_bfs(
     n: int,
     state_budget: int,
     name: str,
-) -> tuple[list[int], int, int]:
+    own_bit: int = 0,
+    own_mask: int = 0,
+) -> tuple[list[int], int, int, list[int]]:
     """BFS the nonsink ideal lattice from one start state.
 
-    Returns ``(maxima, states_seen, frontier_peak)`` with ``maxima[k]``
-    the max eligible count over ideals of size ``start_t + 1 + k``, up
-    to size ``n``.
+    Returns ``(maxima, states_seen, frontier_peak, owned_levels)`` with
+    ``maxima[k]`` the max eligible count over ideals of size
+    ``start_t + 1 + k``, up to size ``n``.
+
+    When ``own_bit`` is nonzero (parallel branch workers), the search
+    also counts, per level, the states this branch *owns*: those whose
+    lowest set first-move bit (under ``own_mask``, the initially
+    eligible nonsinks) equals ``own_bit``.  Every nonsink ideal is
+    owned by exactly one branch, so owned counts summed across
+    branches equal the deduplicated level sizes of the sequential
+    BFS — the strategy-independent effort number the registry reports.
     """
     frontier: dict[int, int] = {start_exec: start_elig}
     maxima: list[int] = []
+    owned_levels: list[int] = []
     states_seen = 1
     frontier_peak = 1
     for _t in range(start_t + 1, n + 1):
         nxt: dict[int, int] = {}
+        owned = 0
         for executed, eligible in frontier.items():
             avail = eligible & nonsink_mask
             while avail:
@@ -234,6 +268,10 @@ def _level_bfs(
                         newly |= 1 << c
                 nxt[new_exec] = (eligible ^ bit) | newly
                 states_seen += 1
+                if own_bit:
+                    first_moves = new_exec & own_mask
+                    if first_moves & -first_moves == own_bit:
+                        owned += 1
                 if states_seen > state_budget:
                     raise OptimalityError(
                         f"ideal enumeration for dag {name!r} exceeded "
@@ -247,33 +285,70 @@ def _level_bfs(
                 f"dag {name!r}: no eligible nonsink at step {_t}"
             )
         maxima.append(max(m.bit_count() for m in nxt.values()))
+        owned_levels.append(owned)
         frontier = nxt
         frontier_peak = max(frontier_peak, len(frontier))
-    return maxima, states_seen, frontier_peak
+    return maxima, states_seen, frontier_peak, owned_levels
 
 
-def _branch_worker(payload) -> tuple[list[int], int, int]:
+def _branch_worker(payload):
     """Pool worker: explore one first-level branch of the ideal BFS.
 
     ``payload`` carries the bitmask tables plus the index of the first
-    executed nonsink; returns ``([E(1), max E(2), ..., max E(n)],
-    states, frontier_peak)`` for ideals containing that first node.
-    Module-level so it pickles under every multiprocessing start
-    method.
+    executed nonsink; returns a fully observable result::
+
+        (branch_profile, owned_levels, metrics_snapshot, trace_records)
+
+    ``branch_profile`` is ``[E(1), max E(2), ..., max E(n)]`` over
+    ideals containing the first node, and ``owned_levels[k]`` counts
+    the ideals of size ``k + 1`` this branch owns (see
+    :func:`_level_bfs`) — the start ideal ``{first}`` is always owned.
+
+    The worker records its telemetry into a *private* registry and
+    tracer (one per call, so reused pool processes never leak counts
+    between branches) and ships the snapshot/records back for the
+    coordinator to :meth:`~repro.obs.MetricsRegistry.merge` /
+    :meth:`~repro.obs.Tracer.adopt` — worker-side observability would
+    otherwise die with the process.  Module-level so it pickles under
+    every multiprocessing start method.
     """
     (children, parents_mask, nonsink_mask, init_eligible, first, n,
-     state_budget, name) = payload
+     state_budget, name, first_mask, trace_enabled) = payload
+    from ..obs.tracing import detach_current_span
+
+    detach_current_span()  # forked workers inherit the fan-out span
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=trace_enabled)
+    t0 = time.perf_counter()
     bit = 1 << first
     newly = 0
     for c in children[first]:
         if parents_mask[c] & ~bit == 0:
             newly |= 1 << c
     elig = (init_eligible ^ bit) | newly
-    maxima, states, peak = _level_bfs(
-        children, parents_mask, nonsink_mask,
-        bit, elig, 1, n, state_budget, name,
-    )
-    return [elig.bit_count()] + maxima, states, peak
+    with tracer.span("optimality.branch", dag=name, branch=first) as sp:
+        maxima, states, peak, owned_levels = _level_bfs(
+            children, parents_mask, nonsink_mask,
+            bit, elig, 1, n, state_budget, name,
+            own_bit=bit, own_mask=first_mask,
+        )
+        owned = [1] + owned_levels  # the start ideal {first} is owned
+        sp.set(states=states, owned=sum(owned), frontier_peak=peak)
+    registry.counter(
+        "search_branch_total",
+        "parallel search branches explored by pool workers",
+    ).inc()
+    registry.counter(
+        "search_branch_states_total",
+        "raw states expanded by parallel branch workers "
+        "(includes cross-branch duplicates)",
+    ).inc(states)
+    registry.histogram(
+        "search_branch_seconds",
+        "wall-clock duration of one branch exploration",
+    ).observe(time.perf_counter() - t0)
+    return ([elig.bit_count()] + maxima, owned,
+            registry.snapshot(), tracer.records())
 
 
 def _iter_bits(mask: int):
@@ -315,9 +390,13 @@ def max_eligibility_profile(
         Fan the search out over first-level branches on a
         ``multiprocessing`` pool.  The returned profile is
         byte-identical to the sequential result (pointwise max is
-        order-insensitive); the trade-off is losing cross-branch
-        dedup, so total states expanded can grow — see
-        ``docs/PERFORMANCE.md`` for when this wins.
+        order-insensitive), and so are the recorded ``search_*``
+        totals (ownership accounting dedups effort numbers across
+        branches; worker telemetry merges back into the process-wide
+        registry/tracer).  The trade-off is the *raw* duplicated work
+        — branches cannot share a visited set, visible as
+        ``search_branch_states_total`` — see ``docs/PERFORMANCE.md``
+        for when fan-out wins.
     workers:
         Pool size; defaults to ``os.cpu_count()`` clamped to the
         branch count.
@@ -342,24 +421,42 @@ def max_eligibility_profile(
 
     if parallel and n > 1 and len(first_moves) > 1:
         n_workers = _resolve_workers(workers, len(first_moves))
+        first_mask = init_eligible & nonsink_mask
+        tracer = global_tracer()
         payloads = [
             (children, parents_mask, nonsink_mask, init_eligible,
-             first, n, state_budget, dag.name)
+             first, n, state_budget, dag.name, first_mask,
+             tracer.enabled)
             for first in first_moves
         ]
         with span("optimality.max_profile", dag=dag.name, nodes=total,
                   mode="parallel"):
+            t_fanout = tracer.now()
             results = _run_branches(payloads, n_workers)
+            if results is not None:
+                reg = global_registry()
+                merged = [0] * n
+                owned_per_level = [0] * n
+                for (branch_profile, owned, snapshot,
+                     trace_records) in results:
+                    # fold the worker's process-local telemetry into
+                    # the coordinator's registry/tracer: counters sum,
+                    # histograms add, spans re-root under this one.
+                    reg.merge(snapshot)
+                    if trace_records:
+                        tracer.adopt(trace_records, t_offset=t_fanout)
+                    for k, m in enumerate(branch_profile):
+                        if m > merged[k]:
+                            merged[k] = m
+                    for k, c in enumerate(owned):
+                        owned_per_level[k] += c
+                # ownership accounting: each nonsink ideal is owned by
+                # exactly one branch, so these sums are the sequential
+                # BFS's deduplicated level sizes — plus the empty
+                # start ideal the sequential path also counts.
+                states = 1 + sum(owned_per_level)
+                peak = max([1] + owned_per_level)
         if results is not None:
-            merged = [0] * n
-            states = 0
-            peak = 0
-            for branch_profile, branch_states, branch_peak in results:
-                states += branch_states
-                peak = max(peak, branch_peak)
-                for k, m in enumerate(branch_profile):
-                    if m > merged[k]:
-                        merged[k] = m
             profile.extend(merged)
             for t in range(n + 1, total + 1):
                 profile.append(total - t)
@@ -377,7 +474,7 @@ def max_eligibility_profile(
     if n:
         with span("optimality.max_profile", dag=dag.name, nodes=total,
                   mode="sequential"):
-            maxima, states, peak = _level_bfs(
+            maxima, states, peak, _owned = _level_bfs(
                 children, parents_mask, nonsink_mask,
                 0, init_eligible, 0, n, state_budget, dag.name,
             )

@@ -1,22 +1,31 @@
 """Unified observability: metrics registry, structured tracing,
-profiling hooks.
+profiling hooks, HTTP exposition.
 
 Zero-dependency instrumentation shared by every hot layer of the
 library (exhaustive search, certification cache, scheduler front end,
 sim server) and exposed through the CLI (``repro stats``,
-``--metrics``, ``--trace``).  See ``docs/OBSERVABILITY.md`` for the
-metric catalog, the trace schema, and the measured overhead.
+``--metrics``, ``--trace``, ``repro serve-metrics``, ``repro
+watch``).  See ``docs/OBSERVABILITY.md`` for the metric catalog, the
+trace schema, the cross-process merge semantics, the HTTP endpoints,
+and the measured overhead.
 
-Three pieces:
+Five pieces:
 
 * :class:`MetricsRegistry` — thread-safe counters / gauges /
-  histograms with labels, snapshot/reset, and JSON + Prometheus text
-  exposition (:mod:`repro.obs.metrics`);
+  histograms with labels, snapshot/reset/merge, and JSON + Prometheus
+  text exposition (:mod:`repro.obs.metrics`);
 * :class:`Tracer` — structured span/event records with contextvar
-  nesting, a bounded ring buffer, JSONL export, and a no-op fast path
-  when disabled (:mod:`repro.obs.tracing`);
+  nesting, a bounded ring buffer, JSONL export, cross-process
+  adoption, and a no-op fast path when disabled
+  (:mod:`repro.obs.tracing`);
 * :func:`span` / :func:`profiled` — the single instrumentation API
-  the rest of the library uses (:mod:`repro.obs.instrument`).
+  the rest of the library uses (:mod:`repro.obs.instrument`);
+* :class:`ObsServer` — the thread-based HTTP exposition service
+  (``/metrics``, ``/stats``, ``/healthz``, ``/readyz``, ``/traces``;
+  :mod:`repro.obs.server`, imported lazily);
+* :func:`watch` / :func:`render_dashboard` — the live in-terminal
+  dashboard over ``/stats`` (:mod:`repro.obs.dashboard`, imported
+  lazily).
 """
 
 from .instrument import profiled, span
@@ -41,13 +50,39 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsServer",
     "TraceEvent",
     "Tracer",
+    "fetch_stats",
     "global_registry",
     "global_tracer",
     "load_jsonl",
     "profiled",
+    "render_dashboard",
     "set_global_registry",
     "set_global_tracer",
     "span",
+    "watch",
 ]
+
+#: lazily imported attributes (PEP 562): the HTTP server and dashboard
+#: pull in ``http.server`` / ``urllib``, which the hot instrumented
+#: layers importing this package never need.
+_LAZY = {
+    "ObsServer": ("repro.obs.server", "ObsServer"),
+    "fetch_stats": ("repro.obs.dashboard", "fetch_stats"),
+    "render_dashboard": ("repro.obs.dashboard", "render_dashboard"),
+    "watch": ("repro.obs.dashboard", "watch"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)

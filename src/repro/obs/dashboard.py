@@ -1,0 +1,200 @@
+"""The live in-terminal dashboard behind ``repro watch``.
+
+Polls an :class:`~repro.obs.server.ObsServer`'s ``/stats`` endpoint
+and renders the registry snapshot as refreshing tables: the
+simulation's per-step series (eligible / allocatable / completed
+gauges), the per-policy quality series (makespan, utilization,
+starvation, mean headroom — the heuristic-vs-IC-optimal comparison,
+live), and the search/cache/scheduler counters.  Zero dependencies:
+``urllib`` for the poll, ANSI clear-screen for the refresh.
+
+The renderer is a pure function of the ``/stats`` JSON
+(:func:`render_dashboard`), so it is golden-testable without a
+network; :func:`watch` adds the poll-render-sleep loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["fetch_stats", "render_dashboard", "watch"]
+
+#: ANSI: clear screen + cursor home (the refresh between frames).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_stats(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/stats`` and parse the JSON payload.
+
+    ``url`` is the server root (e.g. ``http://127.0.0.1:9100``); a
+    trailing slash or an explicit ``/stats`` suffix are both accepted.
+    """
+    base = url.rstrip("/")
+    if not base.endswith("/stats"):
+        base += "/stats"
+    with urllib.request.urlopen(base, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# snapshot readers
+# ----------------------------------------------------------------------
+
+
+def _value(metrics: dict, name: str, default=0):
+    """The unlabeled value of ``name`` in a registry snapshot (label
+    children summed, like ``MetricsRegistry.value``)."""
+    m = metrics.get(name)
+    if m is None:
+        return default
+    if "series" in m:
+        total = default
+        for entry in m["series"]:
+            total += entry["value"]
+        return total
+    return m.get("value", default)
+
+
+def _series(metrics: dict, name: str) -> dict[tuple, float]:
+    """``{label-values-tuple: value}`` for a labeled metric."""
+    m = metrics.get(name)
+    if m is None or "series" not in m:
+        return {}
+    names = m.get("labelnames", [])
+    return {
+        tuple(str(entry["labels"][n]) for n in names): entry["value"]
+        for entry in m["series"]
+    }
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:g}" if v == int(v) else f"{v:.3f}"
+    return str(v)
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def render_dashboard(stats: dict) -> str:
+    """Render one ``/stats`` payload as the dashboard text frame."""
+    from ..analysis import render_table
+
+    metrics = stats.get("metrics", {})
+    tracer = stats.get("tracer", {})
+    sections: list[str] = []
+
+    up = stats.get("uptime_seconds", 0.0)
+    sections.append(
+        f"repro observability — server up {up:.1f}s, "
+        f"{'ready' if stats.get('ready', True) else 'NOT READY'}; "
+        f"tracer {'on' if tracer.get('enabled') else 'off'} "
+        f"({tracer.get('retained', 0)} records, "
+        f"{tracer.get('dropped', 0)} dropped)"
+    )
+
+    # -- live simulation series ---------------------------------------
+    sim_rows = [
+        ("eligible now", _fmt(_value(metrics, "sim_eligible"))),
+        ("allocatable now", _fmt(_value(metrics, "sim_allocatable"))),
+        ("completed now", _fmt(_value(metrics, "sim_completed"))),
+        ("steps", _fmt(_value(metrics, "sim_steps_total"))),
+        ("allocations", _fmt(_value(metrics, "sim_allocations_total"))),
+        ("completions", _fmt(_value(metrics, "sim_completions_total"))),
+        ("losses", _fmt(_value(metrics, "sim_losses_total"))),
+        ("starvation", _fmt(_value(metrics, "sim_starvation_total"))),
+    ]
+    sections.append(render_table(["simulation", "value"], sim_rows))
+
+    # -- per-policy quality series ------------------------------------
+    runs = _series(metrics, "sim_runs_total")
+    if runs:
+        mk = _series(metrics, "sim_quality_makespan")
+        ut = _series(metrics, "sim_quality_utilization")
+        st = _series(metrics, "sim_quality_starvation")
+        hr = _series(metrics, "sim_quality_mean_headroom")
+        rows = [
+            (
+                policy[0],
+                _fmt(runs[policy]),
+                _fmt(mk.get(policy, 0.0)),
+                _fmt(ut.get(policy, 0.0)),
+                _fmt(st.get(policy, 0)),
+                _fmt(hr.get(policy, 0.0)),
+            )
+            for policy in sorted(runs)
+        ]
+        sections.append(
+            render_table(
+                ["policy", "runs", "makespan", "util", "starv",
+                 "headroom"],
+                rows,
+                title="latest per-policy quality",
+            )
+        )
+
+    # -- search / cache / scheduler -----------------------------------
+    search_rows = []
+    for (mode,), count in sorted(
+        _series(metrics, "search_profile_total").items()
+    ):
+        search_rows.append((f"searches ({mode})", _fmt(count)))
+    search_rows += [
+        ("states expanded",
+         _fmt(_value(metrics, "search_states_expanded_total"))),
+        ("frontier peak", _fmt(_value(metrics, "search_frontier_peak"))),
+        ("branch raw states",
+         _fmt(_value(metrics, "search_branch_states_total"))),
+        ("cache lookups",
+         _fmt(_value(metrics, "profile_cache_lookups_total"))),
+        ("scheduler requests",
+         _fmt(_value(metrics, "scheduler_requests_total"))),
+    ]
+    sections.append(render_table(["search/cache", "value"], search_rows))
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# the watch loop
+# ----------------------------------------------------------------------
+
+
+def watch(
+    url: str,
+    interval: float = 2.0,
+    count: int | None = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll ``url`` and render the dashboard every ``interval`` seconds.
+
+    ``count`` bounds the number of frames (``None`` = until
+    interrupted); ``clear`` uses ANSI clear-screen between frames (off
+    for piped output).  A poll that fails (server not up yet, or gone)
+    renders a waiting notice instead of aborting, so ``repro watch``
+    can be started before the workload.  Returns a process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    frame = 0
+    try:
+        while count is None or frame < count:
+            if frame:
+                time.sleep(interval)
+            frame += 1
+            try:
+                body = render_dashboard(fetch_stats(url))
+            except (urllib.error.URLError, OSError, ValueError) as e:
+                body = f"waiting for {url} ... ({e})"
+            if clear:
+                out.write(_CLEAR)
+            out.write(body + "\n")
+            out.flush()
+    except KeyboardInterrupt:
+        pass
+    return 0

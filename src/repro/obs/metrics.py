@@ -23,7 +23,17 @@ Design constraints (see ``docs/OBSERVABILITY.md``):
 * **Two exposition formats.**  :meth:`~MetricsRegistry.to_json` for
   machine consumption and :meth:`~MetricsRegistry.to_prometheus` for
   the standard text format (``# HELP`` / ``# TYPE`` / samples,
-  histograms as cumulative ``_bucket{le=...}`` series).
+  histograms as cumulative ``_bucket{le=...}`` series).  Label values
+  and help text are escaped per the format spec (``\\``, ``"``,
+  newlines), and ``# HELP`` / ``# TYPE`` are emitted exactly once per
+  metric family.
+* **Mergeable snapshots.**  :meth:`MetricsRegistry.merge` folds the
+  snapshot of another registry — typically shipped back from a
+  ``multiprocessing`` pool worker — into this one: counters sum,
+  histograms add bucket-wise, gauges take the value with the latest
+  wall-clock write (each gauge carries an ``updated_at`` timestamp in
+  its snapshot for exactly this).  See "Cross-process semantics" in
+  ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from __future__ import annotations
 import bisect
 import json
 import threading
+import time
 from collections.abc import Iterable, Sequence
 
 __all__ = [
@@ -58,10 +69,26 @@ def _format_value(v: float) -> str:
     return repr(v)
 
 
+def _escape_label_value(v: str) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote, and line feed."""
+    return (
+        v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and line feed (quotes are
+    legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(names: Sequence[str], values: Sequence[str]) -> str:
     if not names:
         return ""
-    inner = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    inner = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
     return "{" + inner + "}"
 
 
@@ -149,22 +176,34 @@ class _Metric:
         out: dict = {"type": self.kind, "help": self.help}
         if self.labelnames:
             out["labelnames"] = list(self.labelnames)
-            out["series"] = [
-                dict(zip(("labels", "value"),
-                         (dict(zip(self.labelnames, vals)), leaf._value())))
-                for vals, leaf in self._series()
-            ]
+            series = []
+            for vals, leaf in self._series():
+                entry = {"labels": dict(zip(self.labelnames, vals)),
+                         "value": leaf._value()}
+                entry.update(leaf._extra())
+                series.append(entry)
+            out["series"] = series
         else:
             out["value"] = self._value()
+            out.update(self._extra())
         return out
 
     def _value(self):
         raise NotImplementedError
 
+    def _extra(self) -> dict:
+        """Extra per-leaf snapshot fields (e.g. gauge timestamps)."""
+        return {}
+
+    def _merge_value(self, value, extra: dict) -> None:
+        """Fold one snapshot leaf into this leaf (merge semantics are
+        per metric kind; see :meth:`MetricsRegistry.merge`)."""
+        raise NotImplementedError
+
     def prometheus_lines(self) -> list[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} {self.kind}")
         for vals, leaf in self._series():
             lines.extend(leaf._sample_lines(self.name, self.labelnames, vals))
@@ -215,19 +254,29 @@ class Counter(_Metric):
     def _value(self):
         return self._count
 
+    def _merge_value(self, value, extra: dict) -> None:
+        self.inc(value)
+
     def _reset(self) -> None:
         with self._lock:
             self._count = 0
 
 
 class Gauge(_Metric):
-    """A value that can go up and down (or track a running max)."""
+    """A value that can go up and down (or track a running max).
+
+    Every write stamps the gauge with the wall-clock time
+    (``time.time()``); the stamp travels in snapshots as
+    ``updated_at`` so cross-process merges can resolve conflicting
+    gauge values by recency (last write wins).
+    """
 
     kind = "gauge"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._gauge = 0.0
+        self._updated = 0.0
 
     def _make_child(self) -> "Gauge":
         return Gauge("", _lock=self._lock)
@@ -235,31 +284,53 @@ class Gauge(_Metric):
     def set(self, value: float) -> None:
         with self._lock:
             self._gauge = value
+            self._updated = time.time()
 
     def inc(self, amount: float = 1) -> None:
         with self._lock:
             self._gauge += amount
+            self._updated = time.time()
 
     def dec(self, amount: float = 1) -> None:
         with self._lock:
             self._gauge -= amount
+            self._updated = time.time()
 
     def set_max(self, value: float) -> None:
         """Keep the running maximum of observed values."""
         with self._lock:
             if value > self._gauge:
                 self._gauge = value
+                self._updated = time.time()
 
     @property
     def value(self) -> float:
         return self._gauge
 
+    @property
+    def updated_at(self) -> float:
+        """Wall-clock time of the last write (0.0 = never written)."""
+        return self._updated
+
     def _value(self):
         return self._gauge
+
+    def _extra(self) -> dict:
+        return {"updated_at": self._updated}
+
+    def _merge_value(self, value, extra: dict) -> None:
+        ts = extra.get("updated_at", 0.0)
+        with self._lock:
+            # last write wins; ties go to the incoming snapshot so
+            # merge order defines recency when clocks collide.
+            if ts >= self._updated:
+                self._gauge = value
+                self._updated = ts
 
     def _reset(self) -> None:
         with self._lock:
             self._gauge = 0.0
+            self._updated = 0.0
 
 
 class Histogram(_Metric):
@@ -337,6 +408,20 @@ class Histogram(_Metric):
             },
             "inf": self._counts[-1],
         }
+
+    def _merge_value(self, value, extra: dict) -> None:
+        incoming = value["buckets"]
+        expected = [_format_value(b) for b in self.bounds]
+        if list(incoming) != expected:
+            raise ValueError(
+                f"histogram {self.name!r} bucket bounds "
+                f"{list(incoming)} do not match {expected}"
+            )
+        with self._lock:
+            for i, c in enumerate(incoming.values()):
+                self._counts[i] += c
+            self._counts[-1] += value["inf"]
+            self._sum += value["sum"]
 
     def _sample_lines(self, name, labelnames, labelvalues) -> list[str]:
         lines = []
@@ -445,6 +530,67 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for m in metrics:
             m.reset()
+
+    # -- cross-process merge -------------------------------------------
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is the cross-process aggregation primitive: a pool worker
+        records into its own private registry, ships
+        ``registry.snapshot()`` back with its result (snapshots are
+        plain JSON-able dicts, so they pickle under every
+        multiprocessing start method), and the coordinating process
+        merges every worker delta here.  Merge semantics per kind:
+
+        * **counter** — values sum (a count of events is additive
+          across processes);
+        * **gauge** — last write wins, decided by each gauge's
+          ``updated_at`` wall-clock stamp (ties go to the incoming
+          snapshot, so merge order defines recency);
+        * **histogram** — bucket-wise addition (including the ``+Inf``
+          bucket) and summed ``sum``; bucket bounds must match.
+
+        Metrics absent locally are declared from the snapshot's type,
+        help, label schema, and (for histograms) bucket bounds, so
+        merging into a fresh registry reproduces the source exactly.
+        Raises ``ValueError`` when a name is already registered with a
+        conflicting type, label schema, or histogram bounds.
+        """
+        for name, data in sorted(snapshot.items()):
+            kind = data.get("type")
+            help = data.get("help", "")
+            labelnames = tuple(data.get("labelnames", ()))
+            if data.get("series"):
+                first_value = data["series"][0]["value"]
+            else:
+                first_value = data.get("value")
+            if kind == "counter":
+                metric = self.counter(name, help, labelnames)
+            elif kind == "gauge":
+                metric = self.gauge(name, help, labelnames)
+            elif kind == "histogram":
+                if first_value is None:
+                    # labeled histogram with no children yet: nothing
+                    # to merge and no bounds to recover; skip.
+                    continue
+                bounds = [float(b) for b in first_value["buckets"]]
+                metric = self.histogram(name, help, labelnames,
+                                        buckets=bounds)
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of unknown "
+                    f"kind {kind!r}"
+                )
+            if labelnames:
+                for entry in data.get("series", ()):
+                    values = tuple(
+                        str(entry["labels"][n]) for n in labelnames
+                    )
+                    metric.labels(*values)._merge_value(
+                        entry["value"], entry
+                    )
+            elif "value" in data:
+                metric._merge_value(data["value"], data)
 
     # -- exposition ----------------------------------------------------
     def snapshot(self) -> dict:

@@ -1,0 +1,235 @@
+"""HTTP exposition of the observability subsystem.
+
+:class:`ObsServer` is a zero-dependency (stdlib ``http.server``),
+thread-based HTTP service publishing the process-wide metrics registry
+and tracer, so a running scheduler/simulation can be scraped and
+watched from outside the process:
+
+=============  =====================================================
+endpoint       response
+=============  =====================================================
+``/metrics``   Prometheus text exposition format 0.0.4
+               (``text/plain; version=0.0.4``)
+``/stats``     JSON: the registry snapshot plus tracer/uptime meta
+``/healthz``   ``200 ok`` while the process is alive (liveness)
+``/readyz``    ``200 ready`` / ``503 not ready`` (readiness; toggle
+               via :attr:`ObsServer.ready`)
+``/traces``    recent trace records as JSONL
+               (``?limit=N`` keeps the newest N)
+=============  =====================================================
+
+The server resolves the *global* registry/tracer at request time
+unless constructed with explicit instances, so ``set_global_registry``
+swaps are visible to scrapers immediately.  Requests are served from a
+daemon thread pool (``ThreadingHTTPServer``); exposition only ever
+takes the registry locks briefly to snapshot, so scraping a live
+search perturbs it minimally (measured in
+``benchmarks/bench_observability.py``, gated under the same 5%
+instrumentation budget).
+
+CLI surface: ``repro serve-metrics --port P`` runs a standalone
+exposition process; ``--serve-metrics PORT`` on ``schedule`` /
+``verify`` / ``simulate`` serves during the command; ``repro watch``
+renders a live dashboard from ``/stats`` (see
+:mod:`repro.obs.dashboard`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .metrics import MetricsRegistry, global_registry
+from .tracing import Tracer, global_tracer
+
+__all__ = ["ObsServer", "PROM_CONTENT_TYPE"]
+
+#: the Prometheus text exposition content type (format version 0.0.4).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ObsServer` (set as the
+    ``obs`` class attribute of a per-server subclass)."""
+
+    obs: "ObsServer"
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-obs"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # scrapers poll; default stderr logging would spam
+
+    def _respond(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _json(self, status: int, payload) -> None:
+        self._respond(status, json.dumps(payload, sort_keys=True) + "\n",
+                      "application/json")
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        url = urlsplit(self.path)
+        route = getattr(self, f"_route_{url.path.strip('/')}", None)
+        if route is None:
+            self._json(404, {"error": f"no such endpoint {url.path!r}",
+                             "endpoints": sorted(ENDPOINTS)})
+            return
+        try:
+            route(parse_qs(url.query))
+        except BrokenPipeError:  # client went away mid-response
+            pass
+
+    def _route_metrics(self, _query) -> None:
+        self._respond(200, self.obs.registry.to_prometheus(),
+                      PROM_CONTENT_TYPE)
+
+    def _route_stats(self, _query) -> None:
+        self._json(200, self.obs.stats())
+
+    def _route_healthz(self, _query) -> None:
+        self._respond(200, "ok\n", "text/plain; charset=utf-8")
+
+    def _route_readyz(self, _query) -> None:
+        if self.obs.ready:
+            self._respond(200, "ready\n", "text/plain; charset=utf-8")
+        else:
+            self._respond(503, "not ready\n", "text/plain; charset=utf-8")
+
+    def _route_traces(self, query) -> None:
+        records = self.obs.tracer.records()
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+                if limit < 0:
+                    raise ValueError
+            except ValueError:
+                self._json(400, {"error": "limit must be a "
+                                          "non-negative integer"})
+                return
+            records = records[len(records) - limit:] if limit else []
+        body = "".join(rec.to_json() + "\n" for rec in records)
+        self._respond(200, body, "application/x-ndjson")
+
+
+#: served endpoint paths (the 404 payload lists them).
+ENDPOINTS = ("/metrics", "/stats", "/healthz", "/readyz", "/traces")
+
+
+class ObsServer:
+    """Thread-based HTTP exposition of a registry and tracer.
+
+    Parameters
+    ----------
+    registry, tracer:
+        Explicit instances to serve; default ``None`` resolves the
+        process-wide globals *at request time* (so global swaps are
+        picked up immediately).
+    host, port:
+        Bind address; port 0 asks the OS for an ephemeral port (read
+        it back from :attr:`port` after :meth:`start`).
+
+    Usable as a context manager (``with ObsServer() as srv: ...``);
+    the served URL is :attr:`url`.  :attr:`ready` backs ``/readyz``
+    and starts ``True``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._tracer = tracer
+        self.host = host
+        self._port = port
+        self.ready = True
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- resolution ----------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None \
+            else global_registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None \
+            else global_tracer()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after start)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: registry snapshot + process meta."""
+        tracer = self.tracer
+        return {
+            "metrics": self.registry.snapshot(),
+            "tracer": {
+                "enabled": tracer.enabled,
+                "retained": len(tracer),
+                "dropped": tracer.dropped,
+            },
+            "ready": self.ready,
+            "uptime_seconds": (
+                time.time() - self._started_at if self._started_at else 0.0
+            ),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ObsServer":
+        """Bind and serve from a daemon thread; returns ``self``.
+
+        Raises ``OSError`` when the address is unavailable (port in
+        use, privileged port, ...).
+        """
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = type("_BoundHandler", (_Handler,), {"obs": self})
+        self._httpd = ThreadingHTTPServer((self.host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-obs-server:{self.port}",
+            daemon=True,
+        )
+        self._started_at = time.time()
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

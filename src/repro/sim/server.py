@@ -165,9 +165,11 @@ def simulate(
         ``SimulationResult.trace``.  Off by default; the trace list
         stays empty (nothing is even appended) on the non-trace path.
 
-    Allocation/completion/loss/starvation counts and the per-step
-    allocatable-task gauge are recorded into the process-wide metrics
-    registry; with tracing enabled, every allocation outcome also
+    Allocation/completion/loss/starvation counts, the per-step
+    eligibility / allocatable / completed gauges, and (on completion)
+    the per-policy ``sim_quality_*`` series are recorded into the
+    process-wide metrics registry — this is what ``repro watch``
+    renders live; with tracing enabled, every allocation outcome also
     emits a structured trace event under the ``sim.simulate`` span.
     """
     if isinstance(clients, int):
@@ -192,6 +194,15 @@ def simulate(
         "sim_allocatable",
         "allocatable (eligible, unallocated) tasks at the latest "
         "simulation step")
+    g_eligible = reg.gauge(
+        "sim_eligible",
+        "ELIGIBLE unexecuted tasks (allocatable + in flight) at the "
+        "latest simulation step")
+    g_completed = reg.gauge(
+        "sim_completed",
+        "tasks completed at the latest simulation step")
+    m_steps = reg.counter(
+        "sim_steps_total", "simulation event-loop steps processed")
     tracer = global_tracer()
 
     pending_parents = {v: dag.indegree(v) for v in dag.nodes}
@@ -246,6 +257,13 @@ def simulate(
         )
         return True
 
+    def publish_step() -> None:
+        # the per-step series the live dashboard (`repro watch`)
+        # renders: latest-value gauges, one write each per event.
+        g_allocatable.set(len(allocatable))
+        g_eligible.set(len(allocatable) + len(allocated))
+        g_completed.set(len(done))
+
     with span("sim.simulate", dag=dag.name, policy=policy.name,
               clients=len(clients)):
         now = 0.0
@@ -256,10 +274,11 @@ def simulate(
                 idle_clients.append(cid)
                 idle_since[cid] = now
         headroom.append((now, len(allocatable)))
-        g_allocatable.set(len(allocatable))
+        publish_step()
 
         while events:
             now, _tb, kind, cid, task = heapq.heappop(events)
+            m_steps.inc()
             assert task is not None
             if kind == "lost":
                 # server detects the loss; the task goes back in the pool
@@ -268,6 +287,7 @@ def simulate(
                 m_lost.inc()
                 tracer.event("sim.loss", client=cid, task=str(task), t=now)
             else:
+                allocated.discard(task)
                 done.add(task)
                 m_done.inc()
                 tracer.event("sim.complete", client=cid, task=str(task),
@@ -289,7 +309,7 @@ def simulate(
                 idle_clients.append(cid)
                 idle_since[cid] = now
             headroom.append((now, len(allocatable)))
-            g_allocatable.set(len(allocatable))
+            publish_step()
 
     if len(done) != len(dag):
         raise SimulationError(
@@ -302,7 +322,7 @@ def simulate(
     util = (
         busy_time / (len(clients) * makespan) if makespan > 0 else 1.0
     )
-    return SimulationResult(
+    result = SimulationResult(
         policy=policy.name,
         makespan=makespan,
         starvation_events=starvation,
@@ -314,6 +334,32 @@ def simulate(
         wasted_work=wasted_work,
         trace=trace,
     )
+    _record_quality(reg, result)
+    return result
+
+
+def _record_quality(reg, result: SimulationResult) -> None:
+    """Publish a run's quality summary as per-policy labeled series.
+
+    A counter tracks how many runs each policy has completed; the
+    gauges hold the *latest* run's quality figures, which is what the
+    live dashboard compares policies by.
+    """
+    labels = ("policy",)
+    reg.counter("sim_runs_total", "completed simulation runs",
+                labels).labels(result.policy).inc()
+    reg.gauge("sim_quality_makespan",
+              "makespan of the latest completed run",
+              labels).labels(result.policy).set(result.makespan)
+    reg.gauge("sim_quality_utilization",
+              "client utilization of the latest completed run",
+              labels).labels(result.policy).set(result.utilization)
+    reg.gauge("sim_quality_starvation",
+              "starvation events in the latest completed run",
+              labels).labels(result.policy).set(result.starvation_events)
+    reg.gauge("sim_quality_mean_headroom",
+              "time-averaged allocatable count of the latest run",
+              labels).labels(result.policy).set(result.mean_headroom)
 
 
 def simulate_scheduled(
@@ -411,7 +457,7 @@ def simulate_batched(
         makespan += round_time
         headroom.append((makespan, len(batch)))
     util = busy_time / (len(clients) * makespan) if makespan > 0 else 1.0
-    return SimulationResult(
+    result = SimulationResult(
         policy=f"BATCHED({batches.name})",
         makespan=makespan,
         starvation_events=0,
@@ -420,3 +466,5 @@ def simulate_batched(
         headroom_series=headroom,
         completed=len(dag),
     )
+    _record_quality(global_registry(), result)
+    return result

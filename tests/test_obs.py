@@ -104,6 +104,29 @@ class TestRegistryArithmetic:
         assert reg.value("a") == 0
         assert reg.counter("a") is c
 
+    def test_gauge_stamps_updated_at(self):
+        g = MetricsRegistry().gauge("depth")
+        assert g.updated_at == 0.0  # never written
+        g.set(3)
+        first = g.updated_at
+        assert first > 0
+        g.inc()
+        assert g.updated_at >= first
+        # set_max only stamps when the value actually changes
+        stamped = g.updated_at
+        g.set_max(1)
+        assert g.updated_at == stamped
+
+    def test_gauge_snapshot_carries_updated_at(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        snap = reg.snapshot()["g"]
+        assert snap["value"] == 1.5
+        assert snap["updated_at"] > 0
+        # counters stay timestamp-free
+        reg.counter("c").inc()
+        assert "updated_at" not in reg.snapshot()["c"]
+
 
 class TestLabeledMetrics:
     def test_children_are_independent(self):
@@ -424,6 +447,43 @@ class TestSimulationWiring:
         assert registry.value("sim_losses_total") == 0
         # the final gauge value is 0: nothing left to allocate
         assert registry.value("sim_allocatable") == 0
+
+    def test_sim_step_gauges(self, registry):
+        res = self._run()
+        # at the end everything has run: no work left, all completed
+        assert registry.value("sim_eligible") == 0
+        assert registry.value("sim_completed") == res.completed
+        # one event-loop step per allocation outcome
+        assert registry.value("sim_steps_total") == res.completed
+
+    def test_sim_quality_series(self, registry):
+        res = self._run()
+        assert registry.value("sim_runs_total", policy="IC-OPT") == 1
+        assert registry.value(
+            "sim_quality_makespan", policy="IC-OPT"
+        ) == res.makespan
+        assert registry.value(
+            "sim_quality_utilization", policy="IC-OPT"
+        ) == res.utilization
+        assert registry.value(
+            "sim_quality_starvation", policy="IC-OPT"
+        ) == res.starvation_events
+        assert registry.value(
+            "sim_quality_mean_headroom", policy="IC-OPT"
+        ) == res.mean_headroom
+        self._run()  # a second run: counter sums, gauges track latest
+        assert registry.value("sim_runs_total", policy="IC-OPT") == 2
+
+    def test_batched_sim_records_quality(self, registry):
+        from repro.core.batched import level_batches
+        from repro.sim.server import simulate_batched
+
+        chain = out_mesh_chain(3)
+        res = simulate_batched(chain.dag, level_batches(chain.dag))
+        assert registry.value("sim_runs_total", policy=res.policy) == 1
+        assert registry.value(
+            "sim_quality_makespan", policy=res.policy
+        ) == res.makespan
 
     def test_sim_trace_events(self, registry, tracer):
         self._run()

@@ -1,0 +1,353 @@
+"""Cross-process observability: `MetricsRegistry.merge`,
+`Tracer.adopt`, and the contract that parallel and sequential
+searches are observably identical.
+
+The property under test throughout: splitting a recording across N
+worker registries and merging the snapshots back must equal recording
+everything in a single process — for counters (sum), histograms
+(bucket-wise add, `+Inf` and `sum` included), and gauges (last write
+wins by `updated_at`).  On top of that, the ownership-accounting
+contract of `repro.core.optimality`: `search_states_expanded_total`
+and `search_frontier_peak` report the *same* totals whether a profile
+search ran sequentially or fanned out over a process pool.
+"""
+
+import json
+
+import pytest
+
+from repro.blocks import block
+from repro.core import (
+    SearchStats,
+    find_ic_optimal_schedule,
+    max_eligibility_profile,
+)
+from repro.families.mesh import out_mesh_dag
+from repro.families.prefix import prefix_chain
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    set_global_registry,
+    set_global_tracer,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh process-wide registry, restored afterwards."""
+    fresh = MetricsRegistry()
+    old = set_global_registry(fresh)
+    yield fresh
+    set_global_registry(old)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry.merge
+# ----------------------------------------------------------------------
+
+
+class TestMergeEqualsSingleProcess:
+    """merge() of N worker snapshots == one-process recording."""
+
+    N_WORKERS = 3
+
+    def _split(self, record):
+        """Run ``record(reg, i)`` once against a single registry and
+        once split across N; return (single, merged-from-parts)."""
+        single = MetricsRegistry()
+        parts = [MetricsRegistry() for _ in range(self.N_WORKERS)]
+        for i in range(12):
+            record(single, i)
+            record(parts[i % self.N_WORKERS], i)
+        merged = MetricsRegistry()
+        for p in parts:
+            merged.merge(p.snapshot())
+        return single, merged
+
+    def test_counters_sum(self):
+        def record(reg, i):
+            reg.counter("ops_total", "ops").inc(i)
+            reg.counter("req_total", "reqs", ("code",)).labels(
+                "200" if i % 2 else "500"
+            ).inc()
+
+        single, merged = self._split(record)
+        assert merged.value("ops_total") == single.value("ops_total")
+        for code in ("200", "500"):
+            assert merged.value("req_total", code=code) == \
+                single.value("req_total", code=code)
+
+    def test_histogram_buckets_inf_and_sum(self):
+        # multiples of 0.25 sum exactly in binary, so the float sums
+        # are order-independent and the snapshots compare equal.
+        def record(reg, i):
+            reg.histogram(
+                "lat_seconds", "latency", buckets=(0.5, 2.0)
+            ).observe(i * 0.25)  # lands below, between, and above
+
+        single, merged = self._split(record)
+        assert merged.snapshot()["lat_seconds"] == \
+            single.snapshot()["lat_seconds"]
+        # the spread covers the +Inf bucket
+        assert single.snapshot()["lat_seconds"]["value"]["inf"] > 0
+
+    def test_labeled_histograms(self):
+        def record(reg, i):
+            reg.histogram(
+                "work_seconds", "work", ("mode",), buckets=(1.0,)
+            ).labels("a" if i % 2 else "b").observe(i * 0.25)
+
+        single, merged = self._split(record)
+        assert merged.snapshot()["work_seconds"] == \
+            single.snapshot()["work_seconds"]
+
+    def test_merge_round_trips_through_json(self):
+        src = MetricsRegistry()
+        src.counter("c_total", "c").inc(7)
+        src.gauge("g", "g").set(3.5)
+        src.histogram("h_seconds", "h", buckets=(1.0,)).observe(0.5)
+        wire = json.loads(src.to_json())  # what a worker would ship
+        dst = MetricsRegistry()
+        dst.merge(wire)
+        assert dst.snapshot() == src.snapshot()
+
+    def test_merge_into_nonempty_declares_missing_only(self):
+        dst = MetricsRegistry()
+        dst.counter("c_total", "c").inc(1)
+        src = MetricsRegistry()
+        src.counter("c_total", "c").inc(2)
+        src.counter("other_total", "other").inc(5)
+        dst.merge(src.snapshot())
+        assert dst.value("c_total") == 3
+        assert dst.value("other_total") == 5
+
+
+class TestGaugeLastWriteWins:
+    def _stamped(self, value, ts):
+        reg = MetricsRegistry()
+        reg.gauge("g", "g").set(value)
+        snap = reg.snapshot()
+        snap["g"]["updated_at"] = ts
+        return snap
+
+    def test_newer_write_wins_either_merge_order(self):
+        older = self._stamped(1.0, ts=100.0)
+        newer = self._stamped(2.0, ts=200.0)
+        for order in ((older, newer), (newer, older)):
+            dst = MetricsRegistry()
+            for snap in order:
+                dst.merge(snap)
+            assert dst.value("g") == 2.0
+
+    def test_tie_goes_to_incoming(self):
+        a = self._stamped(1.0, ts=100.0)
+        b = self._stamped(2.0, ts=100.0)
+        dst = MetricsRegistry()
+        dst.merge(a)
+        dst.merge(b)
+        assert dst.value("g") == 2.0
+
+    def test_local_write_beats_older_snapshot(self):
+        dst = MetricsRegistry()
+        dst.gauge("g", "g").set(9.0)  # stamped with current wall-clock
+        dst.merge(self._stamped(1.0, ts=100.0))  # long in the past
+        assert dst.value("g") == 9.0
+
+    def test_labeled_gauges_resolve_per_child(self):
+        a = MetricsRegistry()
+        a.gauge("q", "q", ("k",)).labels("x").set(1.0)
+        b = MetricsRegistry()
+        b.gauge("q", "q", ("k",)).labels("y").set(2.0)
+        dst = MetricsRegistry()
+        dst.merge(a.snapshot())
+        dst.merge(b.snapshot())
+        assert dst.value("q", k="x") == 1.0
+        assert dst.value("q", k="y") == 2.0
+
+
+class TestMergeValidation:
+    def test_type_conflict_raises(self):
+        dst = MetricsRegistry()
+        dst.counter("x", "x")
+        src = MetricsRegistry()
+        src.gauge("x", "x").set(1)
+        with pytest.raises(ValueError):
+            dst.merge(src.snapshot())
+
+    def test_histogram_bounds_mismatch_raises(self):
+        dst = MetricsRegistry()
+        dst.histogram("h", "h", buckets=(1.0, 2.0)).observe(0.5)
+        src = MetricsRegistry()
+        src.histogram("h", "h", buckets=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            dst.merge(src.snapshot())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge(
+                {"weird": {"type": "summary", "value": 1}}
+            )
+
+
+# ----------------------------------------------------------------------
+# Tracer.adopt
+# ----------------------------------------------------------------------
+
+
+class TestTracerAdopt:
+    def _worker_records(self):
+        w = Tracer(enabled=True)
+        with w.span("worker.outer"):
+            with w.span("worker.inner"):
+                w.event("worker.evt")
+        return w.records()
+
+    def test_adopt_remaps_ids_preserves_nesting(self):
+        recs = self._worker_records()
+        t = Tracer(enabled=True)
+        with t.span("coordinator"):
+            assert t.adopt(recs, t_offset=5.0) == len(recs)
+        by_name = {r.name: r for r in t.records()}
+        outer = by_name["worker.outer"]
+        inner = by_name["worker.inner"]
+        evt = by_name["worker.evt"]
+        coord = by_name["coordinator"]
+        # in-batch parentage is remapped consistently...
+        assert inner.parent == outer.id
+        assert evt.parent == inner.id
+        # ...and the batch root attaches to the adopting span
+        assert outer.parent == coord.id
+        ids = [r.id for r in t.records()]
+        assert len(ids) == len(set(ids)), "adopted ids collide"
+
+    def test_adopt_rebases_timestamps(self):
+        recs = self._worker_records()
+        t = Tracer(enabled=True)
+        t.adopt(recs, t_offset=100.0)
+        by_name = {r.name: r for r in t.records()}
+        for rec in recs:
+            assert by_name[rec.name].t == rec.t + 100.0
+
+    def test_adopt_outside_any_span_yields_roots(self):
+        recs = self._worker_records()
+        t = Tracer(enabled=True)
+        t.adopt(recs)
+        by_name = {r.name: r for r in t.records()}
+        assert by_name["worker.outer"].parent is None
+
+
+# ----------------------------------------------------------------------
+# parallel == sequential, observably
+# ----------------------------------------------------------------------
+
+#: small dags with genuinely multi-branch fan-out (several sources),
+#: so the parallel path duplicates raw work that ownership accounting
+#: must dedup.
+def _cases():
+    return [
+        ("W4", block("W", 4)[0]),
+        ("C5", block("C", 5)[0]),
+        ("B", block("B", None)[0]),
+        ("prefix-3", prefix_chain(3).dag),
+        ("mesh-4", out_mesh_dag(4)),
+    ]
+
+
+def _search_totals(fn):
+    """Run ``fn`` against a fresh global registry; return its search_*
+    totals."""
+    reg = MetricsRegistry()
+    old = set_global_registry(reg)
+    try:
+        fn()
+    finally:
+        set_global_registry(old)
+    return reg
+
+
+class TestParallelSequentialTotals:
+    @pytest.mark.parametrize("label,dag", _cases())
+    def test_profile_totals_identical(self, label, dag):
+        seq = _search_totals(lambda: max_eligibility_profile(dag))
+        par = _search_totals(
+            lambda: max_eligibility_profile(dag, parallel=True, workers=2)
+        )
+        assert par.value("search_states_expanded_total") == \
+            seq.value("search_states_expanded_total")
+        assert par.value("search_frontier_peak") == \
+            seq.value("search_frontier_peak")
+        s = SearchStats.from_registry(seq)
+        p = SearchStats.from_registry(par)
+        assert (p.states_expanded, p.frontier_peak) == \
+            (s.states_expanded, s.frontier_peak)
+
+    @pytest.mark.parametrize("label,dag", _cases()[:3])
+    def test_find_schedule_totals_identical(self, label, dag):
+        seq = _search_totals(lambda: find_ic_optimal_schedule(dag))
+        par = _search_totals(
+            lambda: find_ic_optimal_schedule(dag, parallel=True, workers=2)
+        )
+        assert par.value("search_states_expanded_total") == \
+            seq.value("search_states_expanded_total")
+        assert par.value("search_frontier_peak") == \
+            seq.value("search_frontier_peak")
+        assert par.value("search_schedule_total", outcome="found") == \
+            seq.value("search_schedule_total", outcome="found")
+
+    def test_per_call_stats_match_too(self):
+        dag = block("C", 5)[0]
+        s_seq, s_par = SearchStats(), SearchStats()
+        reg = MetricsRegistry()
+        old = set_global_registry(reg)
+        try:
+            max_eligibility_profile(dag, stats=s_seq)
+            max_eligibility_profile(
+                dag, parallel=True, workers=2, stats=s_par
+            )
+        finally:
+            set_global_registry(old)
+        assert s_par.states_expanded == s_seq.states_expanded
+        assert s_par.frontier_peak == s_seq.frontier_peak
+
+    def test_worker_telemetry_merged_into_coordinator(self):
+        """When the pool really fans out, the worker-private metrics
+        (branch counters, raw state counts, branch timings) must land
+        in the coordinating process's registry via merge()."""
+        dag = block("C", 5)[0]
+        s = SearchStats()
+        reg = _search_totals(
+            lambda: max_eligibility_profile(
+                dag, parallel=True, workers=2, stats=s
+            )
+        )
+        if s.branches == 0:
+            pytest.skip("platform cannot start pool workers")
+        assert reg.value("search_branch_total") == s.branches
+        # raw branch work >= deduplicated totals (duplicates included)
+        assert reg.value("search_branch_states_total") >= \
+            reg.value("search_states_expanded_total") - 1
+        hist = reg.snapshot()["search_branch_seconds"]["value"]
+        assert hist["count"] == s.branches
+
+    def test_worker_spans_adopted_under_fanout_span(self):
+        dag = block("C", 5)[0]
+        reg = MetricsRegistry()
+        tracer = Tracer(enabled=True)
+        old_reg = set_global_registry(reg)
+        old_tr = set_global_tracer(tracer)
+        s = SearchStats()
+        try:
+            max_eligibility_profile(dag, parallel=True, workers=2, stats=s)
+        finally:
+            set_global_registry(old_reg)
+            set_global_tracer(old_tr)
+        if s.branches == 0:
+            pytest.skip("platform cannot start pool workers")
+        recs = tracer.records()
+        prof = [r for r in recs if r.name == "optimality.max_profile"]
+        branches = [r for r in recs if r.name == "optimality.branch"]
+        assert len(branches) == s.branches
+        assert all(b.parent == prof[0].id for b in branches)
+        ids = [r.id for r in recs]
+        assert len(ids) == len(set(ids))
+        assert all(b.t >= 0 for b in branches)

@@ -1,0 +1,253 @@
+"""The HTTP exposition service (`repro.obs.server`) and the live
+dashboard (`repro.obs.dashboard`, `repro watch`): endpoint responses
+and content types, Prometheus text-format conformance under hostile
+label values, readiness toggling, trace export limits, and the
+dashboard's render/poll loop.
+"""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ObsServer,
+    Tracer,
+    fetch_stats,
+    render_dashboard,
+    set_global_registry,
+    set_global_tracer,
+    watch,
+)
+from repro.obs.server import PROM_CONTENT_TYPE
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    old = set_global_registry(fresh)
+    yield fresh
+    set_global_registry(old)
+
+
+@pytest.fixture
+def tracer():
+    fresh = Tracer(enabled=True)
+    old = set_global_tracer(fresh)
+    yield fresh
+    set_global_tracer(old)
+
+
+@pytest.fixture
+def server(registry, tracer):
+    """An ObsServer on an ephemeral port, bound to the fixtures'
+    registry/tracer via the globals it resolves at request time."""
+    with ObsServer() as srv:
+        yield srv
+
+
+def _get(url):
+    try:
+        resp = urllib.request.urlopen(url, timeout=5)
+        return resp.status, dict(resp.headers), resp.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read().decode()
+
+
+class TestEndpoints:
+    def test_metrics_prometheus(self, server, registry):
+        registry.counter("hits_total", "hits").inc(3)
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        assert "# TYPE hits_total counter" in body
+        assert "hits_total 3" in body
+
+    def test_stats_json(self, server, registry, tracer):
+        registry.gauge("depth", "d").set(4)
+        with tracer.span("x"):
+            pass
+        status, headers, body = _get(server.url + "/stats")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["metrics"]["depth"]["value"] == 4
+        assert payload["tracer"]["enabled"] is True
+        assert payload["tracer"]["retained"] == 1
+        assert payload["ready"] is True
+        assert payload["uptime_seconds"] >= 0
+
+    def test_healthz(self, server):
+        status, _headers, body = _get(server.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+
+    def test_readyz_toggles(self, server):
+        status, _h, body = _get(server.url + "/readyz")
+        assert (status, body) == (200, "ready\n")
+        server.ready = False
+        status, _h, body = _get(server.url + "/readyz")
+        assert (status, body) == (503, "not ready\n")
+
+    def test_traces_jsonl(self, server, tracer):
+        with tracer.span("a"):
+            tracer.event("b")
+        status, headers, body = _get(server.url + "/traces")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(ln) for ln in body.splitlines()]
+        assert [r["name"] for r in lines] == ["b", "a"]
+
+    def test_traces_limit(self, server, tracer):
+        for i in range(5):
+            tracer.event(f"e{i}")
+        _s, _h, body = _get(server.url + "/traces?limit=2")
+        names = [json.loads(ln)["name"] for ln in body.splitlines()]
+        assert names == ["e3", "e4"]  # the newest two
+        _s, _h, body = _get(server.url + "/traces?limit=0")
+        assert body == ""
+
+    def test_traces_bad_limit_is_400(self, server):
+        status, _h, body = _get(server.url + "/traces?limit=potato")
+        assert status == 400
+        assert "limit" in json.loads(body)["error"]
+        status, _h, _b = _get(server.url + "/traces?limit=-1")
+        assert status == 400
+
+    def test_unknown_path_is_404_listing_endpoints(self, server):
+        status, _h, body = _get(server.url + "/nope")
+        assert status == 404
+        payload = json.loads(body)
+        assert "/metrics" in payload["endpoints"]
+        assert "/stats" in payload["endpoints"]
+
+
+class TestPrometheusConformance:
+    """Text-format 0.0.4 conformance through a real scrape."""
+
+    def test_hostile_label_values_escaped(self, server, registry):
+        hostile = 'a\\b"c\nd'
+        registry.counter("evil_total", "evil", ("k",)).labels(
+            hostile
+        ).inc()
+        _s, _h, body = _get(server.url + "/metrics")
+        assert 'evil_total{k="a\\\\b\\"c\\nd"} 1' in body
+        # the raw newline must never reach the wire inside a sample
+        for line in body.splitlines():
+            if line.startswith("evil_total"):
+                assert "\n" not in line
+
+    def test_hostile_help_escaped(self, server, registry):
+        registry.counter("h_total", "line1\nline2 \\ slash").inc()
+        _s, _h, body = _get(server.url + "/metrics")
+        assert "# HELP h_total line1\\nline2 \\\\ slash" in body
+
+    def test_type_and_help_once_per_family(self, server, registry):
+        m = registry.counter("multi_total", "m", ("k",))
+        for v in ("a", "b", "c"):
+            m.labels(v).inc()
+        registry.histogram("lat_seconds", "lat", buckets=(1.0,)).observe(0.5)
+        _s, _h, body = _get(server.url + "/metrics")
+        assert body.count("# TYPE multi_total ") == 1
+        assert body.count("# HELP multi_total ") == 1
+        # histograms expose 3 sample families but one TYPE/HELP pair
+        assert body.count("# TYPE lat_seconds ") == 1
+        assert body.count("# HELP lat_seconds ") == 1
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_resolves(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+    def test_double_start_raises(self, server):
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_stop_is_idempotent(self, registry, tracer):
+        srv = ObsServer().start()
+        srv.stop()
+        srv.stop()
+
+    def test_explicit_instances_beat_globals(self, registry, tracer):
+        private = MetricsRegistry()
+        private.counter("mine_total", "m").inc(7)
+        with ObsServer(registry=private) as srv:
+            _s, _h, body = _get(srv.url + "/metrics")
+        assert "mine_total 7" in body
+        assert "mine_total" not in registry.snapshot()
+
+
+class TestDashboard:
+    def _populate(self, registry):
+        registry.gauge("sim_allocatable", "a").set(2)
+        registry.gauge("sim_eligible", "e").set(3)
+        registry.gauge("sim_completed", "c").set(5)
+        registry.counter("sim_steps_total", "s").inc(9)
+        runs = registry.counter("sim_runs_total", "r", ("policy",))
+        runs.labels("FIFO").inc()
+        registry.gauge(
+            "sim_quality_makespan", "m", ("policy",)
+        ).labels("FIFO").set(4.5)
+
+    def test_fetch_stats(self, server, registry):
+        self._populate(registry)
+        for url in (server.url, server.url + "/", server.url + "/stats"):
+            stats = fetch_stats(url)
+            assert stats["metrics"]["sim_eligible"]["value"] == 3
+
+    def test_render_dashboard_tables(self, server, registry):
+        self._populate(registry)
+        frame = render_dashboard(fetch_stats(server.url))
+        assert "eligible now" in frame and "3" in frame
+        assert "FIFO" in frame and "4.5" in frame
+        assert "scheduler requests" in frame
+
+    def test_render_without_policy_series(self):
+        frame = render_dashboard({"metrics": {}, "tracer": {}})
+        assert "simulation" in frame
+        assert "per-policy" not in frame  # table omitted when empty
+
+    def test_watch_renders_n_frames(self, server, registry):
+        self._populate(registry)
+        out = io.StringIO()
+        rc = watch(server.url, interval=0.01, count=2, clear=False,
+                   out=out)
+        assert rc == 0
+        assert out.getvalue().count("repro observability") == 2
+
+    def test_watch_survives_dead_server(self):
+        out = io.StringIO()
+        rc = watch("http://127.0.0.1:9", interval=0.01, count=1,
+                   clear=False, out=out)
+        assert rc == 0
+        assert "waiting for" in out.getvalue()
+
+
+class TestCliSurface:
+    def test_serve_metrics_duration(self, registry, tracer, capsys):
+        from repro.cli import main
+
+        assert main(["serve-metrics", "--port", "0",
+                     "--duration", "0.05"]) == 0
+        err = capsys.readouterr().err
+        assert "serving observability endpoints on http://" in err
+
+    def test_watch_count(self, server, registry, capsys):
+        from repro.cli import main
+
+        assert main(["watch", "--url", server.url, "--count", "1",
+                     "--interval", "0.01", "--no-clear"]) == 0
+        assert "repro observability" in capsys.readouterr().out
+
+    def test_serve_metrics_flag_during_command(self, registry, tracer,
+                                               capsys):
+        from repro.cli import main
+
+        assert main(["schedule", "mesh", "3",
+                     "--serve-metrics", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "metrics: serving on http://" in captured.err
+        assert "certificate:" in captured.out

@@ -7,8 +7,11 @@ against the committed baseline (``benchmarks/BENCH_optimality.json``)
 and exits nonzero when any guarded metric regresses by more than the
 threshold (default 20%).  When a fresh ``BENCH_observability.json``
 (written by ``benchmarks/bench_observability.py``) is present, the
-observability layer's disabled-path instrumentation overhead is gated
-against its recorded absolute limit (5%) as well.
+observability layer's disabled-path and serving-path (concurrently
+scraped ``/metrics``) overheads are gated against the recorded
+absolute limit (5%) as well.  Baselines are read from the committed
+copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
+(gitignored fresh-run output) are rejected.
 
 Guarded metrics — chosen to be *machine-independent* so the gate is
 meaningful on any CI host:
@@ -119,8 +122,8 @@ def compare_observability(fresh: dict) -> list[str]:
     """
     failures: list[str] = []
     overhead = fresh.get("overhead", {})
-    pct = overhead.get("disabled_pct")
     limit = overhead.get("limit_disabled_pct", 5.0)
+    pct = overhead.get("disabled_pct")
     if pct is None:
         failures.append(
             "observability record lacks overhead.disabled_pct"
@@ -128,6 +131,14 @@ def compare_observability(fresh: dict) -> list[str]:
     elif pct >= limit:
         failures.append(
             f"overhead.disabled_pct: {pct}% breaches the "
+            f"{limit}% instrumentation budget"
+        )
+    # the serving path (scraped /metrics) shares the same budget;
+    # absent on schema-1 records, gated whenever recorded.
+    serving = overhead.get("serving_pct")
+    if serving is not None and serving >= limit:
+        failures.append(
+            f"overhead.serving_pct: {serving}% breaches the "
             f"{limit}% instrumentation budget"
         )
     return failures
@@ -150,6 +161,17 @@ def main(argv=None) -> int:
                          f"present; default: {OBS_FRESH})")
     args = ap.parse_args(argv)
 
+    # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
+    # (gitignored) run output, and a baseline read from there would
+    # silently gate a run against itself.
+    out_dir = (REPO / "benchmarks" / "out").resolve()
+    if out_dir in args.baseline.resolve().parents:
+        sys.exit(
+            f"error: baseline {args.baseline} is inside benchmarks/out/ "
+            "(fresh-run output); baselines are the committed copies "
+            "in benchmarks/"
+        )
+
     baseline = _load(args.baseline)
     fresh = _load(args.fresh)
     failures = compare(baseline, fresh, args.threshold, args.absolute)
@@ -161,7 +183,8 @@ def main(argv=None) -> int:
         failures.extend(compare_observability(obs_fresh))
         obs_note = (
             f"obs disabled-path overhead "
-            f"{obs_fresh['overhead']['disabled_pct']}%"
+            f"{obs_fresh['overhead']['disabled_pct']}%, serving "
+            f"{obs_fresh['overhead'].get('serving_pct', 'n/a')}%"
         )
 
     if failures:
