@@ -181,7 +181,8 @@ def _family_or_block(name: str, param: int | None):
 
 
 def cmd_simulate(args) -> int:
-    from .sim import ClientSpec, compare_policies
+    from .exceptions import SimulationError
+    from .sim import ClientSpec, FaultPlan, ServerPolicy, compare_policies
 
     chain = build_family(args.family, args.param)
     result = schedule_dag(chain)
@@ -190,17 +191,55 @@ def cmd_simulate(args) -> int:
         for s in ([1.0] * args.clients if not args.hetero else
                   [0.5, 1.0, 2.0, 4.0] * ((args.clients + 3) // 4))
     ][: args.clients]
+    fault_plan = None
+    server_policy = None
+    try:
+        if args.faults:
+            fault_plan = FaultPlan.parse(args.faults,
+                                         n_clients=args.clients)
+        if args.server_policy is not None:
+            server_policy = ServerPolicy.parse(args.server_policy)
+        elif fault_plan is not None:
+            server_policy = ServerPolicy()
+    except SimulationError as exc:
+        raise SystemExit(f"error: {exc}") from None
     cmp = compare_policies(
-        chain.dag, result.schedule, clients=clients, seed=args.seed
+        chain.dag, result.schedule, clients=clients, seed=args.seed,
+        server_policy=server_policy, fault_plan=fault_plan,
     )
+    title = f"{chain.dag.name}: {args.clients} clients (seed {args.seed})"
+    if fault_plan is not None:
+        title += f", faults: {fault_plan.name}"
     print(
         render_table(
             ["policy", "makespan", "starvation", "idle", "util", "headroom"],
             cmp.table_rows(),
-            title=f"{chain.dag.name}: {args.clients} clients "
-            f"(seed {args.seed})",
+            title=title,
         )
     )
+    if server_policy is not None:
+        rows = [
+            (
+                name,
+                r.fault_report.retries,
+                r.fault_report.timeouts_fired,
+                r.fault_report.speculative_wins,
+                round(r.fault_report.wasted_replica_time, 3),
+                len(r.fault_report.quarantined_clients),
+                r.completed,
+            )
+            for name, r in cmp.results.items()
+            if r.fault_report is not None
+        ]
+        print()
+        print(
+            render_table(
+                ["policy", "retries", "timeouts", "spec-wins",
+                 "replica-waste", "quarantined", "completed"],
+                rows,
+                title="fault report",
+            )
+        )
     return 0
 
 
@@ -377,6 +416,23 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dropout", type=float, default=0.0)
     p.add_argument("--hetero", action="store_true")
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="chaos script: a scenario name (churn, stragglers, flaky, "
+        "blackout; optionally NAME:seed=N) or an event list like "
+        "'crash:0@2,stall:1@1.5x4,join@5,corrupt=0.1' "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--server-policy",
+        metavar="SPEC",
+        help="fault-tolerance policy as key=value pairs: timeout, "
+        "retries, backoff, jitter, speculate (factor or 'off'), "
+        "replicas, critical, quarantine; e.g. "
+        "'timeout=4,retries=3,speculate=off' (implied default policy "
+        "when --faults is given)",
+    )
     _add_obs_flags(p)
 
     p = sub.add_parser(

@@ -83,6 +83,7 @@ raw duplicated effort remains visible as ``search_branch_states_total``
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from collections.abc import Sequence
@@ -92,6 +93,8 @@ from ..exceptions import OptimalityError
 from ..obs import MetricsRegistry, Tracer, global_registry, global_tracer, span
 from .dag import ComputationDag, Node
 from .schedule import Schedule
+
+_LOG = logging.getLogger("repro.core.optimality")
 
 __all__ = [
     "max_eligibility_profile",
@@ -496,23 +499,65 @@ def max_eligibility_profile(
     return profile
 
 
-def _run_branches(payloads, n_workers):
-    """Map :func:`_branch_worker` over ``payloads`` on a process pool.
+def _record_pool_fallback(reason: str, exc: BaseException,
+                          branch: int | None = None) -> None:
+    """Make a pool degradation observable: count it under
+    ``search_pool_fallbacks_total{reason=...}`` and log it, instead of
+    silently eating the failure."""
+    global_registry().counter(
+        "search_pool_fallbacks_total",
+        "parallel-search pool failures absorbed by graceful "
+        "degradation (in-process retry or sequential fallback)",
+        ("reason",),
+    ).labels(reason).inc()
+    detail = "" if branch is None else f" (branch {branch})"
+    _LOG.warning(
+        "parallel search degraded [%s]%s: %s; continuing in-process "
+        "(byte-identical result)", reason, detail, exc,
+    )
 
-    Returns the result list, or ``None`` when the platform cannot
-    start worker processes (restricted sandboxes) — callers then take
-    the sequential path, which produces identical output.
+
+def _run_branches(payloads, n_workers):
+    """Map :func:`_branch_worker` over ``payloads`` on a process pool,
+    degrading gracefully instead of failing or hiding failures:
+
+    * pool *creation* fails (platforms that cannot start worker
+      processes — restricted sandboxes) → a ``pool-unavailable``
+      fallback is recorded and ``None`` returned; the caller takes the
+      byte-identical sequential path;
+    * one branch's pool *execution* dies of a transport-level error (a
+      worker killed mid-flight, a broken pipe) → a ``branch-retry``
+      fallback is recorded and that branch re-runs in-process — the
+      worker is a pure function of its payload, so the retried result
+      is byte-identical;
+    * an error raised by the worker's own logic (an
+      :class:`OptimalityError` over budget, a malformed payload)
+      propagates — degradation must never mask real bugs.
     """
     import multiprocessing
 
     try:
         ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=n_workers) as pool:
-            return pool.map(_branch_worker, payloads)
-    except OptimalityError:
-        raise
-    except (OSError, ValueError, ImportError):
+        pool = ctx.Pool(processes=n_workers)
+    except (OSError, ValueError, ImportError) as exc:
+        _record_pool_fallback("pool-unavailable", exc)
         return None
+    results = []
+    with pool:
+        handles = [
+            pool.apply_async(_branch_worker, (p,)) for p in payloads
+        ]
+        for payload, handle in zip(payloads, handles):
+            try:
+                results.append(handle.get())
+            except OptimalityError:
+                raise
+            except (OSError, EOFError,
+                    multiprocessing.ProcessError) as exc:
+                _record_pool_fallback("branch-retry", exc,
+                                      branch=payload[4])
+                results.append(_branch_worker(payload))
+    return results
 
 
 def is_ic_optimal(

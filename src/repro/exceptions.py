@@ -16,6 +16,8 @@ __all__ = [
     "OptimalityError",
     "ClusteringError",
     "SimulationError",
+    "FaultPlanError",
+    "ServerPolicyError",
     "ComputeError",
 ]
 
@@ -84,6 +86,24 @@ class ClusteringError(ReproError):
 
 class SimulationError(ReproError):
     """The IC server/client simulation received invalid configuration."""
+
+
+class FaultPlanError(SimulationError):
+    """A fault-injection plan is malformed.
+
+    Examples: an unknown fault kind, a negative injection time, a stall
+    without a positive duration, or a corruption rate outside [0, 1).
+    """
+
+
+class ServerPolicyError(SimulationError):
+    """A fault-tolerance server policy is malformed.
+
+    Examples: a loss-detection timeout factor below 1 (the server would
+    write off tasks before they can nominally finish), a non-finite
+    timeout (permanently lost tasks could never be detected, breaking
+    the completion guarantee), or a replication degree below 1.
+    """
 
 
 class ComputeError(ReproError):

@@ -51,6 +51,19 @@ __all__ = ["ObsServer", "PROM_CONTENT_TYPE"]
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+#: per-request socket timeout (seconds) unless the server overrides it:
+#: a client that stalls mid-request (slow-loris) or parks an idle
+#: keep-alive connection is cut off after this long, so stalled
+#: scrapers can never pin serving threads indefinitely.
+DEFAULT_REQUEST_TIMEOUT = 5.0
+
+#: longest accepted request path; anything longer is answered ``414``
+#: and the connection closed (the stdlib already caps the whole request
+#: line at 64 KiB — this keeps hostile paths out of routing/logs much
+#: earlier).
+MAX_PATH_LENGTH = 2048
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to one :class:`ObsServer` (set as the
     ``obs`` class attribute of a per-server subclass)."""
@@ -58,16 +71,25 @@ class _Handler(BaseHTTPRequestHandler):
     obs: "ObsServer"
     protocol_version = "HTTP/1.1"
     server_version = "repro-obs"
+    #: socket timeout; ``BaseHTTPRequestHandler`` applies it to the
+    #: connection and turns a mid-request stall into a closed
+    #: connection (the per-server subclass overrides this with
+    #: ``ObsServer.request_timeout``).
+    timeout = DEFAULT_REQUEST_TIMEOUT
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         pass  # scrapers poll; default stderr logging would spam
 
-    def _respond(self, status: int, body: str, content_type: str) -> None:
+    def _respond(self, status: int, body: str, content_type: str,
+                 close: bool = False) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(data)
 
@@ -77,6 +99,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        if self.obs.closing:
+            # shutdown drain: answer (don't hang) and shed the
+            # connection, so a scraper mid-poll can never wedge stop().
+            self._respond(503, "shutting down\n",
+                          "text/plain; charset=utf-8", close=True)
+            return
+        if len(self.path) > MAX_PATH_LENGTH:
+            self._respond(414, "request path too long\n",
+                          "text/plain; charset=utf-8", close=True)
+            return
         url = urlsplit(self.path)
         route = getattr(self, f"_route_{url.path.strip('/')}", None)
         if route is None:
@@ -136,10 +168,17 @@ class ObsServer:
     host, port:
         Bind address; port 0 asks the OS for an ephemeral port (read
         it back from :attr:`port` after :meth:`start`).
+    request_timeout:
+        Per-request socket timeout (seconds).  A connection that
+        stalls mid-request — a slow-loris scraper — or idles between
+        keep-alive requests longer than this is closed, so wedged
+        clients cannot pin serving threads.
 
     Usable as a context manager (``with ObsServer() as srv: ...``);
     the served URL is :attr:`url`.  :attr:`ready` backs ``/readyz``
-    and starts ``True``.
+    and starts ``True``; :attr:`closing` flips during :meth:`stop`,
+    making every in-flight or new request answer ``503`` and drop the
+    connection so shutdown can never be held hostage by a scraper.
     """
 
     def __init__(
@@ -148,12 +187,15 @@ class ObsServer:
         tracer: Tracer | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         self._registry = registry
         self._tracer = tracer
         self.host = host
         self._port = port
+        self.request_timeout = request_timeout
         self.ready = True
+        self.closing = False
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = 0.0
@@ -205,7 +247,9 @@ class ObsServer:
         """
         if self._httpd is not None:
             raise RuntimeError("server already started")
-        handler = type("_BoundHandler", (_Handler,), {"obs": self})
+        self.closing = False
+        handler = type("_BoundHandler", (_Handler,),
+                       {"obs": self, "timeout": self.request_timeout})
         self._httpd = ThreadingHTTPServer((self.host, self._port), handler)
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
@@ -219,9 +263,15 @@ class ObsServer:
         return self
 
     def stop(self) -> None:
-        """Shut the listener down and join the serving thread."""
+        """Shut the listener down and join the serving thread.
+
+        Enters drain mode first (``closing = True`` — every request
+        from here on is answered ``503`` with the connection closed),
+        so shutdown is never blocked behind a slow scraper."""
         if self._httpd is None:
             return
+        self.closing = True
+        self.ready = False
         self._httpd.shutdown()
         self._httpd.server_close()
         self._thread.join(timeout=5.0)

@@ -2,8 +2,16 @@
 the assessment substrate standing in for the studies the paper cites
 ([15], [19]); see DESIGN.md "Substitutions"."""
 
-from . import heuristics, metrics, scientific, server, workloads
+from . import faults, heuristics, metrics, scientific, server, workloads
 from .scientific import SCIENTIFIC_WORKFLOWS
+from .faults import (
+    FAULT_SCENARIOS,
+    FaultEvent,
+    FaultPlan,
+    FaultReport,
+    ServerPolicy,
+    simulate_with_faults,
+)
 from .heuristics import BASELINE_POLICIES, Policy, make_policy
 from .metrics import (
     PolicyComparison,
@@ -23,12 +31,18 @@ from .server import (
 __all__ = [
     "BASELINE_POLICIES",
     "ClientSpec",
+    "FAULT_SCENARIOS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
     "Policy",
     "PolicyComparison",
+    "ServerPolicy",
     "SimulationResult",
     "TraceRecord",
     "batch_satisfaction",
     "compare_policies",
+    "faults",
     "granularity_tradeoff",
     "heuristics",
     "make_policy",
@@ -39,5 +53,6 @@ __all__ = [
     "simulate",
     "simulate_batched",
     "simulate_scheduled",
+    "simulate_with_faults",
     "workloads",
 ]

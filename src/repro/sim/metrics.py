@@ -78,9 +78,14 @@ def compare_policies(
     work=1.0,
     seed: int = 0,
     comm_per_input: float = 0.0,
+    server_policy=None,
+    fault_plan=None,
 ) -> PolicyComparison:
     """Run the server simulation under each policy (plus IC-OPT when a
-    schedule is given) with identical clients and seeds."""
+    schedule is given) with identical clients, seeds, and — when
+    ``server_policy`` / ``fault_plan`` are given — an identical chaos
+    script (every policy faces the same scripted faults and the same
+    fault-tolerance machinery; see :mod:`repro.sim.faults`)."""
     results: dict[str, SimulationResult] = {}
     if ic_schedule is not None:
         results["IC-OPT"] = simulate(
@@ -90,10 +95,13 @@ def compare_policies(
             work,
             seed,
             comm_per_input,
+            server_policy=server_policy,
+            fault_plan=fault_plan,
         )
     for name in policies:
         results[name] = simulate(
-            dag, make_policy(name), clients, work, seed, comm_per_input
+            dag, make_policy(name), clients, work, seed, comm_per_input,
+            server_policy=server_policy, fault_plan=fault_plan,
         )
     n = clients if isinstance(clients, int) else len(clients)
     return PolicyComparison(

@@ -26,7 +26,10 @@ import itertools
 import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .faults import FaultPlan, FaultReport, ServerPolicy
 
 from ..exceptions import SimulationError
 from ..core.dag import ComputationDag, Node
@@ -89,6 +92,19 @@ class ClientSpec:
     loss: float = 0.0
 
     def __post_init__(self) -> None:
+        if not self.speed > 0.0:
+            raise SimulationError(
+                f"client speed must be > 0, got {self.speed}"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise SimulationError(
+                f"dropout probability must be in [0, 1), got "
+                f"{self.dropout}"
+            )
+        if not self.slowdown >= 1.0:
+            raise SimulationError(
+                f"slowdown factor must be >= 1, got {self.slowdown}"
+            )
         if not 0.0 <= self.loss < 1.0:
             raise SimulationError(
                 f"loss probability must be in [0, 1), got {self.loss}"
@@ -119,6 +135,9 @@ class SimulationResult:
     #: when ``simulate(..., record_trace=True)`` (guaranteed empty —
     #: not merely discarded — on the non-trace path)
     trace: list[TraceRecord] = field(repr=False, default_factory=list)
+    #: fault-path accounting (:class:`~repro.sim.faults.FaultReport`);
+    #: ``None`` on the ideal (no server policy, no fault plan) path
+    fault_report: "FaultReport | None" = None
 
     @property
     def mean_headroom(self) -> float:
@@ -142,6 +161,9 @@ def simulate(
     seed: int = 0,
     comm_per_input: float = 0.0,
     record_trace: bool = False,
+    *,
+    server_policy: "ServerPolicy | None" = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> SimulationResult:
     """Simulate executing ``dag`` on remote clients under ``policy``.
 
@@ -164,6 +186,16 @@ def simulate(
         Record one :class:`TraceRecord` per allocation into
         ``SimulationResult.trace``.  Off by default; the trace list
         stays empty (nothing is even appended) on the non-trace path.
+    server_policy / fault_plan:
+        Switch to the realistic failure model of
+        :mod:`repro.sim.faults`: timeout-based loss detection, retry
+        with backoff, speculative re-execution, k-replication, and
+        quarantine under an injected chaos script.  Passing either (a
+        :class:`~repro.sim.faults.ServerPolicy` /
+        :class:`~repro.sim.faults.FaultPlan`) dispatches to
+        :func:`~repro.sim.faults.simulate_with_faults` and populates
+        ``SimulationResult.fault_report``; the default (both ``None``)
+        keeps the ideal model and its exact event sequence.
 
     Allocation/completion/loss/starvation counts, the per-step
     eligibility / allocatable / completed gauges, and (on completion)
@@ -172,6 +204,32 @@ def simulate(
     renders live; with tracing enabled, every allocation outcome also
     emits a structured trace event under the ``sim.simulate`` span.
     """
+    if server_policy is not None or fault_plan is not None:
+        from .faults import simulate_with_faults
+
+        return simulate_with_faults(
+            dag, policy, clients, work, seed, comm_per_input,
+            record_trace, server_policy=server_policy,
+            fault_plan=fault_plan,
+        )
+    return _simulate_ideal(
+        dag, policy, clients, work, seed, comm_per_input, record_trace
+    )
+
+
+def _simulate_ideal(
+    dag: ComputationDag,
+    policy: Policy,
+    clients: Sequence[ClientSpec] | int = 4,
+    work: Callable[[Node], float] | float = 1.0,
+    seed: int = 0,
+    comm_per_input: float = 0.0,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """The ideal-model event loop behind :func:`simulate` (instant loss
+    detection, no timeouts/retries/replication).  Kept as a separate
+    kernel so the fault-path dispatch overhead is measurable
+    (``benchmarks/bench_faults.py``)."""
     if isinstance(clients, int):
         clients = [ClientSpec() for _ in range(clients)]
     if not clients:

@@ -1,0 +1,489 @@
+"""The fault-tolerant execution layer (`repro.sim.faults`): plan and
+policy validation + parsing, timeout-based loss detection, retry with
+bounded backoff, speculative re-execution, k-replication, quarantine,
+the completion guarantee under crashes/churn, byte-identical chaos
+determinism, fault-metric agreement, and the IC-optimal policy's edge
+under canned fault scenarios.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ComputationDag, schedule_dag
+from repro.cli import build_family
+from repro.exceptions import (
+    FaultPlanError,
+    ServerPolicyError,
+    SimulationError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    set_global_registry,
+    set_global_tracer,
+)
+from repro.sim import (
+    FAULT_SCENARIOS,
+    ClientSpec,
+    FaultEvent,
+    FaultPlan,
+    ServerPolicy,
+    compare_policies,
+    make_policy,
+    simulate,
+    simulate_with_faults,
+)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    old = set_global_registry(fresh)
+    yield fresh
+    set_global_registry(old)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_tracer():
+    old = set_global_tracer(Tracer())
+    yield
+    set_global_tracer(old)
+
+
+def chain_dag(n=8):
+    return ComputationDag(arcs=[(i, i + 1) for i in range(n - 1)])
+
+
+def fork_join(width=5):
+    arcs = [(0, i) for i in range(1, width + 1)]
+    arcs += [(i, width + 1) for i in range(1, width + 1)]
+    return ComputationDag(arcs=arcs)
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="meteor")
+
+    def test_negative_time(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=-0.5, kind="crash")
+
+    def test_stall_needs_positive_duration(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="stall", client=0, duration=0.0)
+
+    def test_negative_client(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(time=1.0, kind="crash", client=-1)
+
+    def test_is_simulation_error_subclass(self):
+        assert issubclass(FaultPlanError, SimulationError)
+        assert issubclass(ServerPolicyError, SimulationError)
+
+
+class TestFaultPlan:
+    def test_corrupt_rate_bounds(self):
+        FaultPlan(corrupt_rate=0.99)
+        for rate in (-0.1, 1.0, 1.5):
+            with pytest.raises(FaultPlanError):
+                FaultPlan(corrupt_rate=rate)
+
+    def test_empty_property(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(corrupt_rate=0.1).empty
+        assert not FaultPlan(
+            events=(FaultEvent(time=1.0, kind="join"),)
+        ).empty
+
+    def test_scenarios_exist_and_build(self):
+        assert set(FAULT_SCENARIOS) == {
+            "churn", "stragglers", "flaky", "blackout"
+        }
+        for name in FAULT_SCENARIOS:
+            plan = FaultPlan.scenario(name, n_clients=4, seed=7)
+            assert plan.name == name
+            assert plan.seed == 7
+
+    def test_unknown_scenario(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.scenario("doomsday")
+
+    def test_parse_scenario_with_seed(self):
+        plan = FaultPlan.parse("churn:seed=3", n_clients=4)
+        assert plan == FaultPlan.scenario("churn", n_clients=4, seed=3)
+
+    def test_parse_event_grammar(self):
+        plan = FaultPlan.parse(
+            "crash:0@2, stall:1@1.5x4, join@5x2.0, corrupt=0.1, seed=7"
+        )
+        assert plan.corrupt_rate == 0.1
+        assert plan.seed == 7
+        kinds = [e.kind for e in plan.events]
+        assert kinds == ["crash", "stall", "join"]
+        assert plan.events[1].duration == 4.0
+        assert plan.events[2].spec.speed == 2.0
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "bogus", "crash:0", "crash:x@2", "stall:1@2",
+         "join@", "corrupt=potato", "churn:retries=3"],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(spec)
+
+
+class TestServerPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_factor": 0.5},
+            {"timeout_factor": float("inf")},
+            {"timeout_factor": float("nan")},
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_jitter": -0.1},
+            {"speculate_factor": 0.5},
+            {"speculate_factor": float("inf")},
+            {"replicas": 0},
+            {"critical_fraction": 0.0},
+            {"critical_fraction": 1.5},
+            {"quarantine_after": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServerPolicyError):
+            ServerPolicy(**kwargs)
+
+    def test_parse(self):
+        sp = ServerPolicy.parse(
+            "timeout=4, retries=3, backoff=0.5, jitter=0, "
+            "speculate=off, replicas=2, critical=0.2, quarantine=2"
+        )
+        assert sp == ServerPolicy(
+            timeout_factor=4.0, max_retries=3, backoff_base=0.5,
+            backoff_jitter=0.0, speculate_factor=None, replicas=2,
+            critical_fraction=0.2, quarantine_after=2,
+        )
+
+    def test_parse_empty_is_default(self):
+        assert ServerPolicy.parse("") == ServerPolicy()
+
+    @pytest.mark.parametrize("spec", ["volume=11", "timeout", "retries=x"])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ServerPolicyError):
+            ServerPolicy.parse(spec)
+
+
+class TestTimeoutDetection:
+    def test_lossy_client_completes_via_timeouts(self):
+        res = simulate(
+            chain_dag(10), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.5)], seed=3,
+            server_policy=ServerPolicy(timeout_factor=2.0),
+        )
+        assert res.completed == 10
+        rep = res.fault_report
+        assert rep.timeouts_fired > 0
+        assert rep.retries > 0
+        assert res.lost_allocations == rep.timeouts_fired
+
+    def test_timeout_factor_delays_detection(self):
+        fast = simulate(
+            chain_dag(10), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.5)], seed=3,
+            server_policy=ServerPolicy(timeout_factor=1.5,
+                                       backoff_base=0.0),
+        )
+        slow = simulate(
+            chain_dag(10), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.5)], seed=3,
+            server_policy=ServerPolicy(timeout_factor=6.0,
+                                       backoff_base=0.0),
+        )
+        # identical loss draws, so the only difference is how long the
+        # server waits before writing an attempt off.
+        assert slow.makespan > fast.makespan
+
+    def test_ideal_path_has_no_fault_report(self):
+        res = simulate(chain_dag(4), make_policy("FIFO"), clients=2)
+        assert res.fault_report is None
+
+
+class TestRetryBackoff:
+    def test_backoff_grows_but_is_bounded(self):
+        # a corrupt-everything-almost plan forces many retries of the
+        # same tasks; the exponent cap keeps delays finite.
+        res = simulate(
+            chain_dag(4), make_policy("FIFO"), clients=2, seed=0,
+            fault_plan=FaultPlan(corrupt_rate=0.7, seed=2,
+                                 name="hostile"),
+            server_policy=ServerPolicy(max_retries=2, backoff_base=0.1,
+                                       backoff_jitter=0.0),
+        )
+        assert res.completed == 4
+        rep = res.fault_report
+        assert rep.corruptions > 0
+        assert rep.retries >= rep.corruptions
+        # every backoff delay is capped at base * 2**max_retries
+        assert rep.backoff_delay_total <= rep.retries * 0.1 * 4 + 1e-9
+
+    def test_retries_never_give_up(self):
+        # far more failures than max_retries: completion still holds.
+        res = simulate(
+            chain_dag(3), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.9)], seed=1,
+            server_policy=ServerPolicy(timeout_factor=1.5,
+                                       max_retries=1),
+        )
+        assert res.completed == 3
+
+
+class TestSpeculation:
+    def _stalled_setup(self, speculate):
+        # client 0 grabs the only task and stalls for a long time;
+        # client 1 sits idle — exactly the straggler regime.
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.5, kind="stall", client=0, duration=20.0),
+        ), name="straggle")
+        return simulate(
+            chain_dag(2), make_policy("FIFO"), clients=2, seed=0,
+            fault_plan=plan,
+            server_policy=ServerPolicy(
+                speculate_factor=speculate, timeout_factor=50.0,
+                backoff_base=0.0,
+            ),
+        )
+
+    def test_speculative_copy_wins(self):
+        res = self._stalled_setup(speculate=2.0)
+        rep = res.fault_report
+        assert rep.speculative_launches >= 1
+        assert rep.speculative_wins >= 1
+        assert res.completed == 2
+
+    def test_speculation_beats_waiting(self):
+        with_spec = self._stalled_setup(speculate=2.0)
+        without = self._stalled_setup(speculate=None)
+        assert without.fault_report.speculative_launches == 0
+        assert with_spec.makespan < without.makespan
+
+
+class TestReplication:
+    def test_replicas_launched_for_critical_tasks(self):
+        res = simulate(
+            fork_join(5), make_policy("FIFO"), clients=6, seed=0,
+            server_policy=ServerPolicy(replicas=2, critical_fraction=0.3),
+        )
+        rep = res.fault_report
+        assert res.completed == 7
+        assert rep.replicas_launched >= 1
+        # the duplicate's client time is accounted as waste
+        assert rep.wasted_replica_time > 0.0
+
+    def test_replicas_one_disables(self):
+        res = simulate(
+            fork_join(5), make_policy("FIFO"), clients=6, seed=0,
+            server_policy=ServerPolicy(replicas=1),
+        )
+        assert res.fault_report.replicas_launched == 0
+
+
+class TestQuarantine:
+    def test_flaky_client_quarantined(self):
+        # a wide dag keeps both clients busy; client 1 loses nearly
+        # every result, so its attempts time out until it is benched.
+        res = simulate(
+            fork_join(8), make_policy("FIFO"),
+            clients=[ClientSpec(), ClientSpec(loss=0.95)], seed=0,
+            server_policy=ServerPolicy(timeout_factor=2.0,
+                                       quarantine_after=2,
+                                       speculate_factor=None),
+        )
+        assert res.completed == 10
+        assert 1 in res.fault_report.quarantined_clients
+
+    def test_last_live_client_never_quarantined(self):
+        res = simulate(
+            chain_dag(6), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.8)], seed=2,
+            server_policy=ServerPolicy(timeout_factor=1.5,
+                                       quarantine_after=1),
+        )
+        assert res.completed == 6
+        assert res.fault_report.quarantined_clients == ()
+
+
+class TestCompletionGuarantee:
+    @pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_scenarios_complete(self, scenario, seed):
+        dag = build_family("butterfly", 3).dag
+        plan = FaultPlan.scenario(scenario, n_clients=4, seed=seed)
+        res = simulate(
+            dag, make_policy("CRITPATH"), clients=4, seed=seed,
+            fault_plan=plan,
+        )
+        assert res.completed == len(dag)
+
+    def test_crash_all_but_one(self):
+        plan = FaultPlan(events=tuple(
+            FaultEvent(time=1.0 + 0.1 * i, kind="crash", client=i)
+            for i in range(1, 5)
+        ), name="mass-crash")
+        res = simulate(
+            chain_dag(10), make_policy("FIFO"), clients=5, seed=0,
+            fault_plan=plan,
+        )
+        assert res.completed == 10
+        assert res.fault_report.crashes == 4
+
+    def test_crash_then_join_recovers(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=2.0, kind="crash", client=0),
+            FaultEvent(time=4.0, kind="join",
+                       spec=ClientSpec(speed=2.0)),
+        ), name="replace")
+        res = simulate(
+            chain_dag(12), make_policy("FIFO"), clients=1, seed=0,
+            fault_plan=plan,
+        )
+        assert res.completed == 12
+        assert res.fault_report.crashes == 1
+        assert res.fault_report.late_joins == 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+    def test_byte_identical_runs(self, scenario):
+        dag = build_family("mesh", 4).dag
+        plan = FaultPlan.scenario(scenario, n_clients=4, seed=5)
+        runs = [
+            simulate(
+                dag, make_policy("CRITPATH"), clients=4, seed=9,
+                record_trace=True, fault_plan=plan,
+            )
+            for _ in range(2)
+        ]
+        # dataclass equality covers every field, including the trace
+        # and the fault_report (itself a dataclass).
+        assert runs[0] == runs[1]
+        assert runs[0].fault_report == runs[1].fault_report
+        assert runs[0].trace == runs[1].trace
+
+    def test_plan_seed_changes_outcome_stream(self):
+        dag = chain_dag(8)
+        kw = dict(clients=2, seed=4)
+        base = simulate(
+            dag, make_policy("FIFO"),
+            fault_plan=FaultPlan(corrupt_rate=0.5, seed=0), **kw,
+        )
+        other = simulate(
+            dag, make_policy("FIFO"),
+            fault_plan=FaultPlan(corrupt_rate=0.5, seed=1), **kw,
+        )
+        assert base.fault_report.corruptions != \
+            other.fault_report.corruptions or \
+            base.makespan != other.makespan
+
+    def test_fault_stream_does_not_perturb_client_draws(self):
+        # same client seed, chaos on vs off: the dropout draws stay
+        # aligned, so the no-fault prefix of the run is identical.
+        dag = chain_dag(6)
+        spec = [ClientSpec(dropout=0.5, slowdown=2.0)]
+        ideal = simulate(dag, make_policy("FIFO"), spec, seed=11)
+        engine = simulate(
+            dag, make_policy("FIFO"), spec, seed=11,
+            server_policy=ServerPolicy(),
+        )
+        assert engine.makespan == pytest.approx(ideal.makespan)
+
+
+class TestMetricsAgreement:
+    def test_report_counts_match_registry(self, registry):
+        dag = build_family("butterfly", 3).dag
+        plan = FaultPlan.scenario("churn", n_clients=4, seed=1)
+        res = simulate(
+            dag, make_policy("CRITPATH"), clients=4, seed=2,
+            fault_plan=plan,
+        )
+        rep = res.fault_report
+        assert registry.value("sim_retries_total") == rep.retries
+        assert registry.value("sim_timeouts_total") == rep.timeouts_fired
+        assert registry.value("sim_speculations_total") == \
+            rep.speculative_launches
+        assert registry.value("sim_losses_total") == res.lost_allocations
+        assert registry.value("sim_faults_injected_total",
+                              kind="crash") == rep.crashes
+        assert registry.value("sim_faults_injected_total",
+                              kind="join") == rep.late_joins
+        assert registry.value("sim_completions_total") == res.completed
+
+    def test_quarantine_gauge(self, registry):
+        simulate(
+            fork_join(8), make_policy("FIFO"),
+            clients=[ClientSpec(), ClientSpec(loss=0.95)], seed=0,
+            server_policy=ServerPolicy(timeout_factor=2.0,
+                                       quarantine_after=2,
+                                       speculate_factor=None),
+        )
+        assert registry.value("sim_quarantined_clients") == 1
+
+
+#: heterogeneous fleet for the policy-edge tests: found empirically to
+#: separate the policies under the canned scenarios below.
+_HETERO = [ClientSpec(speed=s) for s in (1.0, 0.5, 2.0, 1.0)]
+
+
+class TestPolicyEdgeUnderFaults:
+    @pytest.mark.parametrize("scenario", ["blackout", "flaky"])
+    def test_ic_opt_beats_fifo_and_random(self, scenario):
+        chain = build_family("butterfly", 3)
+        sched = schedule_dag(chain).schedule
+        plan = FaultPlan.scenario(scenario, n_clients=4, seed=0)
+        cmp = compare_policies(
+            chain.dag, sched, clients=_HETERO,
+            policies=("FIFO", "RANDOM"), seed=0, fault_plan=plan,
+        )
+        ic = cmp.results["IC-OPT"].makespan
+        assert ic < cmp.results["FIFO"].makespan
+        assert ic < cmp.results["RANDOM"].makespan
+        for res in cmp.results.values():
+            assert res.completed == len(chain.dag)
+            assert res.fault_report is not None
+
+
+class TestEngineSurface:
+    def test_simulate_with_faults_direct(self):
+        res = simulate_with_faults(
+            chain_dag(5), make_policy("FIFO"), clients=2, seed=0,
+        )
+        assert res.completed == 5
+        assert res.fault_report is not None
+        assert res.fault_report.plan == "none"
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_with_faults(chain_dag(3), make_policy("FIFO"),
+                                 clients=[])
+
+    def test_fault_report_is_dataclass(self):
+        res = simulate_with_faults(
+            chain_dag(3), make_policy("FIFO"), clients=1, seed=0,
+        )
+        assert dataclasses.is_dataclass(res.fault_report)
+
+    def test_trace_has_one_record_per_allocation(self):
+        res = simulate(
+            chain_dag(10), make_policy("FIFO"),
+            clients=[ClientSpec(loss=0.4)], seed=6, record_trace=True,
+            server_policy=ServerPolicy(timeout_factor=2.0),
+        )
+        kinds = {rec.kind for rec in res.trace}
+        assert kinds <= {"done", "lost", "corrupt", "replica"}
+        done = [r for r in res.trace if r.kind == "done"]
+        lost = [r for r in res.trace if r.kind == "lost"]
+        assert len(done) == res.completed
+        assert len(lost) == res.lost_allocations

@@ -180,6 +180,70 @@ class TestServerLifecycle:
         assert "mine_total" not in registry.snapshot()
 
 
+class TestHardening:
+    """Hostile-client resilience: slow-loris sockets, oversized
+    request lines, and the shutdown drain path."""
+
+    def test_slow_loris_does_not_block_other_scrapes(self, registry,
+                                                     tracer):
+        import socket
+        import threading
+
+        registry.counter("alive_total", "a").inc()
+        with ObsServer(request_timeout=0.5) as srv:
+            # open a connection and send only a partial request line,
+            # then hold it — a classic slow-loris.
+            loris = socket.create_connection(("127.0.0.1", srv.port),
+                                             timeout=5)
+            try:
+                loris.sendall(b"GET /metr")
+                # a well-behaved client must still get served while
+                # the loris holds its socket open.
+                results = []
+
+                def scrape():
+                    results.append(_get(srv.url + "/metrics"))
+
+                t = threading.Thread(target=scrape)
+                t.start()
+                t.join(timeout=3)
+                assert not t.is_alive(), "scrape blocked by slow-loris"
+                status, _h, body = results[0]
+                assert status == 200
+                assert "alive_total 1" in body
+                # the per-request timeout reaps the loris socket: the
+                # server closes it instead of waiting forever.
+                loris.settimeout(3)
+                assert loris.recv(1024) == b""
+            finally:
+                loris.close()
+
+    def test_oversized_request_path_is_414(self, server):
+        status, _h, body = _get(server.url + "/" + "x" * 4000)
+        assert status == 414
+        assert "too long" in body
+
+    def test_closing_server_returns_503(self, server):
+        server.closing = True
+        for path in ("/metrics", "/healthz", "/stats"):
+            status, headers, body = _get(server.url + path)
+            assert status == 503, path
+            assert body == "shutting down\n"
+            assert headers.get("Connection") == "close"
+
+    def test_stop_enters_drain_mode(self, registry, tracer):
+        srv = ObsServer().start()
+        assert srv.closing is False
+        srv.stop()
+        assert srv.closing is True
+        # restart resets the drain flag
+        srv2 = ObsServer().start()
+        try:
+            assert srv2.closing is False
+        finally:
+            srv2.stop()
+
+
 class TestDashboard:
     def _populate(self, registry):
         registry.gauge("sim_allocatable", "a").set(2)

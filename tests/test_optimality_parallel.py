@@ -147,3 +147,121 @@ def test_none_exists_agrees_in_parallel():
     g = non_ic_optimal_dag()
     assert find_ic_optimal_schedule(g) is None
     assert find_ic_optimal_schedule(g, parallel=True, workers=2) is None
+
+
+# ---------------------------------------------------------------------
+# graceful degradation of the pool fan-out
+
+
+@pytest.fixture
+def registry():
+    from repro.obs import MetricsRegistry, set_global_registry
+
+    fresh = MetricsRegistry()
+    old = set_global_registry(fresh)
+    yield fresh
+    set_global_registry(old)
+
+
+def test_poisoned_payload_propagates():
+    """Worker-logic errors must never be absorbed by the degradation
+    path: a malformed payload is a bug, not a pool transport failure."""
+    from repro.core.optimality import _run_branches
+
+    with pytest.raises((ValueError, TypeError)):
+        _run_branches([("poison",)], 1)
+
+
+def test_pool_unavailable_falls_back_observably(registry, monkeypatch,
+                                                caplog):
+    import logging
+
+    from repro.core.optimality import _run_branches
+
+    def broken_get_context(*a, **k):
+        raise OSError("no process support here")
+
+    monkeypatch.setattr("multiprocessing.get_context",
+                        broken_get_context)
+    with caplog.at_level(logging.WARNING, "repro.core.optimality"):
+        assert _run_branches([], 2) is None
+    assert registry.value("search_pool_fallbacks_total",
+                          reason="pool-unavailable") == 1
+    assert any("parallel search degraded" in r.message
+               for r in caplog.records)
+
+
+def test_pool_unavailable_result_byte_identical(registry, monkeypatch):
+    """With the pool gone, parallel=True silently (but countably)
+    degrades to the sequential path — same profile out."""
+    monkeypatch.setattr(
+        "multiprocessing.get_context",
+        lambda *a, **k: (_ for _ in ()).throw(OSError("denied")),
+    )
+    g, _ = block("W", 4)
+    par = max_eligibility_profile(g, parallel=True, workers=2)
+    assert par == max_eligibility_profile(g)
+    assert registry.value("search_pool_fallbacks_total",
+                          reason="pool-unavailable") >= 1
+
+
+def test_branch_transport_error_retries_in_process(registry,
+                                                   monkeypatch):
+    """A transport-level failure of one branch re-runs that branch
+    in-process and counts a ``branch-retry`` fallback."""
+    import repro.core.optimality as opt
+
+    class FakeHandle:
+        def get(self):
+            raise EOFError("worker died mid-flight")
+
+    class FakePool:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def apply_async(self, fn, args):
+            return FakeHandle()
+
+    class FakeCtx:
+        def Pool(self, processes):
+            return FakePool()
+
+    monkeypatch.setattr("multiprocessing.get_context",
+                        lambda *a, **k: FakeCtx())
+    monkeypatch.setattr(opt, "_branch_worker", lambda p: ("ok", p[4]))
+    payload = (None, None, None, None, 7)
+    assert opt._run_branches([payload], 1) == [("ok", 7)]
+    assert registry.value("search_pool_fallbacks_total",
+                          reason="branch-retry") == 1
+
+
+def test_worker_optimality_error_propagates(monkeypatch):
+    """Budget violations raised inside a pool worker must surface, not
+    be retried or swallowed."""
+    import repro.core.optimality as opt
+
+    class FakeHandle:
+        def get(self):
+            raise OptimalityError("state budget exceeded")
+
+    class FakePool:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def apply_async(self, fn, args):
+            return FakeHandle()
+
+    class FakeCtx:
+        def Pool(self, processes):
+            return FakePool()
+
+    monkeypatch.setattr("multiprocessing.get_context",
+                        lambda *a, **k: FakeCtx())
+    with pytest.raises(OptimalityError, match="state budget"):
+        opt._run_branches([(None, None, None, None, 3)], 1)

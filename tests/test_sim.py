@@ -99,12 +99,36 @@ class TestSimulate:
         assert t_fast == pytest.approx(t_slow / 2)
 
     def test_dropout_slows(self):
-        flaky = [ClientSpec(dropout=1.0, slowdown=3.0)]
+        # seed 1's first four uniform draws are all < 0.9, so every
+        # task of the chain hits the dropout slowdown.
+        flaky = [ClientSpec(dropout=0.9, slowdown=3.0)]
         solid = [ClientSpec()]
         d = chain_dag(4)
         t_flaky = simulate(d, make_policy("FIFO"), flaky, seed=1).makespan
         t_solid = simulate(d, make_policy("FIFO"), solid, seed=1).makespan
         assert t_flaky == pytest.approx(3 * t_solid)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"speed": 0.0},
+            {"speed": -1.0},
+            {"dropout": -0.1},
+            {"dropout": 1.0},
+            {"dropout": 1.5},
+            {"slowdown": 0.5},
+            {"slowdown": -2.0},
+            {"loss": -0.1},
+            {"loss": 1.0},
+        ],
+    )
+    def test_client_spec_validation(self, kwargs):
+        with pytest.raises(SimulationError):
+            ClientSpec(**kwargs)
+
+    def test_client_spec_boundary_values_accepted(self):
+        ClientSpec(speed=0.001, dropout=0.0, slowdown=1.0, loss=0.0)
+        ClientSpec(dropout=0.999, loss=0.999)
 
     def test_deterministic_given_seed(self):
         dag = random_layered_dag(4, 5, seed=2)

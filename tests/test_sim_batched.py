@@ -50,7 +50,7 @@ class TestBatchedSimulation:
         bs = level_batches(dag)
         clean = simulate_batched(dag, bs, 2, seed=1)
         flaky = simulate_batched(
-            dag, bs, [ClientSpec(dropout=1.0, slowdown=2.0)] * 2, seed=1
+            dag, bs, [ClientSpec(dropout=0.999, slowdown=2.0)] * 2, seed=1
         )
         assert flaky.makespan > clean.makespan
 

@@ -9,7 +9,13 @@ threshold (default 20%).  When a fresh ``BENCH_observability.json``
 (written by ``benchmarks/bench_observability.py``) is present, the
 observability layer's disabled-path and serving-path (concurrently
 scraped ``/metrics``) overheads are gated against the recorded
-absolute limit (5%) as well.  Baselines are read from the committed
+absolute limit (5%) as well.  When a fresh ``BENCH_faults.json``
+(written by ``benchmarks/bench_faults.py``) is present, the
+fault-tolerance layer is gated too: the faults-disabled dispatch
+overhead against its absolute 5% budget, and the deterministic canned
+chaos scenarios (fault counts exactly, makespans within the
+threshold) against the committed ``benchmarks/BENCH_faults.json``
+baseline.  Baselines are read from the committed
 copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
 (gitignored fresh-run output) are rejected.
 
@@ -52,6 +58,8 @@ DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_optimality.json"
 DEFAULT_FRESH = REPO / "benchmarks" / "out" / "BENCH_optimality.json"
 OBS_BASELINE = REPO / "benchmarks" / "BENCH_observability.json"
 OBS_FRESH = REPO / "benchmarks" / "out" / "BENCH_observability.json"
+FAULTS_BASELINE = REPO / "benchmarks" / "BENCH_faults.json"
+FAULTS_FRESH = REPO / "benchmarks" / "out" / "BENCH_faults.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -144,6 +152,61 @@ def compare_observability(fresh: dict) -> list[str]:
     return failures
 
 
+def compare_faults(fresh: dict, baseline: dict | None,
+                   threshold: float) -> list[str]:
+    """Gate the fault-tolerance record (empty list = pass).
+
+    Two kinds of guard:
+
+    * the faults-*disabled* dispatch overhead is an absolute budget
+      carried by the record (``overhead.limit_disabled_pct``, 5%) —
+      the realistic failure model must cost nothing when unused;
+    * the canned chaos scenarios are *deterministic and
+      machine-independent* (seeded simulation), so their fault counts
+      must match the baseline exactly and their makespans within the
+      relative threshold; every scenario must complete all tasks.  A
+      drift means the chaos semantics changed — a deliberate,
+      baseline-updating decision, never an accident.
+    """
+    failures: list[str] = []
+    overhead = fresh.get("overhead", {})
+    limit = overhead.get("limit_disabled_pct", 5.0)
+    pct = overhead.get("disabled_pct")
+    if pct is None:
+        failures.append("faults record lacks overhead.disabled_pct")
+    elif pct >= limit:
+        failures.append(
+            f"faults overhead.disabled_pct: {pct}% breaches the "
+            f"{limit}% faults-disabled budget"
+        )
+    scen = fresh.get("scenarios", {})
+    nodes = scen.get("nodes")
+    base_scen = (baseline or {}).get("scenarios", {}).get("results", {})
+    for name, r in scen.get("results", {}).items():
+        if r.get("completed") != nodes:
+            failures.append(
+                f"scenario {name}: completed {r.get('completed')} of "
+                f"{nodes} tasks (permanent loss)"
+            )
+        b = base_scen.get(name)
+        if b is None:
+            continue
+        for key in ("retries", "timeouts", "speculative_wins",
+                    "lost_allocations"):
+            if r.get(key) != b.get(key):
+                failures.append(
+                    f"scenario {name}.{key}: {r.get(key)} != baseline "
+                    f"{b.get(key)} (deterministic count drifted)"
+                )
+        bm, fm = b.get("makespan", 0.0), r.get("makespan", 0.0)
+        if bm > 0 and abs(fm - bm) > bm * threshold:
+            failures.append(
+                f"scenario {name}.makespan: {fm:g} drifted more than "
+                f"{threshold:.0%} from baseline {bm:g}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -159,18 +222,27 @@ def main(argv=None) -> int:
     ap.add_argument("--obs-fresh", type=pathlib.Path, default=OBS_FRESH,
                     help="fresh observability record (gated when "
                          f"present; default: {OBS_FRESH})")
+    ap.add_argument("--faults-fresh", type=pathlib.Path,
+                    default=FAULTS_FRESH,
+                    help="fresh fault-tolerance record (gated when "
+                         f"present; default: {FAULTS_FRESH})")
+    ap.add_argument("--faults-baseline", type=pathlib.Path,
+                    default=FAULTS_BASELINE,
+                    help="committed fault-tolerance baseline "
+                         f"(default: {FAULTS_BASELINE})")
     args = ap.parse_args(argv)
 
     # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
     # (gitignored) run output, and a baseline read from there would
     # silently gate a run against itself.
     out_dir = (REPO / "benchmarks" / "out").resolve()
-    if out_dir in args.baseline.resolve().parents:
-        sys.exit(
-            f"error: baseline {args.baseline} is inside benchmarks/out/ "
-            "(fresh-run output); baselines are the committed copies "
-            "in benchmarks/"
-        )
+    for base_path in (args.baseline, args.faults_baseline):
+        if out_dir in base_path.resolve().parents:
+            sys.exit(
+                f"error: baseline {base_path} is inside benchmarks/out/ "
+                "(fresh-run output); baselines are the committed copies "
+                "in benchmarks/"
+            )
 
     baseline = _load(args.baseline)
     fresh = _load(args.fresh)
@@ -187,6 +259,21 @@ def main(argv=None) -> int:
             f"{obs_fresh['overhead'].get('serving_pct', 'n/a')}%"
         )
 
+    faults_note = "no fresh faults record (gate skipped)"
+    if args.faults_fresh.exists():
+        faults_fresh = _load(args.faults_fresh)
+        faults_baseline = (
+            _load(args.faults_baseline)
+            if args.faults_baseline.exists() else None
+        )
+        failures.extend(
+            compare_faults(faults_fresh, faults_baseline, args.threshold)
+        )
+        faults_note = (
+            f"faults-disabled overhead "
+            f"{faults_fresh['overhead']['disabled_pct']}%"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -196,7 +283,7 @@ def main(argv=None) -> int:
         f"ok: no guarded metric regressed more than {args.threshold:.0%} "
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
         f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
-        f"{obs_note})"
+        f"{obs_note}, {faults_note})"
     )
     return 0
 
