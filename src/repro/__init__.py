@@ -9,15 +9,24 @@ baseline the paper discusses.
 
 Quick start::
 
-    from repro import families, core
+    from repro import api, families
 
     mesh = families.mesh.out_mesh_chain(6)          # Fig. 5/6 out-mesh
-    result = core.schedule_dag(mesh)                # Theorem 2.1
+    result = api.schedule(mesh)                     # Theorem 2.1
     assert result.ic_optimal
-    print(result.schedule.profile)                  # eligibility E(t)
+    print(result.profile)                           # eligibility E(t)
 
 Subpackages
 -----------
+``repro.api``
+    The stable v1 facade: ``schedule()``, ``verify()``,
+    ``simulate()``, ``compare()``, ``coarsen()`` with keyword-only
+    options and frozen results — the import surface the CLI and the
+    scheduling service use (see ``docs/API_MIGRATION.md``).
+``repro.service``
+    Scheduling-as-a-service: the sharded dag registry, the
+    coalescing/batching request pipeline, and the HTTP JSON API
+    (see ``docs/SERVICE.md``).
 ``repro.core``
     Dags, execution/eligibility model, schedules, exhaustive
     IC-optimality, the ▷ relation, composition ⇑, duality (Section 2).
@@ -64,11 +73,29 @@ from .exceptions import (
 
 __version__ = "1.0.0"
 
+#: lazily imported subpackages (PEP 562): the facade and the service
+#: pull in simulation / HTTP machinery that library-only users (and
+#: the hot layers themselves) never need at import time.
+_LAZY_SUBPACKAGES = ("api", "service")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBPACKAGES:
+        import importlib
+
+        return importlib.import_module(f"{__name__}.{name}")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
     "CompositionChain",
     "ComputationDag",
     "Schedule",
+    "api",
     "schedule_dag",
+    "service",
     "analysis",
     "blocks",
     "compute",

@@ -12,8 +12,16 @@
     python -m repro priority N4 L
     python -m repro batch mesh 4 --capacity 3
     python -m repro stats --format prom
+    python -m repro serve --port 8080
     python -m repro serve-metrics --port 9100
     python -m repro watch --url http://127.0.0.1:9100
+
+Every operational verb goes through the stable :mod:`repro.api`
+facade (``api.schedule`` / ``api.verify`` / ``api.compare`` /
+``api.batch`` / ``api.priority``); the CLI adds only construction
+(families, blocks), rendering, and the observability flags.  ``repro
+serve`` runs the scheduling service of :mod:`repro.service`
+(``docs/SERVICE.md``).
 
 ``schedule``, ``verify``, and ``simulate`` accept the observability
 flags ``--metrics {json,prom}`` (dump the process metrics registry
@@ -39,13 +47,10 @@ import re
 import sys
 from collections.abc import Sequence
 
+from . import api
 from .analysis import render_series, render_table
 from .analysis.ascii_dag import render_dag
 from .blocks import block
-from .core import is_ic_optimal, schedule_dag
-from .core.batched import coffman_graham_batches, hu_batches, level_batches
-from .core.priority import has_priority
-from .core.quality import quality_report
 
 __all__ = ["main", "build_family"]
 
@@ -120,13 +125,13 @@ def cmd_families(_args) -> int:
 
 def cmd_schedule(args) -> int:
     chain = build_family(args.family, args.param)
-    result = schedule_dag(
+    result = api.schedule(
         chain, parallel=args.parallel, cache=not args.no_cache
     )
     print(chain.dag.summary())
     print("composite type:", chain.type_string())
-    print("certificate:", result.certificate.value)
-    print(render_series("E(t)", result.schedule.profile, max_items=40))
+    print("certificate:", result.certificate)
+    print(render_series("E(t)", result.profile, max_items=40))
     if args.show_dag:
         print(render_dag(chain.dag))
     return 0
@@ -134,34 +139,37 @@ def cmd_schedule(args) -> int:
 
 def cmd_verify(args) -> int:
     target = _family_or_block(args.family, args.param)
-    result = schedule_dag(
+    result = api.verify(
         target, parallel=args.parallel, cache=not args.no_cache
     )
-    from .core import global_profile_cache, max_eligibility_profile
+    print("certificate:", result.certificate)
+    print(
+        f"exhaustive check: ratio={result.ratio:.3f} "
+        f"deficit={result.deficit} ic_optimal={result.ic_optimal}"
+    )
+    # process-lifetime search/cache totals, read from the metrics
+    # registry (the library records them there; docs/OBSERVABILITY.md)
+    from .obs import global_registry
+    from .obs.exposition import snapshot_series, snapshot_value
 
-    ceiling = max_eligibility_profile(
-        result.schedule.dag, parallel=args.parallel
-    )
-    rep = quality_report(result.schedule, max_profile=ceiling)
-    print("certificate:", result.certificate.value)
+    snap = global_registry().snapshot()
     print(
-        f"exhaustive check: ratio={rep.ratio:.3f} deficit={rep.deficit} "
-        f"ic_optimal={rep.ic_optimal}"
+        f"search: states_expanded="
+        f"{int(snapshot_value(snap, 'search_states_expanded_total'))} "
+        f"frontier_peak="
+        f"{int(snapshot_value(snap, 'search_frontier_peak'))}"
     )
-    from .core.optimality import SearchStats
-
-    totals = SearchStats.from_registry()
-    cache_stats = global_profile_cache().stats()
+    lookups = snapshot_series(snap, "profile_cache_lookups_total")
+    hits = sum(v for k, v in lookups.items() if k[-1] == "hit")
+    misses = sum(v for k, v in lookups.items() if k[-1] == "miss")
+    total = hits + misses
     print(
-        f"search: states_expanded={totals.states_expanded} "
-        f"frontier_peak={totals.frontier_peak}"
+        f"cache: hits={int(hits)} misses={int(misses)} "
+        f"evictions="
+        f"{int(snapshot_value(snap, 'profile_cache_evictions_total'))} "
+        f"hit_rate={hits / total if total else 0.0:.3f}"
     )
-    print(
-        f"cache: hits={cache_stats.hits} misses={cache_stats.misses} "
-        f"evictions={cache_stats.evictions} "
-        f"hit_rate={cache_stats.hit_rate:.3f}"
-    )
-    return 0 if rep.ic_optimal else 1
+    return 0 if result.ic_optimal else 1
 
 
 def _family_or_block(name: str, param: int | None):
@@ -182,12 +190,10 @@ def _family_or_block(name: str, param: int | None):
 
 def cmd_simulate(args) -> int:
     from .exceptions import SimulationError
-    from .sim import ClientSpec, FaultPlan, ServerPolicy, compare_policies
 
     chain = build_family(args.family, args.param)
-    result = schedule_dag(chain)
     clients = [
-        ClientSpec(speed=s, dropout=args.dropout)
+        api.ClientSpec(speed=s, dropout=args.dropout)
         for s in ([1.0] * args.clients if not args.hetero else
                   [0.5, 1.0, 2.0, 4.0] * ((args.clients + 3) // 4))
     ][: args.clients]
@@ -195,16 +201,16 @@ def cmd_simulate(args) -> int:
     server_policy = None
     try:
         if args.faults:
-            fault_plan = FaultPlan.parse(args.faults,
-                                         n_clients=args.clients)
+            fault_plan = api.FaultPlan.parse(args.faults,
+                                             n_clients=args.clients)
         if args.server_policy is not None:
-            server_policy = ServerPolicy.parse(args.server_policy)
+            server_policy = api.ServerPolicy.parse(args.server_policy)
         elif fault_plan is not None:
-            server_policy = ServerPolicy()
+            server_policy = api.ServerPolicy()
     except SimulationError as exc:
         raise SystemExit(f"error: {exc}") from None
-    cmp = compare_policies(
-        chain.dag, result.schedule, clients=clients, seed=args.seed,
+    result = api.compare(
+        chain, clients=clients, seed=args.seed,
         server_policy=server_policy, fault_plan=fault_plan,
     )
     title = f"{chain.dag.name}: {args.clients} clients (seed {args.seed})"
@@ -213,7 +219,7 @@ def cmd_simulate(args) -> int:
     print(
         render_table(
             ["policy", "makespan", "starvation", "idle", "util", "headroom"],
-            cmp.table_rows(),
+            result.rows,
             title=title,
         )
     )
@@ -228,7 +234,7 @@ def cmd_simulate(args) -> int:
                 len(r.fault_report.quarantined_clients),
                 r.completed,
             )
-            for name, r in cmp.results.items()
+            for name, r in result.comparison.results.items()
             if r.fault_report is not None
         ]
         print()
@@ -246,26 +252,27 @@ def cmd_simulate(args) -> int:
 def cmd_priority(args) -> int:
     g1, s1 = _parse_block(args.block1)
     g2, s2 = _parse_block(args.block2)
-    fwd = has_priority(g1, g2, s1, s2)
-    bwd = has_priority(g2, g1, s2, s1)
-    print(f"{g1.name} ▷ {g2.name}: {fwd}")
-    print(f"{g2.name} ▷ {g1.name}: {bwd}")
+    rel = api.priority(g1, g2, left_schedule=s1, right_schedule=s2)
+    print(f"{rel.left} ▷ {rel.right}: {rel.forward}")
+    print(f"{rel.right} ▷ {rel.left}: {rel.backward}")
     return 0
 
 
 def cmd_batch(args) -> int:
     chain = build_family(args.family, args.param)
-    dag = chain.dag
-    rows = [("levels (cap ∞)", level_batches(dag).rounds, "-")]
-    hu = hu_batches(dag, args.capacity)
-    cg = coffman_graham_batches(dag, args.capacity)
-    rows.append(("hu", hu.rounds, f"{hu.utilization:.3f}"))
-    rows.append(("coffman-graham", cg.rounds, f"{cg.utilization:.3f}"))
+    result = api.batch(chain, capacity=args.capacity)
+    rows = []
+    for name, rounds, util in result.rows:
+        if name == "levels":
+            rows.append(("levels (cap ∞)", rounds, "-"))
+        else:
+            rows.append((name, rounds, f"{util:.3f}"))
     print(
         render_table(
             ["batcher", "rounds", "utilization"],
             rows,
-            title=f"{dag.name}, capacity {args.capacity}",
+            title=f"{result.dag_name}, capacity {args.capacity} "
+                  f"(lower bound {result.lower_bound})",
         )
     )
     return 0
@@ -322,6 +329,40 @@ def cmd_serve_metrics(args) -> int:
         print(
             f"serving observability endpoints on {srv.url} "
             "(/metrics /stats /healthz /readyz /traces); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import time
+
+    from .service import PipelineConfig, SchedulingService
+
+    cfg = PipelineConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        exhaustive_limit=args.exhaustive_limit,
+        state_budget=args.state_budget,
+        parallel=args.parallel,
+    )
+    svc = SchedulingService(
+        host=args.host, port=args.port, pipeline_config=cfg
+    )
+    with svc:
+        print(
+            f"scheduling service on {svc.url} "
+            "(POST /v1/dags, GET /v1/schedules/{fp}, POST /v1/simulate, "
+            "/healthz /readyz /metrics /stats); Ctrl-C to stop",
             file=sys.stderr,
         )
         try:
@@ -460,6 +501,48 @@ def make_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the scheduling service (HTTP JSON API over the "
+        "dag registry and request pipeline; see docs/SERVICE.md)",
+    )
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--duration",
+        type=float,
+        help="serve for this many seconds then exit "
+        "(default: until interrupted)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="simulation worker threads (default %(default)s)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="concurrent scheduling requests admitted before "
+        "backpressure answers 429 (default %(default)s)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64,
+        help="queued simulation requests admitted before "
+        "backpressure answers 429 (default %(default)s)",
+    )
+    p.add_argument(
+        "--exhaustive-limit", type=int, default=24,
+        help="largest nonsink count certified exhaustively "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--state-budget", type=int, default=500_000,
+        help="ideal-state cap per certification search "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--parallel", action="store_true",
+        help="fan certification searches over a process pool",
+    )
+
+    p = sub.add_parser(
         "watch",
         help="live in-terminal dashboard over a served /stats endpoint",
     )
@@ -515,6 +598,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "priority": cmd_priority,
         "batch": cmd_batch,
         "stats": cmd_stats,
+        "serve": cmd_serve,
         "serve-metrics": cmd_serve_metrics,
         "watch": cmd_watch,
     }

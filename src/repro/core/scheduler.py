@@ -16,6 +16,7 @@ callers (benchmarks, the simulator) can report certification status.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
@@ -101,14 +102,21 @@ def greedy_schedule(dag: ComputationDag, name: str = "greedy") -> Schedule:
 
 def schedule_dag(
     target: ComputationDag | CompositionChain,
+    *args,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
-    *,
     parallel: bool = False,
     workers: int | None = None,
     cache: ProfileCache | bool = True,
 ) -> SchedulingResult:
     """Schedule ``target`` with the strongest available certificate.
+
+    The stable entry point for this operation is
+    :func:`repro.api.schedule`; ``schedule_dag`` remains supported,
+    but its tuning options are keyword-only — the historical
+    positional forms ``schedule_dag(dag, limit)`` and
+    ``schedule_dag(dag, limit, budget)`` still work and emit a
+    :class:`DeprecationWarning` (see ``docs/API_MIGRATION.md``).
 
     Parameters
     ----------
@@ -137,6 +145,22 @@ def schedule_dag(
     the certificate granted) in the process-wide metrics registry and
     opens a ``scheduler.schedule_dag`` span when tracing is enabled.
     """
+    if args:
+        warnings.warn(
+            "passing exhaustive_limit/state_budget to schedule_dag "
+            "positionally is deprecated; pass them as keywords (or "
+            "use repro.api.schedule) — see docs/API_MIGRATION.md",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > 2:
+            raise TypeError(
+                f"schedule_dag takes at most 3 positional arguments "
+                f"({1 + len(args)} given)"
+            )
+        exhaustive_limit = args[0]
+        if len(args) == 2:
+            state_budget = args[1]
     name = target.dag.name if isinstance(target, CompositionChain) \
         else target.name
     with span("scheduler.schedule_dag", dag=name) as sp:

@@ -10,7 +10,9 @@ live), and the search/cache/scheduler counters.  Zero dependencies:
 
 The renderer is a pure function of the ``/stats`` JSON
 (:func:`render_dashboard`), so it is golden-testable without a
-network; :func:`watch` adds the poll-render-sleep loop.
+network; :func:`watch` adds the poll-render-sleep loop.  Snapshot
+decoding (values, labeled series, number formatting) comes from
+:mod:`repro.obs.exposition`, the same helper the servers encode with.
 """
 
 from __future__ import annotations
@@ -20,6 +22,10 @@ import sys
 import time
 import urllib.error
 import urllib.request
+
+from .exposition import format_number as _fmt
+from .exposition import snapshot_series as _series
+from .exposition import snapshot_value as _value
 
 __all__ = ["fetch_stats", "render_dashboard", "watch"]
 
@@ -38,43 +44,6 @@ def fetch_stats(url: str, timeout: float = 5.0) -> dict:
         base += "/stats"
     with urllib.request.urlopen(base, timeout=timeout) as resp:
         return json.loads(resp.read().decode("utf-8"))
-
-
-# ----------------------------------------------------------------------
-# snapshot readers
-# ----------------------------------------------------------------------
-
-
-def _value(metrics: dict, name: str, default=0):
-    """The unlabeled value of ``name`` in a registry snapshot (label
-    children summed, like ``MetricsRegistry.value``)."""
-    m = metrics.get(name)
-    if m is None:
-        return default
-    if "series" in m:
-        total = default
-        for entry in m["series"]:
-            total += entry["value"]
-        return total
-    return m.get("value", default)
-
-
-def _series(metrics: dict, name: str) -> dict[tuple, float]:
-    """``{label-values-tuple: value}`` for a labeled metric."""
-    m = metrics.get(name)
-    if m is None or "series" not in m:
-        return {}
-    names = m.get("labelnames", [])
-    return {
-        tuple(str(entry["labels"][n]) for n in names): entry["value"]
-        for entry in m["series"]
-    }
-
-
-def _fmt(v) -> str:
-    if isinstance(v, float):
-        return f"{v:g}" if v == int(v) else f"{v:.3f}"
-    return str(v)
 
 
 # ----------------------------------------------------------------------

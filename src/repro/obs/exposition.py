@@ -1,0 +1,131 @@
+"""Shared JSON / Prometheus exposition helpers.
+
+One serialization vocabulary for every HTTP surface of the library —
+the observability server (:mod:`repro.obs.server`), the in-terminal
+dashboard (:mod:`repro.obs.dashboard`), and the scheduling service
+(:mod:`repro.service.http`) — so payload shapes, content types, and
+number formatting cannot drift apart:
+
+* content-type constants (:data:`PROM_CONTENT_TYPE`,
+  :data:`JSON_CONTENT_TYPE`, ...);
+* :func:`json_body` / :func:`prometheus_body` — the canonical wire
+  encodings (sorted keys, trailing newline);
+* :func:`stats_payload` — the ``/stats`` JSON document (registry
+  snapshot + tracer/uptime meta), built identically by every server;
+* :func:`snapshot_value` / :func:`snapshot_series` /
+  :func:`format_number` — the matching *readers*, used by anything
+  consuming a registry snapshot shipped as JSON (the dashboard, the
+  service benchmarks, tests).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "JSON_CONTENT_TYPE",
+    "NDJSON_CONTENT_TYPE",
+    "PROM_CONTENT_TYPE",
+    "TEXT_CONTENT_TYPE",
+    "format_number",
+    "json_body",
+    "prometheus_body",
+    "snapshot_series",
+    "snapshot_value",
+    "stats_payload",
+]
+
+#: the Prometheus text exposition content type (format version 0.0.4).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json"
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+
+
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+
+
+def json_body(payload) -> str:
+    """The canonical JSON wire encoding: sorted keys, one trailing
+    newline (byte-stable for a given payload — golden-test friendly)."""
+    return json.dumps(payload, sort_keys=True) + "\n"
+
+
+def prometheus_body(registry: MetricsRegistry) -> str:
+    """The Prometheus text-format body for ``registry``."""
+    return registry.to_prometheus()
+
+
+def stats_payload(
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    *,
+    ready: bool,
+    uptime_seconds: float,
+    extra: dict | None = None,
+) -> dict:
+    """The ``/stats`` JSON document every repro HTTP server publishes.
+
+    ``extra`` merges additional top-level sections (the scheduling
+    service adds its ``service`` block) without letting them shadow the
+    shared keys.
+    """
+    payload = {
+        "metrics": registry.snapshot(),
+        "tracer": {
+            "enabled": tracer.enabled,
+            "retained": len(tracer),
+            "dropped": tracer.dropped,
+        },
+        "ready": ready,
+        "uptime_seconds": uptime_seconds,
+    }
+    if extra:
+        for key, value in extra.items():
+            payload.setdefault(key, value)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# snapshot readers
+# ----------------------------------------------------------------------
+
+
+def snapshot_value(metrics: dict, name: str, default=0):
+    """The unlabeled value of ``name`` in a registry snapshot (label
+    children summed, like ``MetricsRegistry.value``)."""
+    m = metrics.get(name)
+    if m is None:
+        return default
+    if "series" in m:
+        total = default
+        for entry in m["series"]:
+            total += entry["value"]
+        return total
+    return m.get("value", default)
+
+
+def snapshot_series(metrics: dict, name: str) -> dict[tuple, float]:
+    """``{label-values-tuple: value}`` for a labeled metric in a
+    registry snapshot."""
+    m = metrics.get(name)
+    if m is None or "series" not in m:
+        return {}
+    names = m.get("labelnames", [])
+    return {
+        tuple(str(entry["labels"][n]) for n in names): entry["value"]
+        for entry in m["series"]
+    }
+
+
+def format_number(v) -> str:
+    """Human-facing number formatting shared by the dashboard and CLI
+    tables: integers bare, floats to three decimals."""
+    if isinstance(v, float):
+        return f"{v:g}" if v == int(v) else f"{v:.3f}"
+    return str(v)

@@ -1,22 +1,31 @@
-"""HTTP exposition of the observability subsystem.
+"""HTTP exposition of the observability subsystem — and the hardened
+stdlib HTTP base every repro server builds on.
 
-:class:`ObsServer` is a zero-dependency (stdlib ``http.server``),
-thread-based HTTP service publishing the process-wide metrics registry
-and tracer, so a running scheduler/simulation can be scraped and
-watched from outside the process:
+Two layers live here:
 
-=============  =====================================================
-endpoint       response
-=============  =====================================================
-``/metrics``   Prometheus text exposition format 0.0.4
-               (``text/plain; version=0.0.4``)
-``/stats``     JSON: the registry snapshot plus tracer/uptime meta
-``/healthz``   ``200 ok`` while the process is alive (liveness)
-``/readyz``    ``200 ready`` / ``503 not ready`` (readiness; toggle
-               via :attr:`ObsServer.ready`)
-``/traces``    recent trace records as JSONL
-               (``?limit=N`` keeps the newest N)
-=============  =====================================================
+* :class:`HTTPServiceBase` / :class:`HardenedHandler` — a reusable,
+  zero-dependency (stdlib ``http.server``) threading HTTP server with
+  the hardening every long-lived repro endpoint needs: per-request
+  socket timeouts (slow-loris cutoff), a request-path length cap
+  (``414``), bounded JSON request bodies (``413``/``400``), and
+  drain-on-stop (every in-flight or new request is answered ``503``
+  with ``Connection: close`` while shutting down, so a stalled client
+  can never wedge :meth:`~HTTPServiceBase.stop`).  The scheduling
+  service (:mod:`repro.service.http`) subclasses this base.
+* :class:`ObsServer` — the observability endpoints on that base:
+
+  =============  =====================================================
+  endpoint       response
+  =============  =====================================================
+  ``/metrics``   Prometheus text exposition format 0.0.4
+                 (``text/plain; version=0.0.4``)
+  ``/stats``     JSON: the registry snapshot plus tracer/uptime meta
+  ``/healthz``   ``200 ok`` while the process is alive (liveness)
+  ``/readyz``    ``200 ready`` / ``503 not ready`` (readiness; toggle
+                 via :attr:`ObsServer.ready`)
+  ``/traces``    recent trace records as JSONL
+                 (``?limit=N`` keeps the newest N)
+  =============  =====================================================
 
 The server resolves the *global* registry/tracer at request time
 unless constructed with explicit instances, so ``set_global_registry``
@@ -42,13 +51,25 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from .exposition import (
+    JSON_CONTENT_TYPE,
+    NDJSON_CONTENT_TYPE,
+    PROM_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    json_body,
+    prometheus_body,
+    stats_payload,
+)
 from .metrics import MetricsRegistry, global_registry
 from .tracing import Tracer, global_tracer
 
-__all__ = ["ObsServer", "PROM_CONTENT_TYPE"]
-
-#: the Prometheus text exposition content type (format version 0.0.4).
-PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+__all__ = [
+    "HTTPServiceBase",
+    "HardenedHandler",
+    "ObsServer",
+    "PROM_CONTENT_TYPE",
+    "RequestError",
+]
 
 
 #: per-request socket timeout (seconds) unless the server overrides it:
@@ -63,26 +84,49 @@ DEFAULT_REQUEST_TIMEOUT = 5.0
 #: earlier).
 MAX_PATH_LENGTH = 2048
 
+#: largest accepted JSON request body (bytes); bigger bodies are
+#: answered ``413`` without being read into memory.
+MAX_BODY_BYTES = 4 * 1024 * 1024
 
-class _Handler(BaseHTTPRequestHandler):
-    """Request handler bound to one :class:`ObsServer` (set as the
-    ``obs`` class attribute of a per-server subclass)."""
 
-    obs: "ObsServer"
+class RequestError(Exception):
+    """A client error a route wants turned into an HTTP response.
+
+    Raised inside a route handler with a status and message;
+    :class:`HardenedHandler` converts it to a JSON error payload.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HardenedHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`HTTPServiceBase` (set as
+    the ``svc`` class attribute of a per-server subclass).
+
+    Applies the shared hardening before any routing: drain-on-stop
+    (503 + close), the path length cap (414), and per-request socket
+    timeouts (the per-server subclass overrides :attr:`timeout`).
+    Routing itself is delegated to ``svc.dispatch``.
+    """
+
+    svc: "HTTPServiceBase"
     protocol_version = "HTTP/1.1"
-    server_version = "repro-obs"
+    server_version = "repro"
     #: socket timeout; ``BaseHTTPRequestHandler`` applies it to the
     #: connection and turns a mid-request stall into a closed
     #: connection (the per-server subclass overrides this with
-    #: ``ObsServer.request_timeout``).
+    #: ``HTTPServiceBase.request_timeout``).
     timeout = DEFAULT_REQUEST_TIMEOUT
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         pass  # scrapers poll; default stderr logging would spam
 
-    def _respond(self, status: int, body: str, content_type: str,
-                 close: bool = False) -> None:
+    def respond(self, status: int, body: str, content_type: str,
+                close: bool = False) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
@@ -93,70 +137,176 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _json(self, status: int, payload) -> None:
-        self._respond(status, json.dumps(payload, sort_keys=True) + "\n",
-                      "application/json")
+    def respond_json(self, status: int, payload) -> None:
+        self.respond(status, json_body(payload), JSON_CONTENT_TYPE)
 
-    # -- routes --------------------------------------------------------
+    def read_json_body(self, max_bytes: int = MAX_BODY_BYTES):
+        """Parse the request body as JSON, enforcing the size cap.
+
+        Raises :class:`RequestError` (413 oversized / 400 malformed),
+        which :meth:`_handle` converts into the JSON error response.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise RequestError(411, "missing or bad Content-Length") \
+                from None
+        if length > max_bytes:
+            raise RequestError(
+                413, f"request body exceeds {max_bytes} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError(400, "empty request body; expected JSON")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(400, f"malformed JSON body: {exc}") \
+                from None
+
+    # -- dispatch ------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
-        if self.obs.closing:
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        if self.svc.closing:
             # shutdown drain: answer (don't hang) and shed the
-            # connection, so a scraper mid-poll can never wedge stop().
-            self._respond(503, "shutting down\n",
-                          "text/plain; charset=utf-8", close=True)
+            # connection, so a client mid-request can never wedge
+            # stop().
+            self.respond(503, "shutting down\n", TEXT_CONTENT_TYPE,
+                         close=True)
             return
-        if len(self.path) > MAX_PATH_LENGTH:
-            self._respond(414, "request path too long\n",
-                          "text/plain; charset=utf-8", close=True)
+        if len(self.path) > self.svc.max_path_length:
+            self.respond(414, "request path too long\n",
+                         TEXT_CONTENT_TYPE, close=True)
             return
         url = urlsplit(self.path)
-        route = getattr(self, f"_route_{url.path.strip('/')}", None)
-        if route is None:
-            self._json(404, {"error": f"no such endpoint {url.path!r}",
-                             "endpoints": sorted(ENDPOINTS)})
-            return
         try:
-            route(parse_qs(url.query))
+            self.svc.dispatch(self, method, url.path,
+                              parse_qs(url.query))
+        except RequestError as exc:
+            self.respond_json(exc.status, {"error": exc.message})
         except BrokenPipeError:  # client went away mid-response
             pass
 
-    def _route_metrics(self, _query) -> None:
-        self._respond(200, self.obs.registry.to_prometheus(),
-                      PROM_CONTENT_TYPE)
 
-    def _route_stats(self, _query) -> None:
-        self._json(200, self.obs.stats())
+class HTTPServiceBase:
+    """Lifecycle and hardening shared by every repro HTTP server.
 
-    def _route_healthz(self, _query) -> None:
-        self._respond(200, "ok\n", "text/plain; charset=utf-8")
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 asks the OS for an ephemeral port (read
+        it back from :attr:`port` after :meth:`start`).
+    request_timeout:
+        Per-request socket timeout (seconds).  A connection that
+        stalls mid-request — a slow-loris client — or idles between
+        keep-alive requests longer than this is closed, so wedged
+        clients cannot pin serving threads.
 
-    def _route_readyz(self, _query) -> None:
-        if self.obs.ready:
-            self._respond(200, "ready\n", "text/plain; charset=utf-8")
-        else:
-            self._respond(503, "not ready\n", "text/plain; charset=utf-8")
+    Usable as a context manager; the served URL is :attr:`url`.
+    :attr:`ready` backs ``/readyz`` handlers and starts ``True``;
+    :attr:`closing` flips during :meth:`stop`, making every in-flight
+    or new request answer ``503`` and drop the connection so shutdown
+    can never be held hostage by a client.  Subclasses implement
+    :meth:`dispatch`.
+    """
 
-    def _route_traces(self, query) -> None:
-        records = self.obs.tracer.records()
-        if "limit" in query:
-            try:
-                limit = int(query["limit"][0])
-                if limit < 0:
-                    raise ValueError
-            except ValueError:
-                self._json(400, {"error": "limit must be a "
-                                          "non-negative integer"})
-                return
-            records = records[len(records) - limit:] if limit else []
-        body = "".join(rec.to_json() + "\n" for rec in records)
-        self._respond(200, body, "application/x-ndjson")
+    handler_class: type[HardenedHandler] = HardenedHandler
+    max_path_length = MAX_PATH_LENGTH
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self._port = port
+        self.request_timeout = request_timeout
+        self.ready = True
+        self.closing = False
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+
+    # -- routing -------------------------------------------------------
+    def dispatch(self, handler: HardenedHandler, method: str,
+                 path: str, query: dict) -> None:
+        """Route one hardened request; subclasses override."""
+        raise NotImplementedError
+
+    # -- introspection -------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after start)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self._started_at if self._started_at else 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "HTTPServiceBase":
+        """Bind and serve from a daemon thread; returns ``self``.
+
+        Raises ``OSError`` when the address is unavailable (port in
+        use, privileged port, ...).
+        """
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self.closing = False
+        handler = type("_BoundHandler", (self.handler_class,),
+                       {"svc": self, "timeout": self.request_timeout})
+        self._httpd = ThreadingHTTPServer((self.host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"{type(self).__name__}:{self.port}",
+            daemon=True,
+        )
+        self._started_at = time.time()
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread.
+
+        Enters drain mode first (``closing = True`` — every request
+        from here on is answered ``503`` with the connection closed),
+        so shutdown is never blocked behind a slow client."""
+        if self._httpd is None:
+            return
+        self.closing = True
+        self.ready = False
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "HTTPServiceBase":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
 
 #: served endpoint paths (the 404 payload lists them).
 ENDPOINTS = ("/metrics", "/stats", "/healthz", "/readyz", "/traces")
 
 
-class ObsServer:
+class ObsServer(HTTPServiceBase):
     """Thread-based HTTP exposition of a registry and tracer.
 
     Parameters
@@ -165,20 +315,8 @@ class ObsServer:
         Explicit instances to serve; default ``None`` resolves the
         process-wide globals *at request time* (so global swaps are
         picked up immediately).
-    host, port:
-        Bind address; port 0 asks the OS for an ephemeral port (read
-        it back from :attr:`port` after :meth:`start`).
-    request_timeout:
-        Per-request socket timeout (seconds).  A connection that
-        stalls mid-request — a slow-loris scraper — or idles between
-        keep-alive requests longer than this is closed, so wedged
-        clients cannot pin serving threads.
-
-    Usable as a context manager (``with ObsServer() as srv: ...``);
-    the served URL is :attr:`url`.  :attr:`ready` backs ``/readyz``
-    and starts ``True``; :attr:`closing` flips during :meth:`stop`,
-    making every in-flight or new request answer ``503`` and drop the
-    connection so shutdown can never be held hostage by a scraper.
+    host, port, request_timeout:
+        See :class:`HTTPServiceBase`.
     """
 
     def __init__(
@@ -189,16 +327,9 @@ class ObsServer:
         port: int = 0,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
+        super().__init__(host, port, request_timeout)
         self._registry = registry
         self._tracer = tracer
-        self.host = host
-        self._port = port
-        self.request_timeout = request_timeout
-        self.ready = True
-        self.closing = False
-        self._httpd: ThreadingHTTPServer | None = None
-        self._thread: threading.Thread | None = None
-        self._started_at = 0.0
 
     # -- resolution ----------------------------------------------------
     @property
@@ -211,75 +342,58 @@ class ObsServer:
         return self._tracer if self._tracer is not None \
             else global_tracer()
 
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ephemeral port 0 after start)."""
-        if self._httpd is not None:
-            return self._httpd.server_address[1]
-        return self._port
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
     def stats(self) -> dict:
         """The ``/stats`` payload: registry snapshot + process meta."""
-        tracer = self.tracer
-        return {
-            "metrics": self.registry.snapshot(),
-            "tracer": {
-                "enabled": tracer.enabled,
-                "retained": len(tracer),
-                "dropped": tracer.dropped,
-            },
-            "ready": self.ready,
-            "uptime_seconds": (
-                time.time() - self._started_at if self._started_at else 0.0
-            ),
-        }
-
-    # -- lifecycle -----------------------------------------------------
-    def start(self) -> "ObsServer":
-        """Bind and serve from a daemon thread; returns ``self``.
-
-        Raises ``OSError`` when the address is unavailable (port in
-        use, privileged port, ...).
-        """
-        if self._httpd is not None:
-            raise RuntimeError("server already started")
-        self.closing = False
-        handler = type("_BoundHandler", (_Handler,),
-                       {"obs": self, "timeout": self.request_timeout})
-        self._httpd = ThreadingHTTPServer((self.host, self._port), handler)
-        self._httpd.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name=f"repro-obs-server:{self.port}",
-            daemon=True,
+        return stats_payload(
+            self.registry,
+            self.tracer,
+            ready=self.ready,
+            uptime_seconds=self.uptime_seconds,
         )
-        self._started_at = time.time()
-        self._thread.start()
-        return self
 
-    def stop(self) -> None:
-        """Shut the listener down and join the serving thread.
-
-        Enters drain mode first (``closing = True`` — every request
-        from here on is answered ``503`` with the connection closed),
-        so shutdown is never blocked behind a slow scraper."""
-        if self._httpd is None:
+    # -- routes --------------------------------------------------------
+    def dispatch(self, handler: HardenedHandler, method: str,
+                 path: str, query: dict) -> None:
+        if method != "GET":
+            handler.respond_json(
+                405, {"error": f"method {method} not allowed"}
+            )
             return
-        self.closing = True
-        self.ready = False
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        self._thread.join(timeout=5.0)
-        self._httpd = None
-        self._thread = None
+        route = getattr(self, f"_route_{path.strip('/')}", None)
+        if route is None:
+            handler.respond_json(
+                404, {"error": f"no such endpoint {path!r}",
+                      "endpoints": sorted(ENDPOINTS)})
+            return
+        route(handler, query)
 
-    def __enter__(self) -> "ObsServer":
-        return self.start()
+    def _route_metrics(self, handler, _query) -> None:
+        handler.respond(200, prometheus_body(self.registry),
+                        PROM_CONTENT_TYPE)
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    def _route_stats(self, handler, _query) -> None:
+        handler.respond_json(200, self.stats())
+
+    def _route_healthz(self, handler, _query) -> None:
+        handler.respond(200, "ok\n", TEXT_CONTENT_TYPE)
+
+    def _route_readyz(self, handler, _query) -> None:
+        if self.ready:
+            handler.respond(200, "ready\n", TEXT_CONTENT_TYPE)
+        else:
+            handler.respond(503, "not ready\n", TEXT_CONTENT_TYPE)
+
+    def _route_traces(self, handler, query) -> None:
+        records = self.tracer.records()
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+                if limit < 0:
+                    raise ValueError
+            except ValueError:
+                raise RequestError(
+                    400, "limit must be a non-negative integer"
+                ) from None
+            records = records[len(records) - limit:] if limit else []
+        body = "".join(rec.to_json() + "\n" for rec in records)
+        handler.respond(200, body, NDJSON_CONTENT_TYPE)

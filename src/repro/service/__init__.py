@@ -1,0 +1,42 @@
+"""``repro.service`` — scheduling-as-a-service.
+
+The library's certification and simulation machinery behind a
+long-lived, multi-client HTTP endpoint (see ``docs/SERVICE.md``):
+
+:mod:`repro.service.registry`
+    :class:`DagRegistry` — the sharded, lock-striped,
+    content-addressed store of submitted dags and their certified
+    schedules (bounded by per-shard LRU spill).
+:mod:`repro.service.pipeline`
+    :class:`RequestPipeline` — bounded admission (backpressure →
+    429), single-flight coalescing of concurrent certification
+    requests per fingerprint, micro-batched simulation on a worker
+    pool, and graceful degradation to the heuristic schedule.
+:mod:`repro.service.http`
+    :class:`SchedulingService` — the stdlib HTTP JSON API on the
+    hardened :class:`~repro.obs.server.HTTPServiceBase`.
+
+The service consumes the library only through the stable
+:mod:`repro.api` facade.  Start one with ``repro serve --port 8080``
+or programmatically::
+
+    from repro.service import SchedulingService
+
+    with SchedulingService(port=8080) as svc:
+        print("serving on", svc.url)
+        ...
+"""
+
+from .http import ENDPOINTS, SchedulingService
+from .pipeline import PipelineConfig, RejectedError, RequestPipeline
+from .registry import DagEntry, DagRegistry
+
+__all__ = [
+    "ENDPOINTS",
+    "DagEntry",
+    "DagRegistry",
+    "PipelineConfig",
+    "RejectedError",
+    "RequestPipeline",
+    "SchedulingService",
+]

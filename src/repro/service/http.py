@@ -1,0 +1,323 @@
+"""Scheduling-as-a-service: the HTTP JSON API.
+
+A zero-dependency (stdlib ``http.server``) JSON service over the
+request pipeline, built on the same hardened base as the
+observability server (:class:`repro.obs.server.HTTPServiceBase` —
+per-request socket timeouts, path-length cap, bounded JSON bodies,
+drain-on-stop):
+
+==========================  ==========================================
+endpoint                    semantics
+==========================  ==========================================
+``POST /v1/dags``           submit a dag (the ``dag_to_dict`` wire
+                            format); registers it content-addressed
+                            and certifies a schedule — coalesced with
+                            concurrent submissions of the same
+                            structure; ``429`` under backpressure
+``GET /v1/schedules/{fp}``  the certified schedule for a registered
+                            fingerprint
+``POST /v1/simulate``       run the simulator on a submitted dag
+                            (micro-batched onto the worker pool);
+                            ``429`` when the queue is full, ``504``
+                            when the batch window backs up past the
+                            request timeout
+``GET /healthz``            liveness
+``GET /readyz``             readiness (pipeline running)
+``GET /metrics``            Prometheus text format 0.0.4
+``GET /stats``              JSON: metrics snapshot + ``service``
+                            section (registry occupancy, pipeline
+                            config)
+==========================  ==========================================
+
+Responses are the canonical JSON wire encoding
+(:func:`repro.obs.exposition.json_body`: sorted keys, trailing
+newline).  Errors are ``{"error": ...}`` JSON with conventional status
+codes.  The service consumes the library exclusively through the
+:mod:`repro.api` facade (via the pipeline) — it performs no scheduling
+itself.
+
+CLI surface: ``repro serve --port P`` (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from ..api import API_VERSION, dag_from_dict, schedule_to_dict
+from ..exceptions import ReproError, SimulationError
+from ..obs.exposition import (
+    PROM_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    prometheus_body,
+    stats_payload,
+)
+from ..obs.metrics import global_registry
+from ..obs.server import (
+    DEFAULT_REQUEST_TIMEOUT,
+    HardenedHandler,
+    HTTPServiceBase,
+    RequestError,
+)
+from ..obs.tracing import global_tracer
+from .pipeline import PipelineConfig, RejectedError, RequestPipeline
+from .registry import DagRegistry
+
+__all__ = ["ENDPOINTS", "SchedulingService"]
+
+#: served endpoints (the 404 payload lists them).
+ENDPOINTS = (
+    "POST /v1/dags",
+    "GET /v1/schedules/{fingerprint}",
+    "POST /v1/simulate",
+    "GET /healthz",
+    "GET /readyz",
+    "GET /metrics",
+    "GET /stats",
+)
+
+#: simulation options accepted over the wire, with their validators.
+#: Everything else in :func:`repro.api.simulate`'s signature (work
+#: callables, fault plans, trace recording, explicit schedules) is
+#: process-local by nature and not exposed.
+_SIM_OPTIONS: dict[str, type] = {
+    "policy": str,
+    "clients": int,
+    "seed": int,
+    "work": float,
+    "comm_per_input": float,
+    "exhaustive_limit": int,
+    "state_budget": int,
+}
+
+
+class SchedulingService(HTTPServiceBase):
+    """The scheduling service: registry + pipeline behind HTTP JSON.
+
+    Parameters
+    ----------
+    host, port, request_timeout:
+        See :class:`~repro.obs.server.HTTPServiceBase`.
+    registry:
+        The :class:`~repro.service.registry.DagRegistry` to serve
+        from; default builds a fresh one.
+    pipeline_config:
+        Admission / coalescing / batching knobs
+        (:class:`~repro.service.pipeline.PipelineConfig`).
+
+    ``start()`` spins up the request pipeline (collector thread +
+    worker pool) alongside the listener; ``stop()`` drains both.
+    Usable as a context manager, like every repro server.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        registry: DagRegistry | None = None,
+        pipeline_config: PipelineConfig | None = None,
+    ) -> None:
+        super().__init__(host, port, request_timeout)
+        self.registry = registry if registry is not None else DagRegistry()
+        self.pipeline = RequestPipeline(self.registry, pipeline_config)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "SchedulingService":
+        self.pipeline.start()
+        try:
+            super().start()
+        except BaseException:
+            self.pipeline.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        super().stop()  # drain HTTP first so no new work arrives
+        self.pipeline.stop()
+
+    # -- routing -------------------------------------------------------
+    def dispatch(self, handler: HardenedHandler, method: str,
+                 path: str, query: dict) -> None:
+        if path == "/v1/dags":
+            self._require(method, "POST")
+            self._route_submit(handler)
+        elif path.startswith("/v1/schedules/"):
+            self._require(method, "GET")
+            self._route_schedule(handler, path[len("/v1/schedules/"):])
+        elif path == "/v1/simulate":
+            self._require(method, "POST")
+            self._route_simulate(handler)
+        elif path == "/healthz":
+            self._require(method, "GET")
+            handler.respond(200, "ok\n", TEXT_CONTENT_TYPE)
+        elif path == "/readyz":
+            self._require(method, "GET")
+            if self.ready:
+                handler.respond(200, "ready\n", TEXT_CONTENT_TYPE)
+            else:
+                handler.respond(503, "not ready\n", TEXT_CONTENT_TYPE)
+        elif path == "/metrics":
+            self._require(method, "GET")
+            handler.respond(200, prometheus_body(global_registry()),
+                            PROM_CONTENT_TYPE)
+        elif path == "/stats":
+            self._require(method, "GET")
+            handler.respond_json(200, self.stats())
+        else:
+            handler.respond_json(
+                404, {"error": f"no such endpoint {path!r}",
+                      "endpoints": list(ENDPOINTS)})
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(405, f"method {method} not allowed")
+
+    # -- routes --------------------------------------------------------
+    def _route_submit(self, handler: HardenedHandler) -> None:
+        body = handler.read_json_body()
+        if not isinstance(body, dict):
+            raise RequestError(400, "expected a JSON object")
+        # accept the dag either bare or wrapped as {"dag": {...}}
+        payload = body.get("dag", body)
+        if not isinstance(payload, dict):
+            raise RequestError(400, "'dag' must be a JSON object")
+        try:
+            dag = dag_from_dict(payload)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise RequestError(400, f"bad dag: {exc}") from None
+        try:
+            entry, how = self.pipeline.submit_dag(dag)
+        except RejectedError as exc:
+            raise RequestError(429, str(exc)) from None
+        sched = entry.schedule
+        assert sched is not None, "submit_dag returns certified entries"
+        handler.respond_json(200, {
+            "api_version": API_VERSION,
+            "fingerprint": entry.fingerprint,
+            "how": how,
+            "certificate": sched.certificate,
+            "ic_optimal": sched.ic_optimal,
+            "profile": list(sched.profile),
+            "schedule_path": f"/v1/schedules/{entry.fingerprint}",
+        })
+
+    def _route_schedule(self, handler: HardenedHandler,
+                        fingerprint: str) -> None:
+        entry = self.registry.get(fingerprint)
+        if entry is None:
+            raise RequestError(
+                404, f"no registered dag with fingerprint "
+                     f"{fingerprint!r} (never submitted, or spilled "
+                     f"from the registry — resubmit via POST /v1/dags)"
+            )
+        sched = entry.schedule
+        if sched is None:
+            raise RequestError(
+                409, "dag registered but not certified yet"
+            )
+        handler.respond_json(200, {
+            "api_version": API_VERSION,
+            "fingerprint": entry.fingerprint,
+            "certificate": sched.certificate,
+            "ic_optimal": sched.ic_optimal,
+            "profile": list(sched.profile),
+            "hits": entry.hits,
+            "schedule": schedule_to_dict(sched.schedule),
+        })
+
+    def _route_simulate(self, handler: HardenedHandler) -> None:
+        body = handler.read_json_body()
+        if not isinstance(body, dict):
+            raise RequestError(400, "expected a JSON object")
+        dag = self._resolve_sim_dag(body)
+        kwargs = {}
+        for key, value in body.items():
+            if key in ("dag", "fingerprint"):
+                continue
+            caster = _SIM_OPTIONS.get(key)
+            if caster is None:
+                raise RequestError(
+                    400, f"unknown simulation option {key!r} "
+                         f"(accepted: {sorted(_SIM_OPTIONS)})"
+                )
+            try:
+                kwargs[key] = caster(value)
+            except (TypeError, ValueError):
+                raise RequestError(
+                    400, f"option {key!r} must be {caster.__name__}"
+                ) from None
+        try:
+            future = self.pipeline.submit_simulation(dag, **kwargs)
+        except RejectedError as exc:
+            raise RequestError(429, str(exc)) from None
+        try:
+            result = future.result(
+                timeout=self.pipeline.config.request_timeout
+            )
+        except FutureTimeoutError:
+            future.cancel()
+            raise RequestError(504, "simulation timed out") from None
+        except RejectedError as exc:
+            raise RequestError(429, str(exc)) from None
+        except (ReproError, SimulationError, ValueError) as exc:
+            raise RequestError(400, f"simulation failed: {exc}") \
+                from None
+        handler.respond_json(200, {
+            "api_version": API_VERSION,
+            "fingerprint": result.fingerprint,
+            "policy": result.policy,
+            "certificate": result.certificate,
+            "makespan": result.makespan,
+            "utilization": result.utilization,
+            "starvation_events": result.starvation_events,
+            "idle_time": result.idle_time,
+            "completed": result.completed,
+            "lost_allocations": result.lost_allocations,
+            "mean_headroom": result.mean_headroom,
+        })
+
+    def _resolve_sim_dag(self, body: dict):
+        """The dag to simulate: inline (``dag``) or by reference to a
+        previously submitted fingerprint (``fingerprint``)."""
+        if "dag" in body:
+            if not isinstance(body["dag"], dict):
+                raise RequestError(400, "'dag' must be a JSON object")
+            try:
+                return dag_from_dict(body["dag"])
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                raise RequestError(400, f"bad dag: {exc}") from None
+        if "fingerprint" in body:
+            entry = self.registry.get(str(body["fingerprint"]))
+            if entry is None:
+                raise RequestError(
+                    404, f"no registered dag with fingerprint "
+                         f"{body['fingerprint']!r}"
+                )
+            return entry.dag
+        raise RequestError(400, "provide 'dag' or 'fingerprint'")
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        cfg = self.pipeline.config
+        return stats_payload(
+            global_registry(),
+            global_tracer(),
+            ready=self.ready,
+            uptime_seconds=self.uptime_seconds,
+            extra={
+                "service": {
+                    "api_version": API_VERSION,
+                    "registry": self.registry.stats(),
+                    "pipeline": {
+                        "max_inflight": cfg.max_inflight,
+                        "max_queue": cfg.max_queue,
+                        "workers": cfg.workers,
+                        "batch_max": cfg.batch_max,
+                        "batch_window": cfg.batch_window,
+                        "exhaustive_limit": cfg.exhaustive_limit,
+                        "state_budget": cfg.state_budget,
+                    },
+                },
+            },
+        )

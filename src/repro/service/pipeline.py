@@ -1,0 +1,363 @@
+"""The service request pipeline: admission, coalescing, batching.
+
+Between the HTTP layer and the :mod:`repro.api` facade sits one
+pipeline enforcing the serving disciplines the ROADMAP's
+heavy-traffic goal needs:
+
+* **bounded admission** — at most ``max_inflight`` scheduling
+  requests and ``max_queue`` queued simulation requests exist at any
+  moment; excess load is *rejected immediately* (the HTTP layer turns
+  that into ``429 Too Many Requests``) rather than queued without
+  bound, so latency stays bounded and memory per request cannot grow
+  with offered load (``service_rejected_total{reason}``);
+* **coalescing (single-flight)** — concurrent scheduling requests for
+  the same dag fingerprint share *one* certification search: the
+  first requester runs it, every concurrent duplicate parks on an
+  event and receives the same result
+  (``service_coalesced_total`` / ``service_searches_total`` — the
+  coalescing hit rate gated by ``benchmarks/bench_service.py``).
+  This is the cross-request analogue of the in-process
+  :class:`~repro.core.profile_cache.ProfileCache`, which only
+  helps *after* a result is stored — under a thundering herd all
+  first requests miss the cache simultaneously and would each run
+  the exhaustive search without this;
+* **micro-batching** — simulation requests are drained from the
+  admission queue by a collector thread in small batches (up to
+  ``batch_max`` requests or ``batch_window`` seconds, whichever
+  first) and fanned onto a fixed worker pool, amortizing dispatch
+  and keeping worker threads hot
+  (``service_batches_total`` / ``service_batched_requests_total``);
+* **graceful degradation** — per ``docs/ROBUSTNESS.md``: when the
+  certification search fails (state-budget exhaustion, worker-pool
+  loss, any unexpected error) the pipeline falls back to the greedy
+  heuristic schedule — certificate ``"heuristic"`` — instead of
+  failing the request (``service_degraded_total``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .. import api
+from ..core.dag import ComputationDag
+from ..obs import global_registry, span
+from .registry import DagEntry, DagRegistry
+
+__all__ = ["PipelineConfig", "RejectedError", "RequestPipeline"]
+
+
+class RejectedError(Exception):
+    """Admission control rejected the request (backpressure).
+
+    The HTTP layer maps this onto ``429 Too Many Requests``.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"request rejected: {reason}")
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs for one :class:`RequestPipeline`."""
+
+    #: concurrent scheduling requests admitted (searches + waiters)
+    max_inflight: int = 32
+    #: queued simulation requests admitted
+    max_queue: int = 64
+    #: simulation worker threads
+    workers: int = 4
+    #: micro-batch: max requests drained per batch
+    batch_max: int = 16
+    #: micro-batch: max seconds the collector waits to fill a batch
+    batch_window: float = 0.005
+    #: seconds a coalesced waiter / queued simulation may wait before
+    #: the request times out (the HTTP layer answers 504)
+    request_timeout: float = 60.0
+    #: scheduling options forwarded to :func:`repro.api.schedule`
+    exhaustive_limit: int = 24
+    state_budget: int = 500_000
+    parallel: bool = False
+
+
+class _Flight:
+    """One in-progress certification search (single-flight slot)."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: DagEntry | None = None
+        self.error: BaseException | None = None
+
+
+class _SimRequest:
+    """One queued simulation request awaiting its micro-batch."""
+
+    __slots__ = ("dag", "kwargs", "future")
+
+    def __init__(self, dag: ComputationDag, kwargs: dict) -> None:
+        self.dag = dag
+        self.kwargs = kwargs
+        self.future: Future = Future()
+
+
+class RequestPipeline:
+    """Admission + coalescing + batching in front of the facade.
+
+    Thread-safe; one instance serves every HTTP handler thread of a
+    :class:`~repro.service.http.SchedulingService`.
+    """
+
+    def __init__(self, registry: DagRegistry | None = None,
+                 config: PipelineConfig | None = None) -> None:
+        self.registry = registry if registry is not None else DagRegistry()
+        self.config = config if config is not None else PipelineConfig()
+        self._admission = threading.Semaphore(self.config.max_inflight)
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._sim_queue: queue.Queue[_SimRequest | None] = queue.Queue(
+            maxsize=self.config.max_queue
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._collector: threading.Thread | None = None
+        self._stopping = False
+
+    # -- metrics -------------------------------------------------------
+    @staticmethod
+    def _m_rejected():
+        return global_registry().counter(
+            "service_rejected_total",
+            "requests rejected by admission control", ("reason",),
+        )
+
+    @staticmethod
+    def _m_coalesced():
+        return global_registry().counter(
+            "service_coalesced_total",
+            "scheduling requests that joined an in-flight search "
+            "for the same fingerprint",
+        )
+
+    @staticmethod
+    def _m_searches():
+        return global_registry().counter(
+            "service_searches_total",
+            "certification searches the service actually ran",
+        )
+
+    @staticmethod
+    def _m_cached():
+        return global_registry().counter(
+            "service_schedule_cached_total",
+            "scheduling requests answered from the registry without "
+            "any search",
+        )
+
+    @staticmethod
+    def _m_degraded():
+        return global_registry().counter(
+            "service_degraded_total",
+            "requests served a heuristic schedule after a failed "
+            "certification search",
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "RequestPipeline":
+        if self._pool is not None:
+            raise RuntimeError("pipeline already started")
+        self._stopping = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-service-worker",
+        )
+        self._collector = threading.Thread(
+            target=self._collect_batches,
+            name="repro-service-batcher",
+            daemon=True,
+        )
+        self._collector.start()
+        return self
+
+    def stop(self) -> None:
+        if self._pool is None:
+            return
+        self._stopping = True
+        self._sim_queue.put(None)  # wake the collector
+        self._collector.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+        self._pool = None
+        self._collector = None
+        # fail any requests stranded in the queue
+        while True:
+            try:
+                req = self._sim_queue.get_nowait()
+            except queue.Empty:
+                break
+            if req is not None:
+                req.future.set_exception(
+                    RejectedError("service shutting down")
+                )
+
+    # -- scheduling (single-flight) ------------------------------------
+    def submit_dag(self, dag: ComputationDag) -> tuple[DagEntry, str]:
+        """Register ``dag`` and certify it, coalescing duplicates.
+
+        Returns ``(entry, how)`` where ``how`` is ``"cached"`` (the
+        registry already held a certified schedule), ``"search"``
+        (this request ran the certification), ``"coalesced"`` (it
+        joined another request's in-flight search), or ``"degraded"``
+        (the search failed and the greedy fallback was served).
+        Raises :class:`RejectedError` under backpressure.
+        """
+        if not self._admission.acquire(blocking=False):
+            self._m_rejected().labels("schedule_capacity").inc()
+            raise RejectedError("scheduling capacity exhausted")
+        try:
+            entry = self.registry.put(dag)
+            if entry.schedule is not None:
+                self._m_cached().inc()
+                return entry, "cached"
+            return self._single_flight(entry)
+        finally:
+            self._admission.release()
+
+    def _single_flight(self, entry: DagEntry) -> tuple[DagEntry, str]:
+        fp = entry.fingerprint
+        with self._flights_lock:
+            flight = self._flights.get(fp)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[fp] = flight
+        if not leader:
+            self._m_coalesced().inc()
+            if not flight.done.wait(self.config.request_timeout):
+                raise RejectedError("coalesced wait timed out")
+            if flight.error is not None:
+                raise flight.error
+            assert flight.entry is not None
+            return flight.entry, "coalesced"
+        how = "search"
+        try:
+            with span("service.schedule", fingerprint=fp,
+                      dag=entry.dag.name):
+                how = self._certify(entry)
+            flight.entry = entry
+            return entry, how
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(fp, None)
+            flight.done.set()
+
+    def _certify(self, entry: DagEntry) -> str:
+        """Run the certification through the facade, degrading to the
+        heuristic schedule on failure (docs/ROBUSTNESS.md)."""
+        cfg = self.config
+        self._m_searches().inc()
+        try:
+            result = api.schedule(
+                entry.dag,
+                exhaustive_limit=cfg.exhaustive_limit,
+                state_budget=cfg.state_budget,
+                parallel=cfg.parallel,
+            )
+            how = "search"
+        except Exception:
+            # search machinery failed — serve the greedy schedule
+            # (exhaustive_limit=0 cannot search, hence cannot fail)
+            result = api.schedule(entry.dag, exhaustive_limit=0)
+            self._m_degraded().inc()
+            how = "degraded"
+        entry.schedule = result
+        self.registry.attach_schedule(entry.fingerprint, result)
+        return how
+
+    # -- simulation (micro-batched) ------------------------------------
+    def submit_simulation(self, dag: ComputationDag,
+                          **kwargs) -> Future:
+        """Queue one simulation request; resolves to a
+        :class:`~repro.api.results.SimulateResult`.
+
+        Raises :class:`RejectedError` when the admission queue is
+        full (backpressure) or the pipeline is stopping.
+        """
+        if self._pool is None or self._stopping:
+            self._m_rejected().labels("not_running").inc()
+            raise RejectedError("pipeline not running")
+        req = _SimRequest(dag, kwargs)
+        try:
+            self._sim_queue.put_nowait(req)
+        except queue.Full:
+            self._m_rejected().labels("simulate_capacity").inc()
+            raise RejectedError("simulation queue full") from None
+        return req.future
+
+    def _collect_batches(self) -> None:
+        """Collector loop: drain the queue into micro-batches and fan
+        them onto the worker pool."""
+        m_batches = global_registry().counter(
+            "service_batches_total",
+            "simulation micro-batches dispatched to the worker pool",
+        )
+        m_batched = global_registry().counter(
+            "service_batched_requests_total",
+            "simulation requests dispatched inside micro-batches",
+        )
+        g_size = global_registry().gauge(
+            "service_batch_size_last",
+            "size of the most recent simulation micro-batch",
+        )
+        while True:
+            try:
+                first = self._sim_queue.get(timeout=0.5)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            if first is None:
+                return
+            batch = [first]
+            deadline = self.config.batch_window
+            while len(batch) < self.config.batch_max:
+                try:
+                    nxt = self._sim_queue.get(timeout=deadline)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(nxt)
+            m_batches.inc()
+            m_batched.inc(len(batch))
+            g_size.set(len(batch))
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_SimRequest]) -> None:
+        pool = self._pool
+        if pool is None:
+            for req in batch:
+                req.future.set_exception(
+                    RejectedError("service shutting down")
+                )
+            return
+        for req in batch:
+            pool.submit(self._run_simulation, req)
+
+    @staticmethod
+    def _run_simulation(req: _SimRequest) -> None:
+        if not req.future.set_running_or_notify_cancel():
+            return
+        try:
+            with span("service.simulate", dag=req.dag.name):
+                req.future.set_result(
+                    api.simulate(req.dag, **req.kwargs)
+                )
+        except BaseException as exc:
+            req.future.set_exception(exc)

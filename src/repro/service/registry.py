@@ -1,0 +1,206 @@
+"""The sharded, content-addressed dag registry.
+
+The service's store of submitted dags and their certified schedules.
+Entries are keyed by :meth:`~repro.core.dag.ComputationDag.fingerprint`
+— the same content-addressed identity the certification cache uses —
+so resubmitting a structurally identical dag (whatever its node
+labels, name, or insertion order) lands on the existing entry.
+
+Scale properties:
+
+* **lock striping** — the keyspace is split into N independent
+  segments, each with its own lock and LRU order, so concurrent
+  requests for different dags never contend on one global lock; a
+  fingerprint's segment is a pure function of its hex prefix, and
+  uniform SHA-256 fingerprints spread uniformly across segments;
+* **bounded memory via LRU spill** — each segment holds at most
+  ``capacity_per_shard`` entries and evicts the least recently *used*
+  beyond that (the memory-bounding concern of *Multiprocessor
+  Scheduling with Memory Constraints*: per-request state must not
+  grow with the submission history).  A spilled dag is gone from the
+  registry but not from the world — resubmitting it re-certifies
+  through the profile cache, which keys by the same fingerprint;
+* **observable** — every lookup, store, and eviction is counted in
+  the process-wide metrics registry (``registry_*`` series), and the
+  entry count is published as a gauge the dashboard and ``/stats``
+  expose.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..api import ScheduleResult
+from ..core.dag import ComputationDag
+from ..obs import global_registry
+
+__all__ = ["DagEntry", "DagRegistry"]
+
+
+@dataclass
+class DagEntry:
+    """One registered dag and (once certified) its schedule."""
+
+    fingerprint: str
+    dag: ComputationDag
+    #: filled by the pipeline after certification; ``None`` while a
+    #: dag is registered but not yet scheduled
+    schedule: ScheduleResult | None = None
+    submitted_at: float = field(default_factory=time.time)
+    #: how many times this entry was looked up (hit count)
+    hits: int = 0
+
+
+class _Shard:
+    """One lock-striped LRU segment."""
+
+    __slots__ = ("lock", "entries")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[str, DagEntry] = OrderedDict()
+
+
+class DagRegistry:
+    """Sharded, bounded, content-addressed store of dag entries.
+
+    Parameters
+    ----------
+    shards:
+        Number of lock-striped segments (a power of two keeps the
+        prefix modulo unbiased, but any positive count works).
+    capacity_per_shard:
+        LRU bound per segment; total capacity is
+        ``shards * capacity_per_shard``.
+    """
+
+    def __init__(self, shards: int = 8,
+                 capacity_per_shard: int = 256) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if capacity_per_shard < 1:
+            raise ValueError(
+                f"capacity_per_shard must be >= 1, got "
+                f"{capacity_per_shard}"
+            )
+        self.shards = shards
+        self.capacity_per_shard = capacity_per_shard
+        self._shards = [_Shard() for _ in range(shards)]
+
+    # -- metrics -------------------------------------------------------
+    @staticmethod
+    def _m_lookups():
+        return global_registry().counter(
+            "registry_lookups_total",
+            "dag registry lookups", ("result",),
+        )
+
+    @staticmethod
+    def _m_evictions():
+        return global_registry().counter(
+            "registry_evictions_total",
+            "dag registry entries dropped by the per-shard LRU bound",
+        )
+
+    @staticmethod
+    def _m_stores():
+        return global_registry().counter(
+            "registry_stores_total", "dag registry entries created",
+        )
+
+    def _publish_size(self) -> None:
+        global_registry().gauge(
+            "registry_entries", "dags currently registered",
+        ).set(len(self))
+
+    # -- sharding ------------------------------------------------------
+    def _shard_for(self, fingerprint: str) -> _Shard:
+        return self._shards[int(fingerprint[:8], 16) % self.shards]
+
+    # -- operations ----------------------------------------------------
+    def put(self, dag: ComputationDag) -> DagEntry:
+        """Register ``dag``, returning the (possibly existing) entry.
+
+        Content-addressed: a structurally identical dag maps onto the
+        existing entry and refreshes its LRU position; a new dag may
+        spill the segment's least recently used entry.
+        """
+        fp = dag.fingerprint()
+        shard = self._shard_for(fp)
+        with shard.lock:
+            entry = shard.entries.get(fp)
+            if entry is not None:
+                shard.entries.move_to_end(fp)
+                self._m_lookups().labels("hit").inc()
+                entry.hits += 1
+                return entry
+            entry = DagEntry(fingerprint=fp, dag=dag)
+            shard.entries[fp] = entry
+            self._m_stores().inc()
+            evicted = 0
+            while len(shard.entries) > self.capacity_per_shard:
+                shard.entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._m_evictions().inc(evicted)
+        self._publish_size()
+        return entry
+
+    def get(self, fingerprint: str) -> DagEntry | None:
+        """The entry for ``fingerprint``, refreshing its LRU position;
+        ``None`` when absent (never stored, or spilled)."""
+        try:
+            shard = self._shard_for(fingerprint)
+        except ValueError:  # not a hex fingerprint
+            self._m_lookups().labels("miss").inc()
+            return None
+        with shard.lock:
+            entry = shard.entries.get(fingerprint)
+            if entry is None:
+                self._m_lookups().labels("miss").inc()
+                return None
+            shard.entries.move_to_end(fingerprint)
+            self._m_lookups().labels("hit").inc()
+            entry.hits += 1
+            return entry
+
+    def attach_schedule(self, fingerprint: str,
+                        schedule: ScheduleResult) -> None:
+        """Record a certified schedule on an existing entry (no-op if
+        the entry spilled while the search ran)."""
+        shard = self._shard_for(fingerprint)
+        with shard.lock:
+            entry = shard.entries.get(fingerprint)
+            if entry is not None:
+                entry.schedule = schedule
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        shard = self._shard_for(fingerprint)
+        with shard.lock:
+            return fingerprint in shard.entries
+
+    def stats(self) -> dict:
+        """A JSON-able summary for ``/stats``."""
+        per_shard = []
+        certified = 0
+        for s in self._shards:
+            with s.lock:
+                per_shard.append(len(s.entries))
+                certified += sum(
+                    1 for e in s.entries.values()
+                    if e.schedule is not None
+                )
+        return {
+            "shards": self.shards,
+            "capacity_per_shard": self.capacity_per_shard,
+            "entries": sum(per_shard),
+            "largest_shard": max(per_shard),
+            "certified": certified,
+        }

@@ -72,6 +72,7 @@ class TestLossAccounting:
         assert res.lost_allocations > 0
         assert res.wasted_work > 0.0
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_batched_regimen_records_no_losses(self, registry):
         # the barrier regimen has no client-vanishing model: loss specs
         # are ignored, so neither the counter nor the metric moves.

@@ -138,7 +138,11 @@ class TestObservabilityCommands:
         assert "profile_cache_lookups_total" in snap
 
     def test_verify_metrics_prom(self, capsys):
-        assert main(["verify", "prefix", "4", "--metrics", "prom"]) == 0
+        # --no-cache forces a fresh ceiling search: verify now goes
+        # through api.verify, which reuses the certification cache and
+        # may otherwise skip the search entirely (no new counters)
+        assert main(["verify", "prefix", "4", "--no-cache",
+                     "--metrics", "prom"]) == 0
         out = capsys.readouterr().out
         assert "# TYPE search_states_expanded_total counter" in out
         assert 'search_states_expanded_total{mode="sequential"}' in out

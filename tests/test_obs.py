@@ -474,6 +474,7 @@ class TestSimulationWiring:
         self._run()  # a second run: counter sums, gauges track latest
         assert registry.value("sim_runs_total", policy="IC-OPT") == 2
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_batched_sim_records_quality(self, registry):
         from repro.core.batched import level_batches
         from repro.sim.server import simulate_batched

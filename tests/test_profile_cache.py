@@ -181,6 +181,7 @@ class TestScheduleDagWiring:
 
 
 class TestSimServerWiring:
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_repeat_requests_hit_cache(self):
         from repro.sim import simulate_scheduled
 

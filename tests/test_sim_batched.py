@@ -1,4 +1,10 @@
-"""Tests for the batched-regimen simulation ([20])."""
+"""Tests for the batched-regimen simulation ([20]).
+
+Deliberately exercises the legacy ``sim.simulate_batched`` surface
+(now a DeprecationWarning shim over ``repro.api.simulate(...,
+batches=...)``), proving the legacy form keeps its exact behavior;
+the warning itself is asserted in ``test_api.py``.
+"""
 
 import pytest
 
@@ -6,6 +12,10 @@ from repro.core import hu_batches, level_batches, schedule_dag
 from repro.exceptions import SimulationError
 from repro.families.mesh import out_mesh_chain, out_mesh_dag
 from repro.sim import ClientSpec, make_policy, simulate, simulate_batched
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::DeprecationWarning"
+)
 
 
 class TestBatchedSimulation:

@@ -15,7 +15,13 @@ fault-tolerance layer is gated too: the faults-disabled dispatch
 overhead against its absolute 5% budget, and the deterministic canned
 chaos scenarios (fault counts exactly, makespans within the
 threshold) against the committed ``benchmarks/BENCH_faults.json``
-baseline.  Baselines are read from the committed
+baseline.  When a fresh ``BENCH_service.json`` (written by
+``benchmarks/bench_service.py``) is present, the scheduling service
+is gated: the deterministic herd-coalescing phase (exactly one
+search, hit rate at baseline) and registry resubmit fraction against
+the committed ``benchmarks/BENCH_service.json`` baseline, with
+simulate-phase throughput added under ``--absolute``.
+Baselines are read from the committed
 copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
 (gitignored fresh-run output) are rejected.
 
@@ -60,6 +66,8 @@ OBS_BASELINE = REPO / "benchmarks" / "BENCH_observability.json"
 OBS_FRESH = REPO / "benchmarks" / "out" / "BENCH_observability.json"
 FAULTS_BASELINE = REPO / "benchmarks" / "BENCH_faults.json"
 FAULTS_FRESH = REPO / "benchmarks" / "out" / "BENCH_faults.json"
+SERVICE_BASELINE = REPO / "benchmarks" / "BENCH_service.json"
+SERVICE_FRESH = REPO / "benchmarks" / "out" / "BENCH_service.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -207,6 +215,60 @@ def compare_faults(fresh: dict, baseline: dict | None,
     return failures
 
 
+def compare_service(fresh: dict, baseline: dict | None,
+                    threshold: float,
+                    absolute: bool = False) -> list[str]:
+    """Gate the scheduling-service record (empty list = pass).
+
+    The coalesce and resubmit phases are *deterministic and
+    machine-independent* (the bench holds the search open until the
+    whole herd is parked on it), so they are gated hard:
+
+    * ``coalesce.searches`` must stay exactly 1 — more means the
+      single-flight layer stopped deduplicating concurrent
+      certification requests;
+    * ``coalesce.hit_rate`` must not drop below the baseline;
+    * ``resubmit.cached_fraction`` must not drop — resubmitted dags
+      must be answered from the registry without a search.
+
+    ``--absolute`` additionally guards simulate-phase throughput
+    (host-dependent; only meaningful when baseline and fresh come
+    from the same machine).
+    """
+    failures: list[str] = []
+    coalesce = fresh.get("coalesce", {})
+    if coalesce.get("searches") != 1:
+        failures.append(
+            f"service coalesce.searches: {coalesce.get('searches')} "
+            "!= 1 (the herd must share a single certification search)"
+        )
+    base = baseline or {}
+    base_rate = base.get("coalesce", {}).get("hit_rate", 0.0)
+    rate = coalesce.get("hit_rate", 0.0)
+    if rate < base_rate:
+        failures.append(
+            f"service coalesce.hit_rate: {rate} fell below baseline "
+            f"{base_rate}"
+        )
+    base_cached = base.get("resubmit", {}).get("cached_fraction", 0.0)
+    cached = fresh.get("resubmit", {}).get("cached_fraction", 0.0)
+    if cached < base_cached:
+        failures.append(
+            f"service resubmit.cached_fraction: {cached} fell below "
+            f"baseline {base_cached}"
+        )
+    if absolute:
+        base_rps = base.get("simulate", {}).get("requests_per_sec")
+        rps = fresh.get("simulate", {}).get("requests_per_sec", 0.0)
+        if base_rps and rps < base_rps * (1.0 - threshold):
+            failures.append(
+                f"service simulate.requests_per_sec: {rps:g} fell "
+                f"more than {threshold:.0%} below baseline "
+                f"{base_rps:g}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -230,13 +292,22 @@ def main(argv=None) -> int:
                     default=FAULTS_BASELINE,
                     help="committed fault-tolerance baseline "
                          f"(default: {FAULTS_BASELINE})")
+    ap.add_argument("--service-fresh", type=pathlib.Path,
+                    default=SERVICE_FRESH,
+                    help="fresh scheduling-service record (gated when "
+                         f"present; default: {SERVICE_FRESH})")
+    ap.add_argument("--service-baseline", type=pathlib.Path,
+                    default=SERVICE_BASELINE,
+                    help="committed scheduling-service baseline "
+                         f"(default: {SERVICE_BASELINE})")
     args = ap.parse_args(argv)
 
     # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
     # (gitignored) run output, and a baseline read from there would
     # silently gate a run against itself.
     out_dir = (REPO / "benchmarks" / "out").resolve()
-    for base_path in (args.baseline, args.faults_baseline):
+    for base_path in (args.baseline, args.faults_baseline,
+                      args.service_baseline):
         if out_dir in base_path.resolve().parents:
             sys.exit(
                 f"error: baseline {base_path} is inside benchmarks/out/ "
@@ -274,6 +345,22 @@ def main(argv=None) -> int:
             f"{faults_fresh['overhead']['disabled_pct']}%"
         )
 
+    service_note = "no fresh service record (gate skipped)"
+    if args.service_fresh.exists():
+        service_fresh = _load(args.service_fresh)
+        service_baseline = (
+            _load(args.service_baseline)
+            if args.service_baseline.exists() else None
+        )
+        failures.extend(
+            compare_service(service_fresh, service_baseline,
+                            args.threshold, args.absolute)
+        )
+        service_note = (
+            f"service coalesce {service_fresh['coalesce']['hit_rate']} "
+            f"@ {service_fresh['coalesce']['searches']} search"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -283,7 +370,7 @@ def main(argv=None) -> int:
         f"ok: no guarded metric regressed more than {args.threshold:.0%} "
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
         f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
-        f"{obs_note}, {faults_note})"
+        f"{obs_note}, {faults_note}, {service_note})"
     )
     return 0
 
