@@ -19,9 +19,11 @@ nonsink ideal lattice exceeds 2·10⁷ states):
   :class:`repro.core.ProfileCache` (the O(1) common case).
 
 Plus a sim-server workload segment: repeated
-:func:`repro.sim.simulate_scheduled` requests over a fixed dag
-population, reporting the certification cache hit rate a server
-actually sees.
+:func:`repro.api.simulate` requests over a fixed dag population,
+pinned to ``strategy="exhaustive"`` (the decomposition-first default
+would recognize the butterflies and skip the lattice search entirely
+— see ``benchmarks/bench_certify.py`` for that comparison), reporting
+the certification cache hit rate a server actually sees.
 
 Every path is asserted byte-identical to the legacy profile before any
 number is recorded.  Run standalone (``python
@@ -36,8 +38,8 @@ import json
 import pathlib
 import time
 
+from repro import api
 from repro.core import (
-    Certificate,
     ProfileCache,
     SearchStats,
     find_ic_optimal_schedule,
@@ -46,7 +48,6 @@ from repro.core import (
 )
 from repro.exceptions import OptimalityError
 from repro.families.butterfly_net import butterfly_dag
-from repro.sim import simulate_scheduled
 
 from _harness import OUT_DIR, write_report
 
@@ -163,11 +164,12 @@ def collect_record() -> dict:
         requests = 0
         for _round in range(4):
             for d in (1, 2):
-                res, scheduling = simulate_scheduled(
-                    butterfly_dag(d), clients=4, seed=_round
+                res = api.simulate(
+                    butterfly_dag(d), clients=4, seed=_round,
+                    strategy="exhaustive",
                 )
                 assert res.completed == len(butterfly_dag(d))
-                assert scheduling.certificate is Certificate.EXHAUSTIVE
+                assert res.certificate == "exhaustive"
                 requests += 1
     finally:
         set_global_profile_cache(old)

@@ -140,6 +140,8 @@ def _as_dag(target) -> ComputationDag:
 def schedule(
     target,
     *,
+    strategy: str = "auto",
+    budget: int | None = None,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
     parallel: bool = False,
@@ -154,13 +156,24 @@ def schedule(
         A :class:`~repro.core.dag.ComputationDag` or a
         :class:`~repro.core.composition.CompositionChain` (preferred —
         carries its own decomposition certificate).
+    strategy:
+        Certification strategy (``docs/CERTIFICATION.md``): ``"auto"``
+        (decomposition first, exhaustive on residuals, then anytime /
+        heuristic — the default), ``"compositional"`` (decomposition
+        only; raises when it fails), ``"exhaustive"``, ``"anytime"``,
+        or ``"heuristic"``.
+    budget:
+        Anytime state budget: when auto certification cannot finish,
+        return the best schedule found with certified eligibility-loss
+        bounds (certificate ``"anytime"``) instead of an unlabeled
+        heuristic.  ``None`` (default) disables the anytime fallback.
     exhaustive_limit:
         Maximum number of nonsinks for which exhaustive search is
-        attempted on bare dags; ``0`` forces the greedy heuristic
-        (certificate ``"heuristic"``), which always succeeds.
+        attempted on undecomposable dags; ``0`` disables the
+        exhaustive residual path.
     state_budget:
         Ideal-state cap for the exhaustive search; exceeding it falls
-        back to the greedy heuristic.
+        back (anytime under a ``budget``, else the stamped heuristic).
     parallel / workers:
         Fan the exhaustive search over a process pool (same result,
         faster arrival; see ``docs/PERFORMANCE.md``).
@@ -171,6 +184,8 @@ def schedule(
     """
     res = _schedule_dag(
         target,
+        strategy=strategy,
+        budget=budget,
         exhaustive_limit=exhaustive_limit,
         state_budget=state_budget,
         parallel=parallel,
@@ -183,12 +198,20 @@ def schedule(
         ic_optimal=res.ic_optimal,
         profile=tuple(res.schedule.profile),
         schedule=res.schedule,
+        kind=res.kind,
+        strategy=res.strategy,
+        bounds=res.bounds,
+        provenance=tuple(
+            (p.block, p.fingerprint, p.source) for p in res.provenance
+        ),
     )
 
 
 def verify(
     target,
     *,
+    strategy: str = "auto",
+    budget: int | None = None,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
     parallel: bool = False,
@@ -202,10 +225,13 @@ def verify(
     ratio/deficit/area fields report what the exhaustive check
     *measured* — ``ic_optimal`` is True exactly when the schedule's
     profile meets the ceiling at every step, independent of the
-    certificate (a ``"heuristic"`` schedule can still verify clean).
+    certificate (an ``"anytime"`` or ``"heuristic"`` schedule can
+    still verify clean).
     """
     sched = schedule(
         target,
+        strategy=strategy,
+        budget=budget,
         exhaustive_limit=exhaustive_limit,
         state_budget=state_budget,
         parallel=parallel,
@@ -234,6 +260,10 @@ def verify(
         deficit=rep.deficit,
         area=rep.area,
         schedule=sched.schedule,
+        kind=sched.kind,
+        strategy=sched.strategy,
+        bounds=sched.bounds,
+        provenance=sched.provenance,
     )
 
 
@@ -250,6 +280,8 @@ def simulate(
     record_trace: bool = False,
     server_policy=None,
     fault_plan=None,
+    strategy: str = "auto",
+    budget: int | None = None,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
     parallel: bool = False,
@@ -299,6 +331,8 @@ def simulate(
     if policy == "IC-OPT":
         scheduled = schedule(
             target,
+            strategy=strategy,
+            budget=budget,
             exhaustive_limit=exhaustive_limit,
             state_budget=state_budget,
             parallel=parallel,
@@ -311,7 +345,8 @@ def simulate(
             server_policy=server_policy, fault_plan=fault_plan,
         )
         return _wrap_simulation(
-            fingerprint, res, scheduled.certificate, scheduled.schedule
+            fingerprint, res, scheduled.certificate, scheduled.schedule,
+            kind=scheduled.kind,
         )
     res = _simulate(
         dag, make_policy(policy), clients, work, seed, comm_per_input,
@@ -322,7 +357,7 @@ def simulate(
 
 def _wrap_simulation(
     fingerprint: str, res, certificate: str | None,
-    schedule_order: Schedule | None,
+    schedule_order: Schedule | None, kind: str | None = None,
 ) -> SimulateResult:
     return SimulateResult(
         fingerprint=fingerprint,
@@ -337,6 +372,7 @@ def _wrap_simulation(
         mean_headroom=res.mean_headroom,
         result=res,
         schedule=schedule_order,
+        kind=kind,
     )
 
 
@@ -353,6 +389,8 @@ def compare(
     server_policy=None,
     fault_plan=None,
     include_ic_optimal: bool = True,
+    strategy: str = "auto",
+    budget: int | None = None,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
     parallel: bool = False,
@@ -371,6 +409,8 @@ def compare(
     if include_ic_optimal:
         scheduled = schedule(
             target,
+            strategy=strategy,
+            budget=budget,
             exhaustive_limit=exhaustive_limit,
             state_budget=state_budget,
             parallel=parallel,

@@ -49,7 +49,8 @@ class ScheduleResult:
     #: content-addressed identity of the scheduled dag
     fingerprint: str
     #: certificate granted (``"composition"``, ``"segmented"``,
-    #: ``"exhaustive"``, ``"none-exists"``, or ``"heuristic"``)
+    #: ``"exhaustive"``, ``"none-exists"``, ``"anytime"``, or
+    #: ``"heuristic"``)
     certificate: str
     #: True when the certificate proves IC-optimality
     ic_optimal: bool
@@ -57,6 +58,20 @@ class ScheduleResult:
     profile: tuple[int, ...]
     #: the full validated schedule (execution order + dag)
     schedule: Schedule = field(repr=False)
+    #: coarse certificate kind: ``"exact"`` / ``"composed"`` /
+    #: ``"anytime"`` / ``"heuristic"`` (``docs/CERTIFICATION.md``)
+    kind: str = "exact"
+    #: certification strategy that produced the result
+    strategy: str = "auto"
+    #: certified ``(lower, upper)`` bounds on the schedule's
+    #: eligibility loss; ``(0, 0)`` for certified IC-optimal results,
+    #: a genuine interval on the anytime path, ``None`` when nothing
+    #: was measured (heuristic)
+    bounds: tuple[int, int] | None = None
+    #: per-block certificate provenance of a composed schedule:
+    #: ``(block_name, block_fingerprint, source)`` triples, empty for
+    #: monolithic certifications
+    provenance: tuple[tuple[str, str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -77,6 +92,16 @@ class VerifyResult:
     area: float
     #: the schedule that was verified
     schedule: Schedule = field(repr=False)
+    #: coarse certificate kind the scheduler stamped
+    kind: str = "exact"
+    #: certification strategy the scheduling pass used
+    strategy: str = "auto"
+    #: the scheduler's certified loss bounds (see
+    #: :class:`ScheduleResult.bounds`); the *measured* loss is
+    #: ``deficit``
+    bounds: tuple[int, int] | None = None
+    #: per-block certificate provenance of a composed schedule
+    provenance: tuple[tuple[str, str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -103,6 +128,9 @@ class SimulateResult:
     result: SimulationResult = field(repr=False)
     #: the schedule driving an ``IC-OPT`` run, when one exists
     schedule: Schedule | None = field(repr=False, default=None)
+    #: coarse certificate kind backing ``certificate`` (``None`` when
+    #: the facade did not schedule the dag itself)
+    kind: str | None = None
 
 
 @dataclass(frozen=True)

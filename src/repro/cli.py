@@ -126,11 +126,18 @@ def cmd_families(_args) -> int:
 def cmd_schedule(args) -> int:
     chain = build_family(args.family, args.param)
     result = api.schedule(
-        chain, parallel=args.parallel, cache=not args.no_cache
+        chain, strategy=args.strategy, budget=args.budget,
+        parallel=args.parallel, cache=not args.no_cache,
     )
     print(chain.dag.summary())
     print("composite type:", chain.type_string())
-    print("certificate:", result.certificate)
+    print(f"certificate: {result.certificate} (kind={result.kind}, "
+          f"strategy={result.strategy})")
+    if result.bounds is not None:
+        lo, hi = result.bounds
+        print(f"loss bounds: [{lo}, {hi}]")
+    for name, fingerprint, source in result.provenance:
+        print(f"  block {name}: {source} ({fingerprint[:12]})")
     print(render_series("E(t)", result.profile, max_items=40))
     if args.show_dag:
         print(render_dag(chain.dag))
@@ -140,9 +147,11 @@ def cmd_schedule(args) -> int:
 def cmd_verify(args) -> int:
     target = _family_or_block(args.family, args.param)
     result = api.verify(
-        target, parallel=args.parallel, cache=not args.no_cache
+        target, strategy=args.strategy, budget=args.budget,
+        parallel=args.parallel, cache=not args.no_cache,
     )
-    print("certificate:", result.certificate)
+    print(f"certificate: {result.certificate} (kind={result.kind}, "
+          f"strategy={result.strategy})")
     print(
         f"exhaustive check: ratio={result.ratio:.3f} "
         f"deficit={result.deficit} ic_optimal={result.ic_optimal}"
@@ -354,6 +363,8 @@ def cmd_serve(args) -> int:
         exhaustive_limit=args.exhaustive_limit,
         state_budget=args.state_budget,
         parallel=args.parallel,
+        strategy=args.strategy,
+        budget=args.budget,
     )
     svc = SchedulingService(
         host=args.host, port=args.port, pipeline_config=cfg
@@ -411,6 +422,22 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
 
 
 def _add_search_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--strategy",
+        choices=("auto", "compositional", "exhaustive", "anytime",
+                 "heuristic"),
+        default="auto",
+        help="certification strategy (docs/CERTIFICATION.md); "
+        "default %(default)s",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        metavar="STATES",
+        help="anytime state budget: return the best schedule found "
+        "within this many enumerated ideal states, with certified "
+        "loss bounds",
+    )
     p.add_argument(
         "--parallel",
         action="store_true",
@@ -540,6 +567,21 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--parallel", action="store_true",
         help="fan certification searches over a process pool",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("auto", "compositional", "exhaustive", "anytime",
+                 "heuristic"),
+        default="auto",
+        help="certification strategy served by the pipeline "
+        "(docs/CERTIFICATION.md); default %(default)s",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        metavar="STATES",
+        help="anytime state budget used when degrading "
+        "(bounded-loss fallback instead of the bare heuristic)",
     )
 
     p = sub.add_parser(

@@ -17,6 +17,14 @@ from .composition import (
     linear_composition_schedule,
     sum_dags,
 )
+from .certify import (
+    STRATEGIES,
+    BlockCertificateLibrary,
+    BlockProvenance,
+    certify,
+    global_block_library,
+    set_global_block_library,
+)
 from .dag import Arc, ComputationDag, Node
 from .duality import dual_dag, dual_schedule
 from .io import (
@@ -31,10 +39,12 @@ from .execution import ExecutionState, eligibility_profile, run_order
 from .optimality import (
     SearchStats,
     all_ic_optimal_nonsink_orders,
+    eligibility_upper_bound,
     find_ic_optimal_schedule,
     ic_optimal_exists,
     is_ic_optimal,
     max_eligibility_profile,
+    partial_max_eligibility_profile,
 )
 from .profile_cache import (
     CacheStats,
@@ -98,10 +108,14 @@ __all__ = [
     "hopcroft_karp",
     "max_antichain",
     "width_attained",
+    "BlockCertificateLibrary",
+    "BlockProvenance",
     "BlockRecord",
     "CacheStats",
     "Certificate",
     "CompositionChain",
+    "STRATEGIES",
+    "certify",
     "ComputationDag",
     "ExecutionState",
     "Node",
@@ -115,7 +129,9 @@ __all__ = [
     "dual_dag",
     "dual_schedule",
     "eligibility_profile",
+    "eligibility_upper_bound",
     "find_ic_optimal_schedule",
+    "global_block_library",
     "global_profile_cache",
     "greedy_schedule",
     "has_priority",
@@ -125,12 +141,14 @@ __all__ = [
     "max_eligibility_profile",
     "normalize_nonsinks_first",
     "optimal_nonsink_profile",
+    "partial_max_eligibility_profile",
     "priority_chain_holds",
     "priority_matrix",
     "profiles_equal",
     "profiles_have_priority",
     "run_order",
     "schedule_dag",
+    "set_global_block_library",
     "set_global_profile_cache",
     "sum_dags",
 ]

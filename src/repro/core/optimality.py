@@ -98,6 +98,8 @@ _LOG = logging.getLogger("repro.core.optimality")
 
 __all__ = [
     "max_eligibility_profile",
+    "partial_max_eligibility_profile",
+    "eligibility_upper_bound",
     "is_ic_optimal",
     "find_ic_optimal_schedule",
     "ic_optimal_exists",
@@ -497,6 +499,128 @@ def max_eligibility_profile(
     _record_search("sequential", states, peak, 0, 0,
                    time.perf_counter() - t_start)
     return profile
+
+
+def partial_max_eligibility_profile(
+    dag: ComputationDag,
+    state_budget: int,
+    *,
+    stats: SearchStats | None = None,
+) -> tuple[list[int], bool]:
+    """Compute as much of ``[M(0), M(1), ...]`` as ``state_budget``
+    distinct ideal states allow.
+
+    Returns ``(prefix, complete)``.  ``prefix`` holds *exact* ceiling
+    values for every fully enumerated level — the BFS is
+    level-synchronous, so once level *t* is exhausted ``M(t)`` is known
+    even if the budget dies at level ``t + 1``; a partially enumerated
+    level is discarded (its running maximum is only a lower bound).
+    ``complete`` is True when the whole lattice fit in the budget, in
+    which case ``prefix`` equals :func:`max_eligibility_profile`'s
+    result exactly (including the deterministic sink tail).
+
+    This is the exact half of the anytime certification mode
+    (:mod:`repro.core.certify`): the certified *lower* bound on
+    eligibility loss comes from the exact prefix, the *upper* bound
+    from :func:`eligibility_upper_bound` beyond it.  Unlike
+    :func:`max_eligibility_profile`, budget exhaustion here is an
+    answer, not an error.
+    """
+    dag.validate()
+    total = len(dag)
+    _nodes, children, parents_mask, nonsink_mask, init_eligible = (
+        _bit_tables(dag)
+    )
+    n = nonsink_mask.bit_count()
+    prefix: list[int] = [init_eligible.bit_count()]
+    states_seen = 1
+    frontier_peak = 1
+    complete = True
+    frontier: dict[int, int] = {0: init_eligible}
+    for _t in range(1, n + 1):
+        nxt: dict[int, int] = {}
+        exhausted = False
+        for executed, eligible in frontier.items():
+            avail = eligible & nonsink_mask
+            while avail:
+                bit = avail & -avail
+                avail ^= bit
+                new_exec = executed | bit
+                if new_exec in nxt:
+                    continue
+                newly = 0
+                for c in children[bit.bit_length() - 1]:
+                    if parents_mask[c] & ~new_exec == 0:
+                        newly |= 1 << c
+                nxt[new_exec] = (eligible ^ bit) | newly
+                states_seen += 1
+                if states_seen > state_budget:
+                    exhausted = True
+                    break
+            if exhausted:
+                break
+        if exhausted or not nxt:
+            complete = False
+            break
+        prefix.append(max(m.bit_count() for m in nxt.values()))
+        frontier = nxt
+        frontier_peak = max(frontier_peak, len(frontier))
+    else:
+        # all nonsink levels enumerated: the sink tail is exact.
+        for t in range(n + 1, total + 1):
+            prefix.append(total - t)
+    if stats is not None:
+        stats.states_expanded = states_seen
+        stats.frontier_peak = frontier_peak
+        stats.branches = 0
+        stats.workers = 0
+    global_registry().counter(
+        "search_partial_profile_total",
+        "budgeted (anytime) profile searches", ("outcome",),
+    ).labels("complete" if complete else "exhausted").inc()
+    return prefix, complete
+
+
+def eligibility_upper_bound(dag: ComputationDag) -> list[int]:
+    """A cheap structural pointwise bound ``U(t) >= M(t)`` for every
+    ``t``, computed without touching the ideal lattice.
+
+    Two facts bound the eligible count after *t* executions:
+
+    * at most ``|N| - t`` nodes remain unexecuted;
+    * a node with *a* proper ancestors cannot be eligible (or
+      executed) before step *a*, so at step *t* every eligible *and*
+      every executed node lies in ``A(t) = {v : |ancestors(v)| <= t}``
+      — and the *t* executed nodes themselves are in ``A(t)``, hence
+      ``E(t) <= |A(t)| - t``.
+
+    ``U(t) = max(0, min(|N| - t, |A(t)| - t))``.  The bound is exact
+    on antichain-free extremes (paths) and within a small constant on
+    the paper's families; its job is to make anytime loss intervals
+    *sound*, not tight.  Cost: one bitmask ancestor sweep,
+    ``O(|N|^2 / wordsize)``.
+    """
+    dag.validate()
+    nodes = dag.nodes
+    index = {v: i for i, v in enumerate(nodes)}
+    anc_mask: list[int] = [0] * len(nodes)
+    for v in dag.topological_order():
+        i = index[v]
+        m = 0
+        for p in dag.parents(v):
+            j = index[p]
+            m |= anc_mask[j] | (1 << j)
+        anc_mask[i] = m
+    anc_counts = sorted(m.bit_count() for m in anc_mask)
+    total = len(nodes)
+    bound: list[int] = []
+    k = 0
+    for t in range(total + 1):
+        while k < total and anc_counts[k] <= t:
+            k += 1
+        # k == |A(t)| since anc_counts is sorted ascending
+        bound.append(max(0, min(total - t, k - t)))
+    return bound
 
 
 def _record_pool_fallback(reason: str, exc: BaseException,

@@ -1,17 +1,29 @@
 """High-level scheduling front end.
 
-:func:`schedule_dag` is the library's main entry point: it produces the
-best schedule it can certify for the input —
+:func:`schedule_dag` is the library's main entry point: it produces
+the best schedule it can certify for the input, via the
+decomposition-first strategy engine of :mod:`repro.core.certify`
+(``docs/CERTIFICATION.md``):
 
 1. a :class:`~repro.core.composition.CompositionChain` with a valid
    ▷-chain is scheduled by Theorem 2.1 (certified IC-optimal);
-2. a bare dag small enough for exhaustive search is scheduled by
-   :func:`~repro.core.optimality.find_ic_optimal_schedule` (certified
-   IC-optimal, or certified *non-existent*);
-3. otherwise a greedy heuristic is used (no certificate).
+2. a bare dag is *factored*: :func:`~repro.core.recognition.recognize`
+   (or a connected-component split) recovers a composition chain whose
+   blocks are certified from the memoized block-certificate library,
+   and Theorem 2.1 assembles the composite schedule;
+3. an unrecognized dag small enough for exhaustive search is scheduled
+   by :func:`~repro.core.optimality.find_ic_optimal_schedule`
+   (certified IC-optimal, or certified *non-existent*);
+4. otherwise: with a ``budget=``, the *anytime* path returns the best
+   schedule found plus certified eligibility-loss bounds; without one,
+   a greedy heuristic — in both cases the certificate *says so*
+   (nothing is ever returned unlabeled).
 
-The returned :class:`SchedulingResult` says which path was taken, so
-callers (benchmarks, the simulator) can report certification status.
+The returned :class:`SchedulingResult` records which path was taken
+(:class:`Certificate` and its coarse :attr:`Certificate.kind`), the
+per-block certificate provenance, and the anytime bounds, so callers
+(benchmarks, the simulator, the service) can report certification
+status precisely.
 """
 
 from __future__ import annotations
@@ -20,12 +32,11 @@ import warnings
 from dataclasses import dataclass
 from enum import Enum
 
-from ..exceptions import OptimalityError
 from ..obs import global_registry, span
-from .composition import CompositionChain, linear_composition_schedule
+from .composition import CompositionChain
 from .dag import ComputationDag, Node
 from .execution import ExecutionState
-from .profile_cache import ProfileCache, global_profile_cache
+from .profile_cache import ProfileCache
 from .schedule import Schedule
 
 __all__ = ["Certificate", "SchedulingResult", "schedule_dag", "greedy_schedule"]
@@ -42,10 +53,32 @@ class Certificate(Enum):
     #: IC-optimal by exhaustive search against the max profile.
     EXHAUSTIVE = "exhaustive"
     #: Exhaustive search proved no IC-optimal schedule exists; the
-    #: returned schedule is the greedy one.
+    #: returned schedule is the greedy one (its exact loss is recorded
+    #: in :attr:`SchedulingResult.bounds`).
     NONE_EXISTS = "none-exists"
-    #: Dag too large for exhaustive search; greedy heuristic, no claim.
+    #: Budget ran out mid-search; the returned schedule carries sound
+    #: lower/upper bounds on its eligibility loss.
+    ANYTIME = "anytime"
+    #: Greedy heuristic, no optimality claim.
     HEURISTIC = "heuristic"
+
+    @property
+    def kind(self) -> str:
+        """The coarse certificate kind every result/metric is stamped
+        with: ``"exact"`` (exhaustively settled — optimal found or
+        proven non-existent), ``"composed"`` (Theorem 2.1 assembly),
+        ``"anytime"`` (bounded), or ``"heuristic"`` (no claim)."""
+        return _KINDS[self]
+
+
+_KINDS = {
+    Certificate.COMPOSITION: "composed",
+    Certificate.SEGMENTED: "composed",
+    Certificate.EXHAUSTIVE: "exact",
+    Certificate.NONE_EXISTS: "exact",
+    Certificate.ANYTIME: "anytime",
+    Certificate.HEURISTIC: "heuristic",
+}
 
 
 @dataclass
@@ -54,15 +87,37 @@ class SchedulingResult:
 
     schedule: Schedule
     certificate: Certificate
+    #: strategy that produced the result (``"auto"``,
+    #: ``"compositional"``, ``"exhaustive"``, ``"anytime"``,
+    #: ``"heuristic"``)
+    strategy: str = "auto"
+    #: certified ``(lower, upper)`` bounds on the schedule's
+    #: eligibility loss ``max_t (M(t) - E(t))``; ``(0, 0)`` for every
+    #: certified IC-optimal schedule, a genuine interval on the
+    #: anytime path, ``None`` when nothing was measured (heuristic)
+    bounds: tuple[int, int] | None = None
+    #: per-block certificate provenance of a composed schedule (see
+    #: :class:`~repro.core.certify.BlockProvenance`); empty for
+    #: monolithic certifications
+    provenance: tuple = ()
+
+    @property
+    def kind(self) -> str:
+        """Coarse certificate kind (see :attr:`Certificate.kind`)."""
+        return self.certificate.kind
 
     @property
     def ic_optimal(self) -> bool:
         """True when the schedule is certified IC-optimal."""
-        return self.certificate in (
+        if self.certificate in (
             Certificate.COMPOSITION,
             Certificate.SEGMENTED,
             Certificate.EXHAUSTIVE,
-        )
+        ):
+            return True
+        # an anytime interval that closed at zero loss is a proof too
+        return self.certificate is Certificate.ANYTIME and \
+            self.bounds == (0, 0)
 
 
 def greedy_schedule(dag: ComputationDag, name: str = "greedy") -> Schedule:
@@ -103,11 +158,14 @@ def greedy_schedule(dag: ComputationDag, name: str = "greedy") -> Schedule:
 def schedule_dag(
     target: ComputationDag | CompositionChain,
     *args,
+    strategy: str = "auto",
+    budget: int | None = None,
     exhaustive_limit: int = 24,
     state_budget: int = 500_000,
     parallel: bool = False,
     workers: int | None = None,
     cache: ProfileCache | bool = True,
+    library=True,
 ) -> SchedulingResult:
     """Schedule ``target`` with the strongest available certificate.
 
@@ -123,12 +181,23 @@ def schedule_dag(
     target:
         Either a :class:`CompositionChain` (preferred — carries its own
         decomposition certificate) or a bare :class:`ComputationDag`.
+    strategy:
+        Certification strategy (``docs/CERTIFICATION.md``): ``"auto"``
+        (decomposition first, then exhaustive, then anytime/heuristic —
+        the default), ``"compositional"`` (decomposition only),
+        ``"exhaustive"``, ``"anytime"``, or ``"heuristic"``.
+    budget:
+        Anytime state budget: when certification cannot finish within
+        it, the result is the best schedule found plus certified
+        eligibility-loss bounds (certificate ``"anytime"``) instead of
+        an unlabeled heuristic.  ``None`` (default) disables the
+        anytime fallback of ``"auto"``.
     exhaustive_limit:
         Maximum number of nonsinks for which exhaustive search is
-        attempted on bare dags.
+        attempted on undecomposable dags.
     state_budget:
         Ideal-state cap for the exhaustive search; if exceeded the
-        greedy fallback is used.
+        strategy falls back (anytime under a ``budget``, else greedy).
     parallel:
         Fan the exhaustive ceiling computation out over a process pool
         (see :func:`~repro.core.optimality.max_eligibility_profile`).
@@ -140,6 +209,12 @@ def schedule_dag(
         process-wide :func:`~repro.core.profile_cache
         .global_profile_cache`; pass a :class:`ProfileCache` to use a
         private one, or ``False`` to search from scratch.
+    library:
+        ``True`` (default) certifies composition blocks through the
+        process-wide :func:`~repro.core.certify.global_block_library`;
+        pass a :class:`~repro.core.certify.BlockCertificateLibrary`
+        (possibly disk-persisted) to use a private one, or ``False``
+        to certify blocks from scratch.
 
     Every request increments ``scheduler_requests_total`` (labeled by
     the certificate granted) in the process-wide metrics registry and
@@ -161,83 +236,25 @@ def schedule_dag(
         exhaustive_limit = args[0]
         if len(args) == 2:
             state_budget = args[1]
+    from .certify import certify
+
     name = target.dag.name if isinstance(target, CompositionChain) \
         else target.name
     with span("scheduler.schedule_dag", dag=name) as sp:
-        result = _schedule_dag(
-            target, exhaustive_limit, state_budget,
-            parallel=parallel, workers=workers, cache=cache,
+        result = certify(
+            target,
+            strategy=strategy,
+            budget=budget,
+            exhaustive_limit=exhaustive_limit,
+            state_budget=state_budget,
+            parallel=parallel,
+            workers=workers,
+            cache=cache,
+            library=library,
         )
-        sp.set(certificate=result.certificate.value)
+        sp.set(certificate=result.certificate.value, kind=result.kind)
     global_registry().counter(
         "scheduler_requests_total",
         "schedule_dag requests by certificate granted", ("certificate",),
     ).labels(result.certificate.value).inc()
     return result
-
-
-def _schedule_dag(
-    target: ComputationDag | CompositionChain,
-    exhaustive_limit: int,
-    state_budget: int,
-    *,
-    parallel: bool,
-    workers: int | None,
-    cache: ProfileCache | bool,
-) -> SchedulingResult:
-    if isinstance(target, CompositionChain):
-        # each certification level is checked once; the builder is then
-        # invoked unchecked to avoid recomputing block profiles
-        if target.is_priority_linear():
-            sched = linear_composition_schedule(
-                target, require_priority_chain=False
-            )
-            return SchedulingResult(sched, Certificate.COMPOSITION)
-        reordered = target.priority_reordered()
-        if reordered.is_priority_linear():
-            sched = linear_composition_schedule(
-                reordered, require_priority_chain=False
-            )
-            return SchedulingResult(sched, Certificate.COMPOSITION)
-        if target.segmented_priority_linear():
-            sched = linear_composition_schedule(
-                target, require_priority_chain=False
-            )
-            return SchedulingResult(sched, Certificate.SEGMENTED)
-        if reordered.segmented_priority_linear():
-            sched = linear_composition_schedule(
-                reordered, require_priority_chain=False
-            )
-            return SchedulingResult(sched, Certificate.SEGMENTED)
-        # Chain fails ▷-linearity even segment-wise: fall through to
-        # treating the composite dag directly.
-        target = target.dag
-
-    dag = target
-    n_nonsinks = sum(1 for v in dag.nodes if not dag.is_sink(v))
-    if n_nonsinks <= exhaustive_limit:
-        if cache is True:
-            cache = global_profile_cache()
-        try:
-            if isinstance(cache, ProfileCache):
-                sched = cache.find_schedule(
-                    dag, state_budget, parallel=parallel, workers=workers
-                )
-            else:
-                from .optimality import find_ic_optimal_schedule
-
-                sched = find_ic_optimal_schedule(
-                    dag,
-                    state_budget=state_budget,
-                    parallel=parallel,
-                    workers=workers,
-                )
-        except OptimalityError:
-            sched = None
-        else:
-            if sched is not None:
-                return SchedulingResult(sched, Certificate.EXHAUSTIVE)
-            return SchedulingResult(
-                greedy_schedule(dag), Certificate.NONE_EXISTS
-            )
-    return SchedulingResult(greedy_schedule(dag), Certificate.HEURISTIC)

@@ -87,6 +87,8 @@ _SIM_OPTIONS: dict[str, type] = {
     "comm_per_input": float,
     "exhaustive_limit": int,
     "state_budget": int,
+    "strategy": str,
+    "budget": int,
 }
 
 
@@ -197,6 +199,10 @@ class SchedulingService(HTTPServiceBase):
             "fingerprint": entry.fingerprint,
             "how": how,
             "certificate": sched.certificate,
+            "kind": sched.kind,
+            "strategy": sched.strategy,
+            "bounds": list(sched.bounds) if sched.bounds else sched.bounds,
+            "provenance": [list(p) for p in sched.provenance],
             "ic_optimal": sched.ic_optimal,
             "profile": list(sched.profile),
             "schedule_path": f"/v1/schedules/{entry.fingerprint}",
@@ -220,6 +226,10 @@ class SchedulingService(HTTPServiceBase):
             "api_version": API_VERSION,
             "fingerprint": entry.fingerprint,
             "certificate": sched.certificate,
+            "kind": sched.kind,
+            "strategy": sched.strategy,
+            "bounds": list(sched.bounds) if sched.bounds else sched.bounds,
+            "provenance": [list(p) for p in sched.provenance],
             "ic_optimal": sched.ic_optimal,
             "profile": list(sched.profile),
             "hits": entry.hits,
@@ -268,6 +278,7 @@ class SchedulingService(HTTPServiceBase):
             "fingerprint": result.fingerprint,
             "policy": result.policy,
             "certificate": result.certificate,
+            "kind": result.kind,
             "makespan": result.makespan,
             "utilization": result.utilization,
             "starvation_events": result.starvation_events,
@@ -317,6 +328,8 @@ class SchedulingService(HTTPServiceBase):
                         "batch_window": cfg.batch_window,
                         "exhaustive_limit": cfg.exhaustive_limit,
                         "state_budget": cfg.state_budget,
+                        "strategy": cfg.strategy,
+                        "budget": cfg.budget,
                     },
                 },
             },

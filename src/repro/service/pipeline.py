@@ -27,11 +27,15 @@ heavy-traffic goal needs:
   first) and fanned onto a fixed worker pool, amortizing dispatch
   and keeping worker threads hot
   (``service_batches_total`` / ``service_batched_requests_total``);
-* **graceful degradation** — per ``docs/ROBUSTNESS.md``: when the
-  certification search fails (state-budget exhaustion, worker-pool
-  loss, any unexpected error) the pipeline falls back to the greedy
-  heuristic schedule — certificate ``"heuristic"`` — instead of
-  failing the request (``service_degraded_total``).
+* **graceful degradation, stamped** — per ``docs/ROBUSTNESS.md`` and
+  ``docs/CERTIFICATION.md``: when certification fails (state-budget
+  exhaustion, worker-pool loss, any unexpected error) the pipeline
+  retries through the facade with ``strategy="anytime"`` when the
+  config carries a ``budget`` (certificate ``"anytime"`` with sound
+  loss bounds), else ``strategy="heuristic"`` — never an unlabeled
+  schedule.  Every certified result's coarse kind is counted under
+  ``service_certificates_total{kind}``, degradations under
+  ``service_degraded_total``.
 """
 
 from __future__ import annotations
@@ -81,6 +85,12 @@ class PipelineConfig:
     exhaustive_limit: int = 24
     state_budget: int = 500_000
     parallel: bool = False
+    #: certification strategy forwarded to :func:`repro.api.schedule`
+    strategy: str = "auto"
+    #: anytime state budget; when set, failed certifications degrade
+    #: to a bounded ``"anytime"`` schedule instead of the bare
+    #: heuristic (``docs/CERTIFICATION.md``)
+    budget: int | None = None
 
 
 class _Flight:
@@ -161,8 +171,15 @@ class RequestPipeline:
     def _m_degraded():
         return global_registry().counter(
             "service_degraded_total",
-            "requests served a heuristic schedule after a failed "
-            "certification search",
+            "requests served a fallback (anytime/heuristic) schedule "
+            "after a failed certification search",
+        )
+
+    @staticmethod
+    def _m_certificates():
+        return global_registry().counter(
+            "service_certificates_total",
+            "schedules served by coarse certificate kind", ("kind",),
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -257,24 +274,33 @@ class RequestPipeline:
             flight.done.set()
 
     def _certify(self, entry: DagEntry) -> str:
-        """Run the certification through the facade, degrading to the
-        heuristic schedule on failure (docs/ROBUSTNESS.md)."""
+        """Run the certification through the facade, degrading to a
+        *stamped* fallback on failure (docs/ROBUSTNESS.md): anytime
+        with certified loss bounds when the config carries a
+        ``budget``, else the labeled heuristic."""
         cfg = self.config
         self._m_searches().inc()
         try:
             result = api.schedule(
                 entry.dag,
+                strategy=cfg.strategy,
+                budget=cfg.budget,
                 exhaustive_limit=cfg.exhaustive_limit,
                 state_budget=cfg.state_budget,
                 parallel=cfg.parallel,
             )
             how = "search"
         except Exception:
-            # search machinery failed — serve the greedy schedule
-            # (exhaustive_limit=0 cannot search, hence cannot fail)
-            result = api.schedule(entry.dag, exhaustive_limit=0)
+            # certification machinery failed — serve a labeled
+            # fallback (anytime/heuristic strategies cannot fail)
+            fallback = "anytime" if cfg.budget is not None \
+                else "heuristic"
+            result = api.schedule(
+                entry.dag, strategy=fallback, budget=cfg.budget,
+            )
             self._m_degraded().inc()
             how = "degraded"
+        self._m_certificates().labels(result.kind).inc()
         entry.schedule = result
         self.registry.attach_schedule(entry.fingerprint, result)
         return how

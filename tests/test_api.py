@@ -36,9 +36,19 @@ class TestFacadeVerbs:
         with pytest.raises(TypeError):
             api.schedule(out_mesh_dag(3), 8)  # options must be keywords
 
-    def test_schedule_heuristic_when_limit_zero(self):
+    def test_schedule_composes_even_when_limit_zero(self):
+        # exhaustive_limit=0 bars the lattice search, but recognition
+        # still composes recognized families (docs/CERTIFICATION.md)
         res = api.schedule(out_mesh_dag(3), exhaustive_limit=0)
+        assert res.certificate == "composition"
+        assert res.kind == "composed"
+        assert res.ic_optimal
+
+    def test_schedule_heuristic_strategy(self):
+        res = api.schedule(out_mesh_dag(3), strategy="heuristic")
         assert res.certificate == "heuristic"
+        assert res.kind == "heuristic"
+        assert res.bounds is None
         assert not res.ic_optimal
 
     def test_verify_measures_ceiling(self):
@@ -192,9 +202,14 @@ class TestDeprecationShims:
         assert legacy.schedule.order == modern.schedule.order
 
     def test_schedule_dag_positional_limit_respected(self):
-        # the mapped positional argument must actually take effect
+        # the mapped positional argument must actually take effect:
+        # limit 0 bars the exhaustive search, so an *unrecognized* dag
+        # degrades to the heuristic
+        from repro.blocks import block
+
+        dag, _ = block("N", 8)
         with pytest.warns(DeprecationWarning):
-            res = schedule_dag(out_mesh_dag(3), 0)
+            res = schedule_dag(dag, 0)
         assert res.certificate.value == "heuristic"
 
     def test_schedule_dag_too_many_positionals(self):

@@ -25,10 +25,20 @@ class TestCertificates:
 
     def test_exhaustive_certificate(self):
         g = ComputationDag(arcs=[("a", "b"), ("a", "c"), ("c", "d")])
-        r = schedule_dag(g)
+        r = schedule_dag(g, strategy="exhaustive")
         assert r.certificate is Certificate.EXHAUSTIVE
         assert r.ic_optimal
         assert is_ic_optimal(r.schedule)
+
+    def test_auto_composes_recognized_dag(self):
+        # under the default strategy, the same dag is recognized as an
+        # out-tree and certified compositionally (same profile)
+        g = ComputationDag(arcs=[("a", "b"), ("a", "c"), ("c", "d")])
+        auto = schedule_dag(g)
+        exact = schedule_dag(g, strategy="exhaustive")
+        assert auto.certificate is Certificate.COMPOSITION
+        assert auto.ic_optimal
+        assert auto.schedule.profile == exact.schedule.profile
 
     def test_none_exists_certificate(self):
         g = ComputationDag(
@@ -41,10 +51,27 @@ class TestCertificates:
         assert len(r.schedule) == len(g)
 
     def test_heuristic_certificate_for_large_dag(self):
+        # a large dag that escapes recognition (the extra chord breaks
+        # the mesh shape) and exceeds the exhaustive limit degrades to
+        # the labeled heuristic
         big = mesh.out_mesh_dag(12)  # 91 nodes, too many nonsinks
-        r = schedule_dag(big, exhaustive_limit=10)
+        nodes = sorted(big.nodes, key=repr)
+        warped = ComputationDag(
+            nodes=big.nodes,
+            arcs=list(big.arcs) + [(nodes[0], nodes[-1])],
+            name="warped-mesh",
+        )
+        r = schedule_dag(warped, exhaustive_limit=10)
         assert r.certificate is Certificate.HEURISTIC
-        assert len(r.schedule) == len(big)
+        assert len(r.schedule) == len(warped)
+
+    def test_recognition_beats_exhaustive_limit(self):
+        # the un-warped mesh of the same size is recognized and
+        # certified compositionally despite the tiny exhaustive limit
+        big = mesh.out_mesh_dag(12)
+        r = schedule_dag(big, exhaustive_limit=10)
+        assert r.certificate is Certificate.COMPOSITION
+        assert r.ic_optimal
 
     def test_chain_beats_exhaustive_limit(self):
         # composition certificates work regardless of size

@@ -139,11 +139,14 @@ class TestRequestPipeline:
             entry, how = pipe.submit_dag(dag)
             assert how == "search"
             assert entry.schedule is not None
-            assert entry.schedule.certificate == "exhaustive"
+            assert entry.schedule.certificate == "composition"
+            assert entry.schedule.kind == "composed"
             _, again = pipe.submit_dag(out_mesh_dag(4))
             assert again == "cached"
             assert registry.value("service_searches_total") == 1
             assert registry.value("service_schedule_cached_total") == 1
+            assert registry.value(
+                "service_certificates_total", kind="composed") == 1
         finally:
             pipe.stop()
 
@@ -152,7 +155,9 @@ class TestRequestPipeline:
         real_schedule = api.schedule
 
         def failing(target, **kw):
-            if kw.get("exhaustive_limit", 24) != 0:
+            # the degraded retry pins an explicit fallback strategy;
+            # the primary certification call does not
+            if kw.get("strategy", "auto") not in ("anytime", "heuristic"):
                 raise RuntimeError("search machinery down")
             return real_schedule(target, **kw)
 
@@ -163,7 +168,34 @@ class TestRequestPipeline:
             entry, how = pipe.submit_dag(out_mesh_dag(4))
             assert how == "degraded"
             assert entry.schedule.certificate == "heuristic"
+            assert entry.schedule.kind == "heuristic"
             assert registry.value("service_degraded_total") == 1
+            assert registry.value(
+                "service_certificates_total", kind="heuristic") == 1
+        finally:
+            pipe.stop()
+
+    def test_degrades_to_bounded_anytime_with_budget(
+            self, registry, monkeypatch):
+        real_schedule = api.schedule
+
+        def failing(target, **kw):
+            if kw.get("strategy", "auto") not in ("anytime", "heuristic"):
+                raise RuntimeError("search machinery down")
+            return real_schedule(target, **kw)
+
+        monkeypatch.setattr(api, "schedule", failing)
+        pipe = RequestPipeline(config=PipelineConfig(
+            workers=1, budget=50))
+        pipe.start()
+        try:
+            entry, how = pipe.submit_dag(out_mesh_dag(4))
+            assert how == "degraded"
+            assert entry.schedule.certificate == "anytime"
+            assert entry.schedule.kind == "anytime"
+            assert entry.schedule.bounds is not None
+            lo, hi = entry.schedule.bounds
+            assert 0 <= lo <= hi
         finally:
             pipe.stop()
 
@@ -240,11 +272,16 @@ class TestSchedulingServiceHTTP:
         st, body = _post(service.url + "/v1/dags", wire)
         assert st == 200
         assert body["how"] == "search"
-        assert body["certificate"] == "exhaustive"
+        assert body["certificate"] == "composition"
+        assert body["kind"] == "composed"
+        assert body["strategy"] == "auto"
+        assert body["bounds"] == [0, 0]
+        assert body["provenance"]  # per-block certificate sources
         assert body["ic_optimal"] is True
         st, sched = _get(service.url + body["schedule_path"])
         assert st == 200
         assert sched["fingerprint"] == body["fingerprint"]
+        assert sched["kind"] == "composed"
         assert sched["schedule"]["format"] == 1 or "dag" in sched["schedule"]
 
     def test_resubmit_is_cached(self, service):

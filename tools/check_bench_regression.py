@@ -21,6 +21,12 @@ is gated: the deterministic herd-coalescing phase (exactly one
 search, hit rate at baseline) and registry resubmit fraction against
 the committed ``benchmarks/BENCH_service.json`` baseline, with
 simulate-phase throughput added under ``--absolute``.
+When a fresh ``BENCH_certify.json`` (written by
+``benchmarks/bench_certify.py``) is present, the certification engine
+is gated: the deterministic states-expanded counts per family, the
+warm-library zero-search invariant, and the headline claim that
+compositional certification of ``B_3`` expands at least 10x fewer
+states than the exhaustive search (``docs/CERTIFICATION.md``).
 Baselines are read from the committed
 copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
 (gitignored fresh-run output) are rejected.
@@ -68,6 +74,8 @@ FAULTS_BASELINE = REPO / "benchmarks" / "BENCH_faults.json"
 FAULTS_FRESH = REPO / "benchmarks" / "out" / "BENCH_faults.json"
 SERVICE_BASELINE = REPO / "benchmarks" / "BENCH_service.json"
 SERVICE_FRESH = REPO / "benchmarks" / "out" / "BENCH_service.json"
+CERTIFY_BASELINE = REPO / "benchmarks" / "BENCH_certify.json"
+CERTIFY_FRESH = REPO / "benchmarks" / "out" / "BENCH_certify.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -269,6 +277,64 @@ def compare_service(fresh: dict, baseline: dict | None,
     return failures
 
 
+def compare_certify(fresh: dict, baseline: dict | None,
+                    threshold: float) -> list[str]:
+    """Gate the certification-engine record (empty list = pass).
+
+    States-expanded counts are deterministic and machine-independent
+    (the lattice enumeration has no timing or randomness), so the
+    guards are tight:
+
+    * the headline ``B_3`` compositional-vs-exhaustive ratio must stay
+      at or above the absolute floor the record carries
+      (``headline.min_ratio``, the paper-facing 10x claim) — and must
+      not drop below the committed baseline by more than the
+      threshold;
+    * per family, ``states_compositional`` must not grow past the
+      baseline by more than the threshold (recognition or the block
+      library got lazier), and ``states_warm`` must stay exactly 0
+      (a warm library re-certifies without any search).
+    """
+    failures: list[str] = []
+    headline = fresh.get("headline", {})
+    ratio = headline.get("ratio") or 0.0
+    floor = headline.get("min_ratio", 10.0)
+    if ratio < floor:
+        failures.append(
+            f"certify headline.ratio: {ratio}x below the {floor}x "
+            f"floor on {headline.get('family')}"
+        )
+    base_families = {
+        f["family"]: f
+        for f in (baseline or {}).get("families", [])
+    }
+    for f in fresh.get("families", []):
+        if f.get("states_warm", 0) != 0:
+            failures.append(
+                f"certify {f['family']}.states_warm: "
+                f"{f['states_warm']} != 0 (warm library still searches)"
+            )
+        b = base_families.get(f["family"])
+        if b is None:
+            continue
+        if f["states_compositional"] > \
+                b["states_compositional"] * (1.0 + threshold):
+            failures.append(
+                f"certify {f['family']}.states_compositional: "
+                f"{f['states_compositional']} exceeds baseline "
+                f"{b['states_compositional']} by more than "
+                f"{threshold:.0%}"
+            )
+        if b.get("ratio") and f.get("ratio") and \
+                f["ratio"] < b["ratio"] * (1.0 - threshold):
+            failures.append(
+                f"certify {f['family']}.ratio: {f['ratio']}x fell "
+                f"more than {threshold:.0%} below baseline "
+                f"{b['ratio']}x"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -300,6 +366,14 @@ def main(argv=None) -> int:
                     default=SERVICE_BASELINE,
                     help="committed scheduling-service baseline "
                          f"(default: {SERVICE_BASELINE})")
+    ap.add_argument("--certify-fresh", type=pathlib.Path,
+                    default=CERTIFY_FRESH,
+                    help="fresh certification-engine record (gated "
+                         f"when present; default: {CERTIFY_FRESH})")
+    ap.add_argument("--certify-baseline", type=pathlib.Path,
+                    default=CERTIFY_BASELINE,
+                    help="committed certification-engine baseline "
+                         f"(default: {CERTIFY_BASELINE})")
     args = ap.parse_args(argv)
 
     # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
@@ -307,7 +381,7 @@ def main(argv=None) -> int:
     # silently gate a run against itself.
     out_dir = (REPO / "benchmarks" / "out").resolve()
     for base_path in (args.baseline, args.faults_baseline,
-                      args.service_baseline):
+                      args.service_baseline, args.certify_baseline):
         if out_dir in base_path.resolve().parents:
             sys.exit(
                 f"error: baseline {base_path} is inside benchmarks/out/ "
@@ -361,6 +435,22 @@ def main(argv=None) -> int:
             f"@ {service_fresh['coalesce']['searches']} search"
         )
 
+    certify_note = "no fresh certify record (gate skipped)"
+    if args.certify_fresh.exists():
+        certify_fresh = _load(args.certify_fresh)
+        certify_baseline = (
+            _load(args.certify_baseline)
+            if args.certify_baseline.exists() else None
+        )
+        failures.extend(
+            compare_certify(certify_fresh, certify_baseline,
+                            args.threshold)
+        )
+        certify_note = (
+            f"certify B_3 ratio "
+            f"{certify_fresh['headline']['ratio']}x"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -370,7 +460,7 @@ def main(argv=None) -> int:
         f"ok: no guarded metric regressed more than {args.threshold:.0%} "
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
         f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
-        f"{obs_note}, {faults_note}, {service_note})"
+        f"{obs_note}, {faults_note}, {service_note}, {certify_note})"
     )
     return 0
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Check every relative link and anchor in the repo's Markdown docs.
+
+Scans ``*.md`` at the repo root and under ``docs/`` for Markdown links
+``[text](target)`` and fails (exit 1) when:
+
+* a relative link points at a file that does not exist;
+* a link fragment (``file.md#section`` or in-file ``#section``) names
+  an anchor no heading in the target file generates.
+
+Anchors are computed the way GitHub renders them: the heading text is
+lowercased, punctuation (everything but word characters, spaces, and
+hyphens) is stripped, spaces become hyphens, and duplicate headings
+get ``-1``, ``-2``, ... suffixes.  External links (``http(s)://``,
+``mailto:``) are not fetched.  Bare directory links (``benchmarks/``)
+pass when the directory exists.
+
+Usage::
+
+    python tools/check_docs_links.py            # check root + docs/
+    python tools/check_docs_links.py README.md  # check specific files
+
+Wired into CI (``.github/workflows/ci.yml``) so a renamed heading or
+moved file breaks the build, not the reader.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import urllib.parse
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured non-greedily, images included.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+#: inline code/bold/italic/link markup stripped before slugging.
+_MARKUP_RE = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+
+
+def default_targets() -> list[pathlib.Path]:
+    files = sorted(REPO.glob("*.md"))
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files += sorted(docs.glob("*.md"))
+    return files
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading (without the dedup
+    suffix — :func:`anchors_of` adds those)."""
+    text = _MARKUP_RE.sub(lambda m: m.group(1) or "", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    """Every anchor the file's headings generate, GitHub-style
+    (duplicates suffixed ``-1``, ``-2``, ...)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_anchor(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: pathlib.Path):
+    """Yield ``(line_number, target)`` for every Markdown link, code
+    fences and inline code skipped."""
+    in_fence = False
+    for i, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in _LINK_RE.finditer(stripped):
+            yield i, m.group(1)
+
+
+def check_file(path: pathlib.Path,
+               anchor_cache: dict[pathlib.Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    for lineno, raw in iter_links(path):
+        target = urllib.parse.unquote(raw)
+        try:
+            shown = path.relative_to(REPO)
+        except ValueError:
+            shown = path
+        where = f"{shown}:{lineno}"
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken link -> {raw}")
+                continue
+        else:
+            dest = path.resolve()
+        if not fragment:
+            continue
+        if dest.is_dir() or dest.suffix.lower() != ".md":
+            errors.append(
+                f"{where}: anchor on non-Markdown target -> {raw}"
+            )
+            continue
+        if dest not in anchor_cache:
+            anchor_cache[dest] = anchors_of(dest)
+        if fragment.lower() not in anchor_cache[dest]:
+            errors.append(f"{where}: missing anchor -> {raw}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = ([pathlib.Path(a).resolve() for a in argv]
+             if argv else default_targets())
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"error: no such file {f}", file=sys.stderr)
+        return 2
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    errors: list[str] = []
+    links = 0
+    for f in files:
+        links += sum(1 for _ in iter_links(f))
+        errors.extend(check_file(f, anchor_cache))
+    if errors:
+        print("BROKEN DOCS LINKS:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"ok: {links} links across {len(files)} files, "
+          "all targets and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
