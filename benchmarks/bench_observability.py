@@ -21,6 +21,17 @@ instrumentation budget for code that is always on.  A primitive
 microbench (ns per no-op span, per counter increment, per live event)
 is recorded alongside so a regression can be localized.
 
+PR 7 added schedule-frame capture (:mod:`repro.obs.observatory`) to
+the simulator under the same contract, and this bench gates it the
+same way: a **frames** scenario times the simulation event loop three
+ways — ``reference`` (``_simulate_ideal(..., _frames=False)``: no
+frame-store lookup at all), ``disabled`` (the default public path:
+one store lookup + enabled check per run — the store is resolved
+once, so per-event cost in both paths is the same pointer compare),
+and ``enabled`` (a live :class:`~repro.obs.observatory.FrameStore`
+recording every step, informational).  ``frames.disabled_pct`` is
+gated under the same 5% budget.
+
 All three paths are asserted to produce byte-identical profiles before
 any number is recorded.  Run standalone (``python
 benchmarks/bench_observability.py``) or under pytest-benchmark; the
@@ -65,6 +76,15 @@ REPEATS = 5
 REPEATS_SERVING = 12
 #: hard ceiling on the disabled-path overhead, in percent (gated).
 DISABLED_OVERHEAD_LIMIT_PCT = 5.0
+#: the frame-capture scenario workload: a larger butterfly simulated
+#: under FIFO (no certification in the timed loop), so the event loop
+#: — where the frame gating lives — dominates.
+FRAMES_DIM = 5
+FRAMES_CLIENTS = 8
+#: best-of over many repeats: the per-run delta under test (one store
+#: lookup + enabled check) is ~100 ns on a ~2 ms run, so the gate is
+#: really measuring scheduler noise — drive it down with samples.
+REPEATS_FRAMES = 50
 
 
 def _kernel_profile(dag, state_budget: int = BUDGET) -> list[int]:
@@ -187,6 +207,52 @@ def collect_record() -> dict:
         assert p_serving == p_kernel, "served path diverged"
         assert scrape_n > 0, "scraper never completed a request"
 
+        # frame-capture scenario: the simulation event loop with the
+        # frame path (a) compiled out (_frames=False reference),
+        # (b) present but disabled (the default), (c) recording.
+        from repro.obs.observatory import (
+            FrameStore,
+            global_frame_store,
+            set_global_frame_store,
+        )
+        from repro.sim.server import _simulate_ideal
+
+        frames_dag = butterfly_dag(FRAMES_DIM)
+        old_store = set_global_frame_store(FrameStore())
+        try:
+            t_fr_ref, r_ref = _best_of(
+                REPEATS_FRAMES,
+                lambda: _simulate_ideal(
+                    frames_dag, make_policy("FIFO"),
+                    clients=FRAMES_CLIENTS, _frames=False,
+                ),
+            )
+            t_fr_disabled, r_dis = _best_of(
+                REPEATS_FRAMES,
+                lambda: _simulate_ideal(
+                    frames_dag, make_policy("FIFO"),
+                    clients=FRAMES_CLIENTS,
+                ),
+            )
+            store = global_frame_store()
+            store.enable()
+            t_fr_enabled, r_en = _best_of(
+                REPEATS_FRAMES,
+                lambda: _simulate_ideal(
+                    frames_dag, make_policy("FIFO"),
+                    clients=FRAMES_CLIENTS,
+                ),
+            )
+            store.disable()
+            assert r_ref.makespan == r_dis.makespan == r_en.makespan, (
+                "frame capture changed the simulation"
+            )
+            channel = store.get(frames_dag.fingerprint())
+            frames_captured = channel.seq if channel is not None else 0
+            assert frames_captured > 0, "enabled store captured nothing"
+        finally:
+            set_global_frame_store(old_store)
+
         # sim trace segment (informational): a traced simulation of
         # the same dag, counting structured records emitted.
         scheduling = schedule_dag(dag)
@@ -206,8 +272,10 @@ def collect_record() -> dict:
     overhead_disabled = max(0.0, (t_disabled / t_kernel - 1.0) * 100.0)
     overhead_enabled = max(0.0, (t_enabled / t_kernel - 1.0) * 100.0)
     overhead_serving = max(0.0, (t_serving / t_kernel - 1.0) * 100.0)
+    fr_disabled_pct = max(0.0, (t_fr_disabled / t_fr_ref - 1.0) * 100.0)
+    fr_enabled_pct = max(0.0, (t_fr_enabled / t_fr_ref - 1.0) * 100.0)
     return {
-        "schema": 2,
+        "schema": 3,
         "workload": f"B_{DIM} ideal-lattice search "
                     "(PR-1 scale benchmark workload)",
         "search": {
@@ -232,6 +300,18 @@ def collect_record() -> dict:
             "span_disabled": round(ns_span_disabled, 1),
             "counter_inc": round(ns_counter_inc, 1),
             "event_enabled": round(ns_event_enabled, 1),
+        },
+        "frames": {
+            "dag": f"B_{FRAMES_DIM}",
+            "nodes": len(frames_dag),
+            "clients": FRAMES_CLIENTS,
+            "reference_s": round(t_fr_ref, 6),
+            "disabled_s": round(t_fr_disabled, 6),
+            "enabled_s": round(t_fr_enabled, 6),
+            "disabled_pct": round(fr_disabled_pct, 3),
+            "enabled_pct": round(fr_enabled_pct, 3),
+            "captured": frames_captured,
+            "limit_disabled_pct": DISABLED_OVERHEAD_LIMIT_PCT,
         },
         "sim_trace": {
             "allocations": len(res.trace),
@@ -258,6 +338,23 @@ def _render(record: dict) -> str:
         rows,
         title=f"observability overhead on {s['dag']} "
               f"(limit {o['limit_disabled_pct']:.0f}% disabled)",
+    )
+    fr = record["frames"]
+    report += "\n\n" + render_table(
+        ["frame-capture path", "best ms", "overhead"],
+        [
+            ("reference (no frame path)",
+             f"{fr['reference_s'] * 1e3:.3f}", "-"),
+            ("store present, disabled",
+             f"{fr['disabled_s'] * 1e3:.3f}",
+             f"{fr['disabled_pct']:.2f}%"),
+            ("store enabled, recording",
+             f"{fr['enabled_s'] * 1e3:.3f}",
+             f"{fr['enabled_pct']:.2f}%"),
+        ],
+        title=f"schedule-frame capture on {fr['dag']} sim "
+              f"({fr['clients']} clients, {fr['captured']} frames; "
+              f"limit {fr['limit_disabled_pct']:.0f}% disabled)",
     )
     report += (
         f"\nprimitives: no-op span {p['span_disabled']:.0f} ns, "
@@ -294,6 +391,13 @@ def test_observability_overhead(benchmark):
         f"serving-path overhead {record['overhead']['serving_pct']}% "
         f"breaches the {DISABLED_OVERHEAD_LIMIT_PCT}% budget"
     )
+    assert (record["frames"]["disabled_pct"]
+            < DISABLED_OVERHEAD_LIMIT_PCT), (
+        f"frame-capture disabled-path overhead "
+        f"{record['frames']['disabled_pct']}% breaches the "
+        f"{DISABLED_OVERHEAD_LIMIT_PCT}% budget"
+    )
+    assert record["frames"]["captured"] > 0
     assert record["serving"]["scrapes"] > 0
     assert record["sim_trace"]["structured_events"] > 0
 

@@ -339,6 +339,13 @@ def simulate(
             workers=workers,
             cache=cache,
         )
+        from ..obs.observatory import global_frame_store
+
+        frame_store = global_frame_store()
+        if frame_store.enabled:
+            # observatory frames compare achieved eligibility against
+            # this certified ceiling M(t)
+            frame_store.set_profile(dag, scheduled.profile)
         res = _simulate(
             dag, make_policy("IC-OPT", scheduled.schedule), clients,
             work, seed, comm_per_input, record_trace,

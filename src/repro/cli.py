@@ -15,6 +15,8 @@
     python -m repro serve --port 8080
     python -m repro serve-metrics --port 9100
     python -m repro watch --url http://127.0.0.1:9100
+    python -m repro observe --url http://127.0.0.1:8080
+    python -m repro observe --snapshot docs/observatory.svg
 
 Every operational verb goes through the stable :mod:`repro.api`
 facade (``api.schedule`` / ``api.verify`` / ``api.compare`` /
@@ -29,8 +31,11 @@ after the command), ``--trace FILE`` (enable structured tracing and
 export the JSONL trace to FILE), and ``--serve-metrics PORT`` (serve
 the HTTP exposition endpoints for the duration of the command);
 ``repro stats`` prints the registry on its own, ``repro
-serve-metrics`` runs the exposition service standalone, and ``repro
-watch`` renders a live dashboard from a served ``/stats`` endpoint.
+serve-metrics`` runs the exposition service standalone, ``repro
+watch`` renders a live dashboard from a served ``/stats`` endpoint,
+and ``repro observe`` points a browser at a server's live
+observatory page (``/ui``) — or, with ``--snapshot FILE``, dumps one
+rendered SVG schedule frame headlessly (for CI and docs).
 See ``docs/OBSERVABILITY.md``.
 
 Family names: ``diamond DEPTH``, ``mesh DEPTH``, ``in-mesh DEPTH``,
@@ -367,13 +372,15 @@ def cmd_serve(args) -> int:
         budget=args.budget,
     )
     svc = SchedulingService(
-        host=args.host, port=args.port, pipeline_config=cfg
+        host=args.host, port=args.port, pipeline_config=cfg,
+        frames=not args.no_frames,
     )
     with svc:
         print(
             f"scheduling service on {svc.url} "
             "(POST /v1/dags, GET /v1/schedules/{fp}, POST /v1/simulate, "
-            "/healthz /readyz /metrics /stats); Ctrl-C to stop",
+            "/healthz /readyz /metrics /stats); "
+            f"live observatory at {svc.url}/ui; Ctrl-C to stop",
             file=sys.stderr,
         )
         try:
@@ -396,6 +403,97 @@ def cmd_watch(args) -> int:
         count=args.count,
         clear=not args.no_clear,
     )
+
+
+def cmd_observe(args) -> int:
+    if args.url is None:
+        if not args.snapshot:
+            raise SystemExit(
+                "observe needs --url URL (point at a running repro "
+                "server) or --snapshot FILE (headless local demo)"
+            )
+        return _observe_local_snapshot(args)
+    base = args.url.rstrip("/")
+    if args.snapshot:
+        return _observe_remote_snapshot(base, args.snapshot)
+    ui = base + "/ui"
+    print(f"observatory: {ui}")
+    if not args.no_browser:
+        import webbrowser
+
+        webbrowser.open(ui)
+    return 0
+
+
+def _write_snapshot(path: str, svg: str, name: str, n_frames: int) -> int:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    print(f"observatory snapshot: {name}, {n_frames} frames -> {path}")
+    return 0
+
+
+def _observe_local_snapshot(args) -> int:
+    """Headless demo: certify + simulate a family locally with frame
+    capture on, then render one mid-run frame as SVG."""
+    from .obs.observatory import global_frame_store, render_frame_svg
+
+    chain = build_family(args.family, args.param)
+    sched = api.schedule(chain)
+    store = global_frame_store()
+    was_enabled = store.enabled
+    store.enable()
+    store.set_profile(chain.dag, sched.profile)
+    try:
+        api.simulate(chain, clients=args.clients, seed=args.seed)
+    finally:
+        store.enabled = was_enabled
+    ch = store.get(chain.dag.fingerprint())
+    if ch is None or not ch.frames:
+        raise SystemExit("simulation recorded no frames")
+    frames = list(ch.frames)
+    achieved = [len(f.eligible) for f in frames]
+    # the widest frontier is the frame worth looking at
+    pick = max(frames, key=lambda f: len(f.eligible))
+    svg = render_frame_svg(
+        ch.graph,
+        pick.to_payload(),
+        achieved=achieved,
+        profile=ch.profile,
+        title=(
+            f"{ch.name} — {args.clients} clients, step {pick.step}: "
+            f"{len(pick.executed)}/{ch.graph['n']} executed, "
+            f"{len(pick.eligible)} eligible"
+        ),
+    )
+    return _write_snapshot(args.snapshot, svg, ch.name, len(frames))
+
+
+def _observe_remote_snapshot(base: str, path: str) -> int:
+    """Render the most recently active dag of a running server."""
+    import json as _json
+    import urllib.request
+
+    from .obs.observatory import render_frame_svg
+
+    def get(p: str) -> dict:
+        with urllib.request.urlopen(base + p, timeout=5) as resp:
+            return _json.loads(resp.read().decode("utf-8"))
+
+    dags = get("/v1/frames").get("dags", {})
+    active = {fp: d for fp, d in dags.items() if d.get("latest")}
+    if not active:
+        raise SystemExit(
+            f"no frames recorded on {base} yet "
+            "(POST /v1/simulate first, or check frame capture is on)"
+        )
+    fp = max(active, key=lambda k: active[k]["latest"])
+    graph = get(f"/v1/dags/{fp}/graph")
+    latest = get(f"/v1/dags/{fp}/frame")
+    frames = get(f"/v1/dags/{fp}/frames")["frames"]
+    achieved = [f["eligible_count"] for f in frames]
+    svg = render_frame_svg(graph, latest["frame"], achieved=achieved)
+    return _write_snapshot(path, svg, latest.get("name", fp[:12]),
+                           len(frames))
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -583,6 +681,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="anytime state budget used when degrading "
         "(bounded-loss fallback instead of the bare heuristic)",
     )
+    p.add_argument(
+        "--no-frames",
+        action="store_true",
+        help="disable schedule-frame capture (the /ui observatory "
+        "shows no live frames; zero per-step capture cost)",
+    )
 
     p = sub.add_parser(
         "watch",
@@ -605,6 +709,46 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-clear",
         action="store_true",
         help="do not clear the screen between frames (for piped output)",
+    )
+
+    p = sub.add_parser(
+        "observe",
+        help="open the live observatory (/ui) of a running server, or "
+        "dump one rendered SVG schedule frame headlessly (--snapshot)",
+    )
+    p.add_argument(
+        "--url",
+        help="root URL of a running repro server (repro serve or "
+        "serve-metrics); omitted with --snapshot, a local demo "
+        "simulation is captured instead",
+    )
+    p.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="write one rendered SVG frame to FILE and exit "
+        "(headless; used for CI and docs/observatory.svg)",
+    )
+    p.add_argument(
+        "--no-browser",
+        action="store_true",
+        help="print the /ui URL instead of opening a browser",
+    )
+    p.add_argument(
+        "--family", default="mesh",
+        help="demo family for local --snapshot mode "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--param", type=int, default=4,
+        help="demo family size parameter (default %(default)s)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=3,
+        help="demo simulation clients (default %(default)s)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="demo simulation seed (default %(default)s)",
     )
 
     p = sub.add_parser("priority", help="test the ▷ relation on blocks")
@@ -643,6 +787,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": cmd_serve,
         "serve-metrics": cmd_serve_metrics,
         "watch": cmd_watch,
+        "observe": cmd_observe,
     }
     trace_file = getattr(args, "trace", None)
     metrics_fmt = getattr(args, "metrics", None)

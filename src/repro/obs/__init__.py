@@ -21,11 +21,17 @@ Five pieces:
 * :func:`span` / :func:`profiled` — the single instrumentation API
   the rest of the library uses (:mod:`repro.obs.instrument`);
 * :class:`ObsServer` — the thread-based HTTP exposition service
-  (``/metrics``, ``/stats``, ``/healthz``, ``/readyz``, ``/traces``;
-  :mod:`repro.obs.server`, imported lazily);
+  (``/metrics``, ``/stats``, ``/healthz``, ``/readyz``, ``/traces``,
+  plus the live observatory surface ``/ui`` / ``/v1/events`` /
+  ``/v1/dags/{fp}/frame``; :mod:`repro.obs.server`, imported lazily);
 * :func:`watch` / :func:`render_dashboard` — the live in-terminal
   dashboard over ``/stats`` (:mod:`repro.obs.dashboard`, imported
-  lazily).
+  lazily);
+* :class:`FrameStore` / :func:`render_frame_svg` — the schedule-frame
+  observatory: bounded per-dag ring buffers of executed / eligible /
+  blocked frontier snapshots and the SVG frame renderer behind
+  ``/ui`` and ``repro observe`` (:mod:`repro.obs.observatory`,
+  imported lazily).
 """
 
 from .instrument import profiled, span
@@ -47,18 +53,24 @@ from .tracing import (
 
 __all__ = [
     "Counter",
+    "FrameStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsServer",
+    "ScheduleFrame",
     "TraceEvent",
     "Tracer",
     "fetch_stats",
+    "fetch_traces",
+    "global_frame_store",
     "global_registry",
     "global_tracer",
     "load_jsonl",
     "profiled",
     "render_dashboard",
+    "render_frame_svg",
+    "set_global_frame_store",
     "set_global_registry",
     "set_global_tracer",
     "span",
@@ -71,8 +83,15 @@ __all__ = [
 _LAZY = {
     "ObsServer": ("repro.obs.server", "ObsServer"),
     "fetch_stats": ("repro.obs.dashboard", "fetch_stats"),
+    "fetch_traces": ("repro.obs.dashboard", "fetch_traces"),
     "render_dashboard": ("repro.obs.dashboard", "render_dashboard"),
     "watch": ("repro.obs.dashboard", "watch"),
+    "FrameStore": ("repro.obs.observatory", "FrameStore"),
+    "ScheduleFrame": ("repro.obs.observatory", "ScheduleFrame"),
+    "global_frame_store": ("repro.obs.observatory", "global_frame_store"),
+    "set_global_frame_store": (
+        "repro.obs.observatory", "set_global_frame_store"),
+    "render_frame_svg": ("repro.obs.observatory", "render_frame_svg"),
 }
 
 

@@ -13,6 +13,12 @@ The renderer is a pure function of the ``/stats`` JSON
 network; :func:`watch` adds the poll-render-sleep loop.  Snapshot
 decoding (values, labeled series, number formatting) comes from
 :mod:`repro.obs.exposition`, the same helper the servers encode with.
+
+:func:`fetch_stats` retries once on a reset connection (servers
+restart; one refused poll should not kill a ``watch`` session), and
+:func:`fetch_traces` follows the ``/traces?since=`` cursor so
+repeated polls ship only new records instead of the full ring
+buffer.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from .exposition import format_number as _fmt
 from .exposition import snapshot_series as _series
 from .exposition import snapshot_value as _value
 
-__all__ = ["fetch_stats", "render_dashboard", "watch"]
+__all__ = ["fetch_stats", "fetch_traces", "render_dashboard", "watch"]
 
 #: ANSI: clear screen + cursor home (the refresh between frames).
 _CLEAR = "\x1b[2J\x1b[H"
@@ -38,12 +44,49 @@ def fetch_stats(url: str, timeout: float = 5.0) -> dict:
 
     ``url`` is the server root (e.g. ``http://127.0.0.1:9100``); a
     trailing slash or an explicit ``/stats`` suffix are both accepted.
+    A connection reset mid-poll (server restarting, listener cycling)
+    is retried once before the error propagates.
     """
     base = url.rstrip("/")
     if not base.endswith("/stats"):
         base += "/stats"
-    with urllib.request.urlopen(base, timeout=timeout) as resp:
-        return json.loads(resp.read().decode("utf-8"))
+    for attempt in (0, 1):
+        try:
+            with urllib.request.urlopen(base, timeout=timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except (ConnectionResetError, urllib.error.URLError) as exc:
+            reset = isinstance(exc, ConnectionResetError) or isinstance(
+                getattr(exc, "reason", None), ConnectionResetError
+            )
+            if attempt or not reset:
+                raise
+            time.sleep(0.05)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def fetch_traces(url: str, since: int = 0,
+                 timeout: float = 5.0) -> tuple[list[dict], int]:
+    """GET ``<url>/traces?since=<seq>``: the trace records appended
+    after cursor ``since``, plus the new cursor.
+
+    Returns ``(records, latest_seq)`` where ``latest_seq`` comes from
+    the server's ``X-Repro-Trace-Seq`` header (falling back to
+    ``since + len(records)`` for older servers).  Feed ``latest_seq``
+    back as ``since`` on the next poll so repeated scrapes ship only
+    the delta, not the whole ring buffer.
+    """
+    base = url.rstrip("/")
+    if not base.endswith("/traces"):
+        base += "/traces"
+    sep = "&" if "?" in base else "?"
+    with urllib.request.urlopen(
+        f"{base}{sep}since={int(since)}", timeout=timeout
+    ) as resp:
+        body = resp.read().decode("utf-8")
+        header = resp.headers.get("X-Repro-Trace-Seq")
+    records = [json.loads(line) for line in body.splitlines() if line]
+    latest = int(header) if header is not None else since + len(records)
+    return records, latest
 
 
 # ----------------------------------------------------------------------
@@ -51,8 +94,26 @@ def fetch_stats(url: str, timeout: float = 5.0) -> dict:
 # ----------------------------------------------------------------------
 
 
+def _histogram_totals(metric: dict) -> tuple[int, float]:
+    """``(count, sum)`` for a histogram snapshot entry, labeled
+    children summed."""
+    leaves = (
+        [e["value"] for e in metric["series"]]
+        if "series" in metric
+        else [metric.get("value", {})]
+    )
+    count = sum(int(v.get("count", 0)) for v in leaves)
+    total = sum(float(v.get("sum", 0.0)) for v in leaves)
+    return count, total
+
+
 def render_dashboard(stats: dict) -> str:
-    """Render one ``/stats`` payload as the dashboard text frame."""
+    """Render one ``/stats`` payload as the dashboard text frame.
+
+    Tolerates sparse payloads: an empty registry snapshot, a missing
+    ``service`` section, and histograms with zero observations all
+    render (with zeros / omitted tables) rather than raising.
+    """
     from ..analysis import render_table
 
     metrics = stats.get("metrics", {})
@@ -126,6 +187,39 @@ def render_dashboard(stats: dict) -> str:
          _fmt(_value(metrics, "scheduler_requests_total"))),
     ]
     sections.append(render_table(["search/cache", "value"], search_rows))
+
+    # -- call-latency histograms (zero-observation safe) --------------
+    lat_rows = []
+    for name in sorted(metrics):
+        metric = metrics[name]
+        if not isinstance(metric, dict) or metric.get("type") != "histogram":
+            continue
+        count, total = _histogram_totals(metric)
+        mean = total / count if count else 0.0
+        lat_rows.append(
+            (name, _fmt(count), _fmt(total), _fmt(mean) if count else "-")
+        )
+    if lat_rows:
+        sections.append(
+            render_table(["histogram", "count", "sum", "mean"], lat_rows)
+        )
+
+    # -- scheduling-service section (when serving one) ----------------
+    service = stats.get("service")
+    if isinstance(service, dict):
+        reg = service.get("registry") or {}
+        pipe = service.get("pipeline") or {}
+        svc_rows = [
+            ("api version", str(service.get("api_version", "?"))),
+            ("registry entries", _fmt(reg.get("entries", 0))),
+            ("registry shards", _fmt(reg.get("shards", 0))),
+            ("certified", _fmt(reg.get("certified", 0))),
+            ("largest shard", _fmt(reg.get("largest_shard", 0))),
+            ("workers", _fmt(pipe.get("workers", 0))),
+            ("max inflight", _fmt(pipe.get("max_inflight", 0))),
+            ("strategy", str(pipe.get("strategy", "?"))),
+        ]
+        sections.append(render_table(["service", "value"], svc_rows))
     return "\n\n".join(sections)
 
 

@@ -26,9 +26,11 @@ from .metrics import MetricsRegistry
 from .tracing import Tracer
 
 __all__ = [
+    "HTML_CONTENT_TYPE",
     "JSON_CONTENT_TYPE",
     "NDJSON_CONTENT_TYPE",
     "PROM_CONTENT_TYPE",
+    "SSE_CONTENT_TYPE",
     "TEXT_CONTENT_TYPE",
     "format_number",
     "json_body",
@@ -40,9 +42,13 @@ __all__ = [
 
 #: the Prometheus text exposition content type (format version 0.0.4).
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
-JSON_CONTENT_TYPE = "application/json"
-NDJSON_CONTENT_TYPE = "application/x-ndjson"
+#: every text-bearing content type carries an explicit charset — repro
+#: servers always encode UTF-8 and intermediaries must not guess.
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+HTML_CONTENT_TYPE = "text/html; charset=utf-8"
+SSE_CONTENT_TYPE = "text/event-stream; charset=utf-8"
 
 
 # ----------------------------------------------------------------------

@@ -24,8 +24,15 @@ Two layers live here:
   ``/readyz``    ``200 ready`` / ``503 not ready`` (readiness; toggle
                  via :attr:`ObsServer.ready`)
   ``/traces``    recent trace records as JSONL
-                 (``?limit=N`` keeps the newest N)
+                 (``?limit=N`` keeps the newest N; ``?since=SEQ``
+                 returns only records appended after the cursor, with
+                 the resume cursor in ``X-Repro-Trace-Seq``)
   =============  =====================================================
+
+  plus the shared observatory endpoints (``/ui``, ``/v1/frames``,
+  ``/v1/dags/{fp}/frame|frames|graph``, ``/v1/events``) routed through
+  :func:`repro.obs.observatory.dispatch_observatory` — see
+  :mod:`repro.obs.observatory` and ``docs/OBSERVABILITY.md`` §7.
 
 The server resolves the *global* registry/tracer at request time
 unless constructed with explicit instances, so ``set_global_registry``
@@ -126,11 +133,19 @@ class HardenedHandler(BaseHTTPRequestHandler):
         pass  # scrapers poll; default stderr logging would spam
 
     def respond(self, status: int, body: str, content_type: str,
-                close: bool = False) -> None:
+                close: bool = False,
+                headers: dict[str, str] | None = None) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        # every repro response is live state (frames, stats, metrics);
+        # an intermediary serving a cached copy would show the UI and
+        # scrapers stale data, so caching is disabled across the board.
+        self.send_header("Cache-Control", "no-store")
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
             self.close_connection = True
@@ -302,8 +317,15 @@ class HTTPServiceBase:
         self.stop()
 
 
-#: served endpoint paths (the 404 payload lists them).
-ENDPOINTS = ("/metrics", "/stats", "/healthz", "/readyz", "/traces")
+#: served endpoint paths (the 404 payload lists them); the observatory
+#: endpoints (``/ui``, ``/v1/...``) are shared with the scheduling
+#: service via :func:`repro.obs.observatory.dispatch_observatory`.
+ENDPOINTS = (
+    "/metrics", "/stats", "/healthz", "/readyz", "/traces",
+    "/ui", "/v1/frames", "/v1/dags/{fingerprint}/frame",
+    "/v1/dags/{fingerprint}/frames", "/v1/dags/{fingerprint}/graph",
+    "/v1/events",
+)
 
 
 class ObsServer(HTTPServiceBase):
@@ -354,13 +376,19 @@ class ObsServer(HTTPServiceBase):
     # -- routes --------------------------------------------------------
     def dispatch(self, handler: HardenedHandler, method: str,
                  path: str, query: dict) -> None:
+        from .observatory import dispatch_observatory
+
+        # observatory routes first: they contain slashes, which the
+        # attribute-based routing below cannot express
+        if dispatch_observatory(self, handler, method, path, query):
+            return
         if method != "GET":
             handler.respond_json(
                 405, {"error": f"method {method} not allowed"}
             )
             return
         route = getattr(self, f"_route_{path.strip('/')}", None)
-        if route is None:
+        if route is None or "/" in path.strip("/"):
             handler.respond_json(
                 404, {"error": f"no such endpoint {path!r}",
                       "endpoints": sorted(ENDPOINTS)})
@@ -384,7 +412,21 @@ class ObsServer(HTTPServiceBase):
             handler.respond(503, "not ready\n", TEXT_CONTENT_TYPE)
 
     def _route_traces(self, handler, query) -> None:
-        records = self.tracer.records()
+        tracer = self.tracer
+        if "since" in query:
+            # incremental scrape: only records appended after the
+            # cursor; the response carries the cursor to resume from
+            try:
+                since = int(query["since"][0])
+                if since < 0:
+                    raise ValueError
+            except ValueError:
+                raise RequestError(
+                    400, "since must be a non-negative integer"
+                ) from None
+            records, latest = tracer.records_since(since)
+        else:
+            records, latest = tracer.records(), tracer.seq
         if "limit" in query:
             try:
                 limit = int(query["limit"][0])
@@ -396,4 +438,5 @@ class ObsServer(HTTPServiceBase):
                 ) from None
             records = records[len(records) - limit:] if limit else []
         body = "".join(rec.to_json() + "\n" for rec in records)
-        handler.respond(200, body, NDJSON_CONTENT_TYPE)
+        handler.respond(200, body, NDJSON_CONTENT_TYPE,
+                        headers={"X-Repro-Trace-Seq": str(latest)})

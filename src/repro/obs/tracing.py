@@ -178,6 +178,11 @@ class Tracer:
         self._ids = itertools.count(1)
         self._epoch = time.perf_counter()
         self.dropped = 0
+        #: total records ever appended — the ``/traces?since=`` cursor.
+        #: Append order, NOT ``TraceEvent.id`` order: ids are assigned
+        #: at span *entry* but spans are appended at *exit*, so a
+        #: parent span lands after its children despite its lower id.
+        self._appended = 0
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, **attrs):
@@ -204,6 +209,7 @@ class Tracer:
             if len(self._buf) == self.capacity:
                 self.dropped += 1
             self._buf.append(rec)
+            self._appended += 1
 
     # -- adoption ------------------------------------------------------
     def now(self) -> float:
@@ -267,7 +273,12 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        """Drop all records and restart the epoch."""
+        """Drop all records and restart the epoch.
+
+        The append cursor (:attr:`seq`) is deliberately *not* reset:
+        it must stay monotonic for the lifetime of the tracer so a
+        scraper's ``?since=`` cursor never silently re-reads records.
+        """
         with self._lock:
             self._buf.clear()
             self.dropped = 0
@@ -278,6 +289,33 @@ class Tracer:
         """The retained records, oldest first."""
         with self._lock:
             return list(self._buf)
+
+    @property
+    def seq(self) -> int:
+        """Total records ever appended (monotonic; survives
+        :meth:`clear`).  The ``/traces?since=`` cursor timebase."""
+        with self._lock:
+            return self._appended
+
+    def records_since(self, seq: int) -> tuple[list[TraceEvent], int]:
+        """Records appended after cursor ``seq``, oldest first, plus
+        the current cursor to resume from.
+
+        The cursor counts *appends*, not :attr:`TraceEvent.id` values
+        (ids are entry-ordered, the buffer exit-ordered — see
+        :attr:`seq`).  A cursor older than the ring's tail returns
+        every retained record; the overwritten span shows up in
+        ``dropped``.  A cursor at or past the current seq returns no
+        records.
+        """
+        with self._lock:
+            latest = self._appended
+            missing = latest - seq
+            if missing <= 0:
+                return [], latest
+            if missing >= len(self._buf):
+                return list(self._buf), latest
+            return list(self._buf)[len(self._buf) - missing:], latest
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,428 @@
+"""The observatory page served at ``GET /ui``.
+
+One self-contained HTML document — inline CSS and JS, zero external
+assets, no CDN — rendering the live schedule observatory in any
+browser pointed at a running :class:`~repro.service.http.SchedulingService`
+or :class:`~repro.obs.server.ObsServer`:
+
+* the **DAG view**: an SVG of the selected dag (layout from
+  ``/v1/dags/{fp}/graph``) whose nodes recolor per frame — executed /
+  eligible / in-flight / blocked;
+* the **eligibility sparkline**: achieved ``E(t)`` across frames
+  overlaid on the certified ceiling ``M(t)``;
+* **per-client occupancy strips** from the latest frame;
+* a **fleet strip**: registry shard occupancy from ``/stats`` (shown
+  when the serving process is the scheduling service).
+
+The page is *push-driven*: one ``EventSource`` on ``/v1/events``
+supplies frame-seq deltas (``Last-Event-ID`` makes reconnects resume
+at the cursor), and the page fetches ``/v1/dags/{fp}/frames?since=``
+only when the stream reports new frames — there is no fixed-interval
+busy polling.  Colors follow the repo's validated viz palette (slots
+1–3 + neutral ink/surface tokens) with light and dark scopes; the
+theme follows the OS setting.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OBSERVATORY_HTML"]
+
+OBSERVATORY_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro observatory</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;  /* executed / achieved E(t) */
+  --series-2: #eb6834;  /* in flight / certified M(t) */
+  --series-3: #1baf7a;  /* eligible frontier */
+  --blocked: #d6d4cf;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --blocked: #3a3a38;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px 20px; background: var(--page);
+  color: var(--text-primary);
+  font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 14px;
+         flex-wrap: wrap; margin-bottom: 12px; }
+h1 { font-size: 16px; margin: 0; font-weight: 600; }
+#conn { color: var(--text-secondary); font-size: 12px; }
+#conn.down { color: var(--series-2); }
+select {
+  font: inherit; color: var(--text-primary);
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 2px 6px;
+}
+.cards { display: grid; gap: 12px;
+         grid-template-columns: minmax(380px, 3fr) minmax(280px, 2fr); }
+@media (max-width: 860px) { .cards { grid-template-columns: 1fr; } }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 14px; min-width: 0;
+}
+.card h2 { font-size: 12px; font-weight: 600; margin: 0 0 8px;
+           color: var(--text-secondary); }
+.legend { display: flex; gap: 14px; flex-wrap: wrap;
+          font-size: 11px; color: var(--text-secondary);
+          margin-top: 6px; }
+.legend span { display: inline-flex; align-items: center; gap: 5px; }
+.chip { width: 9px; height: 9px; border-radius: 50%; display: inline-block; }
+.statrow { display: flex; gap: 18px; flex-wrap: wrap;
+           color: var(--text-secondary); font-size: 12px;
+           margin-bottom: 10px; }
+.statrow b { color: var(--text-primary); font-weight: 600;
+             font-variant-numeric: tabular-nums; }
+svg { display: block; max-width: 100%; height: auto; }
+svg text { font-family: inherit; }
+.occrow { display: flex; align-items: center; gap: 8px;
+          margin: 3px 0; font-size: 11px;
+          color: var(--text-secondary); }
+.occrow .bar { flex: 1; height: 13px; border-radius: 4px;
+               background: var(--blocked); position: relative;
+               overflow: hidden; }
+.occrow .bar.busy { background: var(--series-2); }
+.occrow .task { min-width: 64px; text-align: right;
+                color: var(--text-primary);
+                font-variant-numeric: tabular-nums; }
+.fleet { display: flex; gap: 4px; align-items: flex-end;
+         height: 46px; margin-top: 4px; }
+.fleet div { flex: 1; background: var(--series-1); border-radius: 3px 3px 0 0;
+             min-height: 2px; }
+.fleet-axis { display: flex; justify-content: space-between;
+              font-size: 10px; color: var(--muted); }
+#empty { color: var(--text-secondary); padding: 30px 8px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro observatory</h1>
+  <select id="dagsel" title="dag channel"></select>
+  <span id="conn">connecting&hellip;</span>
+</header>
+<div class="statrow" id="stats"></div>
+<div id="empty">No frames yet &mdash; frame capture is enabled by
+<code>repro serve</code>; run a <code>POST /v1/simulate</code> (or
+<code>repro observe --snapshot</code> locally) and frames will stream
+in here.</div>
+<div class="cards" id="cards" style="display:none">
+  <div class="card">
+    <h2 id="dagtitle">dag</h2>
+    <svg id="dag"></svg>
+    <div class="legend">
+      <span><i class="chip" style="background:var(--series-1)"></i>executed</span>
+      <span><i class="chip" style="background:var(--series-3)"></i>eligible</span>
+      <span><i class="chip" style="background:var(--series-2)"></i>in flight</span>
+      <span><i class="chip" style="background:var(--blocked)"></i>blocked</span>
+    </div>
+  </div>
+  <div class="card">
+    <h2>eligibility &mdash; achieved E(t) vs certified ceiling M(t)</h2>
+    <svg id="spark" viewBox="0 0 320 90" preserveAspectRatio="none"
+         style="width:100%;height:90px"></svg>
+    <div class="legend">
+      <span><i class="chip" style="background:var(--series-1)"></i>achieved E(t)</span>
+      <span><i class="chip" style="background:var(--series-2)"></i>certified M(t)</span>
+    </div>
+    <h2 style="margin-top:14px">client occupancy</h2>
+    <div id="occ"></div>
+    <div id="fleetcard" style="display:none">
+      <h2 style="margin-top:14px">registry shards (entries per shard)</h2>
+      <div class="fleet" id="fleet"></div>
+      <div class="fleet-axis" id="fleetaxis"></div>
+    </div>
+  </div>
+</div>
+<script>
+"use strict";
+const SVGNS = "http://www.w3.org/2000/svg";
+const state = {
+  fp: null,        // selected dag fingerprint
+  cursor: 0,       // per-dag frame cursor (frames?since=)
+  graph: null,     // /v1/dags/{fp}/graph payload
+  achieved: [],    // E(t) per executed-count index for the sparkline
+  frame: null,     // latest applied frame
+  fetching: false, // one catch-up fetch at a time
+  pendingSeqs: {}, // latest per-dag seqs from the events stream
+};
+
+function el(id) { return document.getElementById(id); }
+
+// -- events stream (the only push channel; no interval polling) -------
+const es = new EventSource("/v1/events");
+es.onopen = () => { el("conn").textContent = "live"; el("conn").className = ""; };
+es.onerror = () => { el("conn").textContent = "reconnecting\\u2026";
+                     el("conn").className = "down"; };
+es.addEventListener("frames", (ev) => onDelta(JSON.parse(ev.data), true));
+es.addEventListener("tick", (ev) => onDelta(JSON.parse(ev.data), false));
+
+let tickCount = 0;
+function onDelta(msg, hasFrames) {
+  state.pendingSeqs = msg.dags || {};
+  renderStats(msg.stats || {});
+  const fps = Object.keys(state.pendingSeqs);
+  if (!state.fp && fps.length) {
+    // auto-select the most active channel
+    selectDag(fps.reduce((a, b) =>
+      state.pendingSeqs[a] >= state.pendingSeqs[b] ? a : b));
+  }
+  refreshSelector(fps);
+  if (state.fp && (state.pendingSeqs[state.fp] || 0) > state.cursor) {
+    pullFrames();
+  }
+  // fleet view refresh rides the stream's heartbeat (every ~10 msgs),
+  // never its own timer
+  if (hasFrames || (tickCount++ % 10) === 0) refreshFleet();
+}
+
+function refreshSelector(fps) {
+  const sel = el("dagsel");
+  const have = new Set(Array.from(sel.options).map(o => o.value));
+  for (const fp of fps) {
+    if (have.has(fp)) continue;
+    const o = document.createElement("option");
+    o.value = fp; o.textContent = fp.slice(0, 12);
+    sel.appendChild(o);
+  }
+  if (state.fp) sel.value = state.fp;
+}
+el("dagsel").addEventListener("change", (e) => selectDag(e.target.value));
+
+function selectDag(fp) {
+  state.fp = fp; state.cursor = 0; state.graph = null;
+  state.achieved = []; state.frame = null;
+  fetch("/v1/dags/" + fp + "/graph").then(r => r.json()).then(g => {
+    state.graph = g;
+    el("dagtitle").textContent = g.name + " \\u2014 " + g.n + " tasks" +
+      (g.policy ? ", policy " + g.policy : "");
+    drawGraph();
+    pullFrames();
+  });
+}
+
+function pullFrames() {
+  if (state.fetching || !state.fp) return;
+  state.fetching = true;
+  fetch("/v1/dags/" + state.fp + "/frames?since=" + state.cursor)
+    .then(r => r.json())
+    .then(payload => {
+      state.fetching = false;
+      const frames = payload.frames || [];
+      if (!frames.length) return;
+      state.cursor = payload.latest;
+      for (const f of frames) {
+        // index achieved E(t) by executed count: one series even
+        // when the ring drops intermediate frames
+        state.achieved[f.executed.length] = f.eligible_count;
+      }
+      applyFrame(frames[frames.length - 1]);
+      if ((state.pendingSeqs[state.fp] || 0) > state.cursor) pullFrames();
+    })
+    .catch(() => { state.fetching = false; });
+}
+
+// -- DAG drawing ------------------------------------------------------
+const nodeEls = {};
+function drawGraph() {
+  const g = state.graph, svg = el("dag");
+  while (svg.firstChild) svg.removeChild(svg.firstChild);
+  for (const k in nodeEls) delete nodeEls[k];
+  if (!g) return;
+  const W = 640, rowH = 52, top = 26;
+  const H = top + Math.max(1, g.levels.length) * rowH;
+  svg.setAttribute("viewBox", "0 0 " + W + " " + H);
+  const widest = Math.max(1, ...g.levels.map(lv => lv.length));
+  const r = Math.max(3.5, Math.min(12, (W - 40) / (2 * widest + 2)));
+  const pos = {};
+  g.levels.forEach((lv, d) => {
+    lv.forEach((name, i) => {
+      pos[name] = [20 + (W - 40) * (i + 1) / (lv.length + 1),
+                   top + d * rowH];
+    });
+  });
+  for (const [u, v] of g.arcs) {
+    if (!(u in pos) || !(v in pos)) continue;
+    const ln = document.createElementNS(SVGNS, "line");
+    ln.setAttribute("x1", pos[u][0]); ln.setAttribute("y1", pos[u][1]);
+    ln.setAttribute("x2", pos[v][0]); ln.setAttribute("y2", pos[v][1]);
+    ln.setAttribute("stroke", "var(--grid)");
+    svg.appendChild(ln);
+  }
+  const label = g.nodes.length <= 64 && r >= 8;
+  for (const name of g.nodes) {
+    const [x, y] = pos[name];
+    const c = document.createElementNS(SVGNS, "circle");
+    c.setAttribute("cx", x); c.setAttribute("cy", y);
+    c.setAttribute("r", r);
+    c.setAttribute("fill", "var(--surface-1)");
+    c.setAttribute("stroke", "var(--blocked)");
+    c.setAttribute("stroke-width", "1.5");
+    const t = document.createElementNS(SVGNS, "title");
+    t.textContent = name;
+    c.appendChild(t);
+    svg.appendChild(c);
+    nodeEls[name] = c;
+    if (label) {
+      const tx = document.createElementNS(SVGNS, "text");
+      tx.setAttribute("x", x); tx.setAttribute("y", y + r + 10);
+      tx.setAttribute("text-anchor", "middle");
+      tx.setAttribute("font-size", "8");
+      tx.setAttribute("fill", "var(--text-secondary)");
+      tx.textContent = name;
+      svg.appendChild(tx);
+    }
+  }
+}
+
+function paintNode(name, fillVar) {
+  const c = nodeEls[name];
+  if (!c) return;
+  if (fillVar) {
+    c.setAttribute("fill", "var(" + fillVar + ")");
+    c.setAttribute("stroke", "var(" + fillVar + ")");
+  } else {
+    c.setAttribute("fill", "var(--surface-1)");
+    c.setAttribute("stroke", "var(--blocked)");
+  }
+}
+
+function applyFrame(f) {
+  state.frame = f;
+  el("empty").style.display = "none";
+  el("cards").style.display = "";
+  const inflight = new Set(f.occupancy.filter(Boolean));
+  for (const name in nodeEls) paintNode(name, null);
+  for (const name of f.eligible)
+    paintNode(name, inflight.has(name) ? "--series-2" : "--series-3");
+  for (const name of f.executed) paintNode(name, "--series-1");
+  drawSpark();
+  drawOccupancy(f);
+  const g = state.graph;
+  if (g) {
+    el("dagtitle").textContent = g.name + " \\u2014 step " + f.step +
+      ", " + f.executed.length + "/" + g.n + " executed, " +
+      f.eligible_count + " eligible" + (f.done ? " \\u2014 done" : "");
+  }
+}
+
+// -- sparkline --------------------------------------------------------
+function drawSpark() {
+  const svg = el("spark");
+  while (svg.firstChild) svg.removeChild(svg.firstChild);
+  const profile = (state.graph && state.graph.profile) || null;
+  const achieved = [];
+  for (let i = 0; i < state.achieved.length; i++)
+    achieved.push(state.achieved[i] === undefined ? null : state.achieved[i]);
+  const peak = Math.max(1,
+    ...achieved.filter(v => v !== null),
+    ...(profile || [0]));
+  const W = 320, H = 80, pad = 6;
+  const n = Math.max((profile || []).length, achieved.length, 2) - 1;
+  const X = i => pad + (W - 2 * pad) * i / n;
+  const Y = v => pad + (H - 2 * pad) * (1 - v / peak);
+  const base = document.createElementNS(SVGNS, "line");
+  base.setAttribute("x1", pad); base.setAttribute("x2", W - pad);
+  base.setAttribute("y1", Y(0)); base.setAttribute("y2", Y(0));
+  base.setAttribute("stroke", "var(--baseline)");
+  svg.appendChild(base);
+  const line = (pts, cssVar, dash) => {
+    if (pts.length < 2) return;
+    const p = document.createElementNS(SVGNS, "polyline");
+    p.setAttribute("points", pts.map(([x, y]) => x + "," + y).join(" "));
+    p.setAttribute("fill", "none");
+    p.setAttribute("stroke", "var(" + cssVar + ")");
+    p.setAttribute("stroke-width", "2");
+    p.setAttribute("vector-effect", "non-scaling-stroke");
+    if (dash) p.setAttribute("stroke-dasharray", "5 3");
+    svg.appendChild(p);
+  };
+  if (profile) line(profile.map((v, i) => [X(i), Y(v)]), "--series-2", true);
+  const apts = [];
+  achieved.forEach((v, i) => { if (v !== null) apts.push([X(i), Y(v)]); });
+  line(apts, "--series-1", false);
+}
+
+// -- occupancy + fleet ------------------------------------------------
+function drawOccupancy(f) {
+  const box = el("occ");
+  box.textContent = "";
+  f.occupancy.forEach((task, cid) => {
+    const row = document.createElement("div");
+    row.className = "occrow";
+    const lab = document.createElement("span");
+    lab.textContent = "c" + cid;
+    const bar = document.createElement("div");
+    bar.className = "bar" + (task ? " busy" : "");
+    const val = document.createElement("span");
+    val.className = "task";
+    val.textContent = task || "idle";
+    row.append(lab, bar, val);
+    box.appendChild(row);
+  });
+}
+
+function renderStats(s) {
+  const pairs = [["steps", s.sim_steps], ["completions", s.sim_completions],
+                 ["eligible now", s.sim_eligible],
+                 ["starvation", s.sim_starvation],
+                 ["searches", s.searches], ["frames", s.frames]];
+  el("stats").innerHTML = pairs
+    .map(([k, v]) => k + " <b>" + (v === undefined ? 0 : v) + "</b>")
+    .join("<span style='color:var(--grid)'>|</span>");
+}
+
+function refreshFleet() {
+  fetch("/stats").then(r => r.json()).then(st => {
+    const svc = st.service;
+    if (!svc || !svc.registry) return;
+    const reg = svc.registry;
+    const shards = reg.per_shard || [];
+    if (!shards.length) return;
+    el("fleetcard").style.display = "";
+    const peak = Math.max(1, ...shards, reg.capacity_per_shard || 0);
+    const box = el("fleet");
+    box.textContent = "";
+    shards.forEach(nr => {
+      const bar = document.createElement("div");
+      bar.style.height = Math.max(4, 100 * nr / peak) + "%";
+      bar.title = nr + " entries";
+      box.appendChild(bar);
+    });
+    el("fleetaxis").innerHTML =
+      "<span>" + shards.length + " shards, " + (reg.entries || 0) +
+      " entries (" + (reg.certified || 0) + " certified)</span>" +
+      "<span>cap " + (reg.capacity_per_shard || "?") + "/shard</span>";
+  }).catch(() => {});
+}
+</script>
+</body>
+</html>
+"""

@@ -29,6 +29,13 @@ endpoint                    semantics
                             config)
 ==========================  ==========================================
 
+The service also mounts the live observatory
+(:mod:`repro.obs.observatory`): ``GET /ui`` serves the
+self-contained HTML page, ``GET /v1/events`` streams frame/stats
+deltas (SSE), and ``GET /v1/dags/{fp}/frame|frames|graph`` expose
+the per-dag schedule-frame ring buffers.  Frame capture is enabled
+on ``start()`` unless constructed with ``frames=False``.
+
 Responses are the canonical JSON wire encoding
 (:func:`repro.obs.exposition.json_body`: sorted keys, trailing
 newline).  Errors are ``{"error": ...}`` JSON with conventional status
@@ -52,6 +59,11 @@ from ..obs.exposition import (
     stats_payload,
 )
 from ..obs.metrics import global_registry
+from ..obs.observatory import (
+    OBSERVATORY_ENDPOINTS,
+    dispatch_observatory,
+    global_frame_store,
+)
 from ..obs.server import (
     DEFAULT_REQUEST_TIMEOUT,
     HardenedHandler,
@@ -73,7 +85,7 @@ ENDPOINTS = (
     "GET /readyz",
     "GET /metrics",
     "GET /stats",
-)
+) + OBSERVATORY_ENDPOINTS
 
 #: simulation options accepted over the wire, with their validators.
 #: Everything else in :func:`repro.api.simulate`'s signature (work
@@ -105,6 +117,12 @@ class SchedulingService(HTTPServiceBase):
     pipeline_config:
         Admission / coalescing / batching knobs
         (:class:`~repro.service.pipeline.PipelineConfig`).
+    frames:
+        When true (the default), ``start()`` enables the global
+        :class:`~repro.obs.observatory.FrameStore` so simulations
+        driven through the service record schedule frames for the
+        live observatory (``/ui``, ``/v1/events``).  Pass ``False``
+        to keep frame capture off (zero per-step cost).
 
     ``start()`` spins up the request pipeline (collector thread +
     worker pool) alongside the listener; ``stop()`` drains both.
@@ -118,13 +136,17 @@ class SchedulingService(HTTPServiceBase):
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         registry: DagRegistry | None = None,
         pipeline_config: PipelineConfig | None = None,
+        frames: bool = True,
     ) -> None:
         super().__init__(host, port, request_timeout)
         self.registry = registry if registry is not None else DagRegistry()
         self.pipeline = RequestPipeline(self.registry, pipeline_config)
+        self.frames = frames
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "SchedulingService":
+        if self.frames:
+            global_frame_store().enable()
         self.pipeline.start()
         try:
             super().start()
@@ -140,6 +162,8 @@ class SchedulingService(HTTPServiceBase):
     # -- routing -------------------------------------------------------
     def dispatch(self, handler: HardenedHandler, method: str,
                  path: str, query: dict) -> None:
+        if dispatch_observatory(self, handler, method, path, query):
+            return
         if path == "/v1/dags":
             self._require(method, "POST")
             self._route_submit(handler)

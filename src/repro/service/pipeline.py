@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from .. import api
 from ..core.dag import ComputationDag
 from ..obs import global_registry, span
+from ..obs.observatory import global_frame_store
 from .registry import DagEntry, DagRegistry
 
 __all__ = ["PipelineConfig", "RejectedError", "RequestPipeline"]
@@ -303,6 +304,11 @@ class RequestPipeline:
         self._m_certificates().labels(result.kind).inc()
         entry.schedule = result
         self.registry.attach_schedule(entry.fingerprint, result)
+        store = global_frame_store()
+        if store.enabled:
+            # attach the certified M(t) so subsequent frames carry the
+            # achieved-vs-optimal comparison (observatory sparkline)
+            store.set_profile(entry.dag, result.profile)
         return how
 
     # -- simulation (micro-batched) ------------------------------------

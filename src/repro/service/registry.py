@@ -201,6 +201,7 @@ class DagRegistry:
             "shards": self.shards,
             "capacity_per_shard": self.capacity_per_shard,
             "entries": sum(per_shard),
+            "per_shard": per_shard,
             "largest_shard": max(per_shard),
             "certified": certified,
         }

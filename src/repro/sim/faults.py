@@ -636,6 +636,21 @@ class _FaultEngine:
         self.service_start: dict[int, float] = {c: 0.0 for c in range(n)}
         self.service_end: dict[int, float] = {}
 
+        # -- observatory frame capture (docs/OBSERVABILITY.md §7) -----
+        # resolved once, like the ideal engine: a disabled store costs
+        # one lookup here and a None check per event below.
+        from ..obs.observatory import global_frame_store
+
+        self.frame_store = global_frame_store()
+        self.channel = (
+            self.frame_store.channel(
+                dag, clients=len(self.clients), policy=policy.name
+            )
+            if self.frame_store.enabled else None
+        )
+        self.frame_events: list[dict] = []
+        self.frame_step = 0
+
         # -- accounting -----------------------------------------------
         self.busy_time = 0.0
         self.idle_time = 0.0
@@ -796,6 +811,10 @@ class _FaultEngine:
         self.ever_quarantined.add(cid)
         self.g_quar.set(len(self.quarantined))
         self.tracer.event("sim.quarantine", client=cid, t=now)
+        if self.channel is not None:
+            self.frame_events.append(
+                {"kind": "quarantine", "client": cid, "t": round(now, 6)}
+            )
         if cid in self.idle:
             self.idle.remove(cid)
             self.idle_time += now - self.idle_since.pop(cid)
@@ -936,6 +955,10 @@ class _FaultEngine:
         self.m_faults.labels(ev.kind).inc()
         self.tracer.event("sim.fault", kind=ev.kind, client=ev.client,
                           t=now)
+        if self.channel is not None:
+            self.frame_events.append(
+                {"kind": ev.kind, "client": ev.client, "t": round(now, 6)}
+            )
         if ev.kind == "crash":
             cid = ev.client
             if cid not in self.alive:
@@ -995,11 +1018,33 @@ class _FaultEngine:
         "fault": _on_fault,
     }
 
-    def _publish(self) -> None:
+    def _publish(self, now: float = 0.0) -> None:
         self.g_allocatable.set(len(self.allocatable))
         in_flight_tasks = len(self.in_flight) + len(self.backing_off)
         self.g_eligible.set(len(self.allocatable) + in_flight_tasks)
         self.g_completed.set(len(self.done))
+        if self.channel is not None:
+            self.frame_step += 1
+            occupancy: list = []
+            for cid in range(len(self.clients)):
+                aid = self.current.get(cid)
+                occupancy.append(
+                    self.attempts[aid].task if aid is not None else None
+                )
+            eligible = list(self.allocatable)
+            eligible.extend(self.in_flight)
+            eligible.extend(self.backing_off)
+            self.frame_store.record(
+                self.channel,
+                step=self.frame_step,
+                t=now,
+                executed=self.done,
+                eligible=eligible,
+                occupancy=occupancy,
+                events=tuple(self.frame_events),
+                done=len(self.done) >= self.total,
+            )
+            self.frame_events.clear()
 
     def run(self) -> SimulationResult:
         with span("sim.simulate", dag=self.dag.name,
@@ -1022,7 +1067,7 @@ class _FaultEngine:
                     break
                 self._dispatch_idle(now)
                 self.headroom.append((now, len(self.allocatable)))
-                self._publish()
+                self._publish(now)
 
         if len(self.done) != self.total:
             raise SimulationError(
@@ -1049,7 +1094,7 @@ class _FaultEngine:
         self.report.quarantined_clients = tuple(
             sorted(self.ever_quarantined))
         self.headroom.append((now, len(self.allocatable)))
-        self._publish()
+        self._publish(now)
         result = SimulationResult(
             policy=self.policy.name,
             makespan=self.makespan,

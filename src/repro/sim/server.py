@@ -226,11 +226,18 @@ def _simulate_ideal(
     seed: int = 0,
     comm_per_input: float = 0.0,
     record_trace: bool = False,
+    _frames: bool = True,
 ) -> SimulationResult:
     """The ideal-model event loop behind :func:`simulate` (instant loss
     detection, no timeouts/retries/replication).  Kept as a separate
     kernel so the fault-path dispatch overhead is measurable
-    (``benchmarks/bench_faults.py``)."""
+    (``benchmarks/bench_faults.py``).
+
+    ``_frames=False`` is the benchmark reference knob
+    (``benchmarks/bench_observability.py``): it skips the frame-store
+    resolution entirely, isolating the observatory's disabled-path
+    cost (one store lookup + an ``enabled`` check per run; the
+    per-event capture branch tests a local ``None`` either way)."""
     if isinstance(clients, int):
         clients = [ClientSpec() for _ in range(clients)]
     if not clients:
@@ -238,6 +245,26 @@ def _simulate_ideal(
     work_fn = work if callable(work) else (lambda _v, _w=float(work): _w)
     rng = random.Random(seed)
     policy.attach(dag)
+
+    # -- observatory frame capture (docs/OBSERVABILITY.md §7) ----------
+    # resolved ONCE per run, like the tracer's enabled flag: with the
+    # global store disabled (the default), `channel` stays None and the
+    # loop below only ever pays a pointer comparison per event.
+    channel = None
+    frame_store = None
+    if _frames:
+        from ..obs.observatory import global_frame_store
+
+        frame_store = global_frame_store()
+        if frame_store.enabled:
+            channel = frame_store.channel(
+                dag, clients=len(clients), policy=policy.name
+            )
+    occupancy: list[Node | None] = (
+        [None] * len(clients) if channel is not None else []
+    )
+    frame_events: list[dict] = []
+    frame_step = 0
 
     reg = global_registry()
     m_alloc = reg.counter("sim_allocations_total",
@@ -305,6 +332,8 @@ def _simulate_ideal(
             busy_time += duration
         kind = "lost" if lost else "done"
         m_alloc.inc()
+        if channel is not None:
+            occupancy[client_id] = task
         tracer.event("sim.allocate", client=client_id, task=str(task),
                      t=now, kind=kind)
         if record_trace:
@@ -322,6 +351,20 @@ def _simulate_ideal(
         g_allocatable.set(len(allocatable))
         g_eligible.set(len(allocatable) + len(allocated))
         g_completed.set(len(done))
+        if channel is not None:
+            nonlocal frame_step
+            frame_step += 1
+            frame_store.record(
+                channel,
+                step=frame_step,
+                t=now,
+                executed=done,
+                eligible=list(allocatable) + list(allocated),
+                occupancy=occupancy,
+                events=tuple(frame_events),
+                done=len(done) == len(dag),
+            )
+            frame_events.clear()
 
     with span("sim.simulate", dag=dag.name, policy=policy.name,
               clients=len(clients)):
@@ -339,6 +382,12 @@ def _simulate_ideal(
             now, _tb, kind, cid, task = heapq.heappop(events)
             m_steps.inc()
             assert task is not None
+            if channel is not None:
+                occupancy[cid] = None
+                if kind == "lost":
+                    frame_events.append(
+                        {"kind": "loss", "client": cid, "task": str(task)}
+                    )
             if kind == "lost":
                 # server detects the loss; the task goes back in the pool
                 allocated.discard(task)

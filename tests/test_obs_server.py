@@ -72,7 +72,8 @@ class TestEndpoints:
             pass
         status, headers, body = _get(server.url + "/stats")
         assert status == 200
-        assert headers["Content-Type"] == "application/json"
+        assert headers["Content-Type"] == "application/json; charset=utf-8"
+        assert headers["Cache-Control"] == "no-store"
         payload = json.loads(body)
         assert payload["metrics"]["depth"]["value"] == 4
         assert payload["tracer"]["enabled"] is True
@@ -96,9 +97,46 @@ class TestEndpoints:
             tracer.event("b")
         status, headers, body = _get(server.url + "/traces")
         assert status == 200
-        assert headers["Content-Type"] == "application/x-ndjson"
+        assert headers["Content-Type"] == (
+            "application/x-ndjson; charset=utf-8")
         lines = [json.loads(ln) for ln in body.splitlines()]
         assert [r["name"] for r in lines] == ["b", "a"]
+
+    def test_traces_since_cursor(self, server, tracer):
+        tracer.event("first")
+        _s, headers, body = _get(server.url + "/traces")
+        seq = int(headers["X-Repro-Trace-Seq"])
+        assert seq == 1
+        assert len(body.splitlines()) == 1
+        # nothing new past the cursor
+        _s, headers, body = _get(server.url + f"/traces?since={seq}")
+        assert body == ""
+        assert int(headers["X-Repro-Trace-Seq"]) == seq
+        # only the delta after more activity
+        tracer.event("second")
+        tracer.event("third")
+        _s, headers, body = _get(server.url + f"/traces?since={seq}")
+        names = [json.loads(ln)["name"] for ln in body.splitlines()]
+        assert names == ["second", "third"]
+        assert int(headers["X-Repro-Trace-Seq"]) == 3
+
+    def test_traces_since_survives_wraparound(self, registry):
+        from repro.obs import set_global_tracer
+
+        small = Tracer(capacity=3, enabled=True)
+        old = set_global_tracer(small)
+        try:
+            with ObsServer() as srv:
+                for i in range(8):
+                    small.event(f"e{i}")
+                # cursor far behind the buffer: returns what is retained
+                _s, headers, body = _get(srv.url + "/traces?since=2")
+                names = [json.loads(ln)["name"]
+                         for ln in body.splitlines()]
+                assert names == ["e5", "e6", "e7"]
+                assert int(headers["X-Repro-Trace-Seq"]) == 8
+        finally:
+            set_global_tracer(old)
 
     def test_traces_limit(self, server, tracer):
         for i in range(5):
@@ -273,6 +311,85 @@ class TestDashboard:
         frame = render_dashboard({"metrics": {}, "tracer": {}})
         assert "simulation" in frame
         assert "per-policy" not in frame  # table omitted when empty
+
+    def test_render_empty_registry_snapshot(self):
+        # a freshly started server with no instrumented work yet
+        frame = render_dashboard({})
+        assert "repro observability" in frame
+        assert "eligible now" in frame  # zeros render, nothing raises
+
+    def test_render_missing_service_section(self, server, registry):
+        # ObsServer /stats has no "service" block — table omitted
+        frame = render_dashboard(fetch_stats(server.url))
+        assert "api version" not in frame
+
+    def test_render_service_section(self):
+        frame = render_dashboard({
+            "metrics": {},
+            "tracer": {},
+            "service": {
+                "api_version": "v1",
+                "registry": {"entries": 7, "shards": 4,
+                             "certified": 6, "largest_shard": 3},
+                "pipeline": {"workers": 2, "max_inflight": 16,
+                             "strategy": "auto"},
+            },
+        })
+        assert "api version" in frame and "v1" in frame
+        assert "registry entries" in frame and "7" in frame
+
+    def test_render_histogram_zero_observations(self, registry):
+        # a histogram family that exists but has never observed —
+        # the mean must not divide by zero
+        registry.histogram("idle_seconds", "never observed")
+        frame = render_dashboard({
+            "metrics": registry.snapshot(), "tracer": {}
+        })
+        assert "idle_seconds" in frame
+        row = next(ln for ln in frame.splitlines()
+                   if "idle_seconds" in ln)
+        assert "-" in row  # mean placeholder, not a ZeroDivisionError
+
+    def test_fetch_stats_retries_after_reset(self, monkeypatch):
+        import urllib.request
+
+        from repro.obs.dashboard import fetch_stats as fetch
+
+        calls = []
+
+        class _Resp:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *a):
+                return False
+
+            def read(self):
+                return b'{"metrics": {}}'
+
+        def fake_urlopen(url, timeout=None):
+            calls.append(url)
+            if len(calls) == 1:
+                raise ConnectionResetError("peer reset")
+            return _Resp()
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        assert fetch("http://x") == {"metrics": {}}
+        assert len(calls) == 2  # one retry, then success
+
+    def test_fetch_traces_cursor(self, server, tracer):
+        from repro.obs import fetch_traces
+
+        tracer.event("one")
+        records, seq = fetch_traces(server.url)
+        assert [r["name"] for r in records] == ["one"]
+        assert seq == 1
+        records, seq2 = fetch_traces(server.url, since=seq)
+        assert records == [] and seq2 == seq
+        tracer.event("two")
+        records, seq3 = fetch_traces(server.url, since=seq)
+        assert [r["name"] for r in records] == ["two"]
+        assert seq3 == 2
 
     def test_watch_renders_n_frames(self, server, registry):
         self._populate(registry)

@@ -9,7 +9,9 @@ threshold (default 20%).  When a fresh ``BENCH_observability.json``
 (written by ``benchmarks/bench_observability.py``) is present, the
 observability layer's disabled-path and serving-path (concurrently
 scraped ``/metrics``) overheads are gated against the recorded
-absolute limit (5%) as well.  When a fresh ``BENCH_faults.json``
+absolute limit (5%) as well — and, on schema-3 records, the
+simulator's schedule-frame-capture disabled path against the same
+budget.  When a fresh ``BENCH_faults.json``
 (written by ``benchmarks/bench_faults.py``) is present, the
 fault-tolerance layer is gated too: the faults-disabled dispatch
 overhead against its absolute 5% budget, and the deterministic canned
@@ -165,6 +167,26 @@ def compare_observability(fresh: dict) -> list[str]:
             f"overhead.serving_pct: {serving}% breaches the "
             f"{limit}% instrumentation budget"
         )
+    # schedule-frame capture (schema 3+): the simulator's frame path
+    # shares the disabled-is-free budget — disabled capture must cost
+    # nothing measurable against the no-frame-path reference.
+    frames = fresh.get("frames")
+    if frames is not None:
+        fr_limit = frames.get("limit_disabled_pct", limit)
+        fr_pct = frames.get("disabled_pct")
+        if fr_pct is None:
+            failures.append(
+                "observability record lacks frames.disabled_pct"
+            )
+        elif fr_pct >= fr_limit:
+            failures.append(
+                f"frames.disabled_pct: {fr_pct}% breaches the "
+                f"{fr_limit}% frame-capture budget"
+            )
+        if not frames.get("captured"):
+            failures.append(
+                "frames scenario captured no frames while enabled"
+            )
     return failures
 
 
@@ -401,7 +423,9 @@ def main(argv=None) -> int:
         obs_note = (
             f"obs disabled-path overhead "
             f"{obs_fresh['overhead']['disabled_pct']}%, serving "
-            f"{obs_fresh['overhead'].get('serving_pct', 'n/a')}%"
+            f"{obs_fresh['overhead'].get('serving_pct', 'n/a')}%, "
+            f"frame capture "
+            f"{obs_fresh.get('frames', {}).get('disabled_pct', 'n/a')}%"
         )
 
     faults_note = "no fresh faults record (gate skipped)"

@@ -11,7 +11,12 @@ client would:
 4. ``GET /v1/schedules/{fingerprint}`` — fetch the stored schedule;
 5. ``POST /v1/simulate`` — by fingerprint and with an inline dag;
 6. ``GET /metrics`` — the Prometheus exposition carries the service
-   counters; ``GET /stats`` agrees with what we just did.
+   counters; ``GET /stats`` agrees with what we just did;
+7. the live observatory — ``GET /ui`` is one self-contained HTML
+   response (no external assets), ``GET /v1/dags/{fp}/frame`` holds
+   captured frames whose seq advances across simulations (the
+   headless stand-in for watching the page animate), and one
+   ``GET /v1/events`` SSE delta parses.
 
 Exits 0 on success, 1 with a diagnostic on the first failure.  No
 arguments; stdlib only::
@@ -117,6 +122,64 @@ def main() -> int:
                          "did not 404")
             except urllib.error.HTTPError as e:
                 check(e.code == 404, "unknown fingerprint answers 404")
+
+            # -- live observatory -------------------------------------
+            with urllib.request.urlopen(svc.url + "/ui",
+                                        timeout=30) as r:
+                html = r.read().decode()
+                ctype = r.headers.get("Content-Type", "")
+                cache = r.headers.get("Cache-Control", "")
+            check(r.status == 200 and ctype.startswith("text/html")
+                  and "charset=utf-8" in ctype and cache == "no-store",
+                  "GET /ui serves HTML, utf-8, no-store")
+            externals = (html.count("https://")
+                         + html.count('src="http')
+                         + html.count('href="http'))
+            check("</html>" in html and externals == 0,
+                  "/ui is one self-contained page (no CDN/asset refs)")
+
+            status, body = _get(svc.url + f"/v1/dags/{fp}/frame")
+            framedoc = json.loads(body)
+            seq_before = framedoc["latest"]
+            frame = framedoc["frame"]
+            check(status == 200 and seq_before >= 1
+                  and frame["done"]
+                  and len(frame["executed"]) == wire["n"],
+                  f"GET /v1/dags/{{fp}}/frame captured the run "
+                  f"(seq {seq_before}, all executed)")
+            check(frame["optimal"] is not None,
+                  "frames carry the certified M(t) ceiling")
+
+            # another simulation must advance the frame seq — the
+            # headless equivalent of the page animating
+            _post(svc.url + "/v1/simulate",
+                  {"fingerprint": fp, "clients": 2, "seed": 1})
+            status, body = _get(svc.url + f"/v1/dags/{fp}/frame")
+            seq_after = json.loads(body)["latest"]
+            check(seq_after > seq_before,
+                  f"frame seq advances across runs "
+                  f"({seq_before} -> {seq_after})")
+
+            status, body = _get(
+                svc.url + f"/v1/dags/{fp}/frames?since={seq_before}")
+            catchup = json.loads(body)
+            check(all(f["seq"] > seq_before
+                      for f in catchup["frames"])
+                  and catchup["frames"],
+                  "?since= cursor returns only the new frames")
+
+            with urllib.request.urlopen(
+                    svc.url + "/v1/events?timeout=0.5",
+                    timeout=30) as r:
+                ctype = r.headers.get("Content-Type", "")
+                stream = r.read().decode()
+            datum = next(ln for ln in stream.splitlines()
+                         if ln.startswith("data: "))
+            delta = json.loads(datum[len("data: "):])
+            check(ctype.startswith("text/event-stream")
+                  and delta["seq"] == seq_after
+                  and delta["dags"].get(fp) == seq_after,
+                  "GET /v1/events delivers a frame-seq delta (SSE)")
     finally:
         set_global_registry(old)
 
