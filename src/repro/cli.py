@@ -16,6 +16,8 @@
     python -m repro serve-metrics --port 9100
     python -m repro watch --url http://127.0.0.1:9100
     python -m repro observe --url http://127.0.0.1:8080
+    python -m repro slo --url http://127.0.0.1:8080
+    python -m repro debug dump --url http://127.0.0.1:8080
     python -m repro observe --snapshot docs/observatory.svg
 
 Every operational verb goes through the stable :mod:`repro.api`
@@ -35,8 +37,11 @@ serve-metrics`` runs the exposition service standalone, ``repro
 watch`` renders a live dashboard from a served ``/stats`` endpoint,
 and ``repro observe`` points a browser at a server's live
 observatory page (``/ui``) — or, with ``--snapshot FILE``, dumps one
-rendered SVG schedule frame headlessly (for CI and docs).
-See ``docs/OBSERVABILITY.md``.
+rendered SVG schedule frame headlessly (for CI and docs).  ``repro
+slo`` evaluates a running server's service-level objectives
+(``/v1/slo``; exit code doubles as a health gate) and ``repro debug
+dump`` lists or fetches the degradation flight recorder's bundles
+(``/v1/debug/dumps``).  See ``docs/OBSERVABILITY.md``.
 
 Family names: ``diamond DEPTH``, ``mesh DEPTH``, ``in-mesh DEPTH``,
 ``butterfly DIM``, ``prefix WIDTH``, ``dlt WIDTH``, ``dlt-tree WIDTH``,
@@ -374,6 +379,8 @@ def cmd_serve(args) -> int:
     svc = SchedulingService(
         host=args.host, port=args.port, pipeline_config=cfg,
         frames=not args.no_frames,
+        access_log=args.access_log,
+        dump_dir=args.dump_dir,
     )
     with svc:
         print(
@@ -403,6 +410,91 @@ def cmd_watch(args) -> int:
         count=args.count,
         clear=not args.no_clear,
     )
+
+
+def _fetch_json(url: str, timeout: float = 10.0) -> dict:
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raise SystemExit(f"{url}: HTTP {exc.code} {exc.reason}") from exc
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"{url}: {exc.reason}") from exc
+
+
+def cmd_slo(args) -> int:
+    """``repro slo``: evaluate a server's service-level objectives.
+
+    Fetches ``<url>/v1/slo`` and prints one row per objective.  Exit
+    code 0 when every objective holds, 1 when any is violated — so
+    the verb doubles as a scriptable health gate
+    (``repro slo --url ... && deploy``).
+    """
+    payload = _fetch_json(args.url.rstrip("/") + "/v1/slo")
+    rows = [
+        (
+            o["name"],
+            "ok" if o["ok"] else "VIOLATED",
+            f"{o['value']:.6g}",
+            f"{o['threshold']:.6g}",
+            o["detail"],
+        )
+        for o in payload.get("objectives", [])
+    ]
+    print(render_table(["slo", "state", "value", "budget", "detail"],
+                       rows))
+    ok = bool(payload.get("ok", False))
+    if not ok:
+        print("slo: VIOLATED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def cmd_debug(args) -> int:
+    """``repro debug dump``: list or fetch flight-recorder bundles.
+
+    Without ``--id``, prints the dump index of ``<url>/v1/debug/dumps``
+    (one row per retained bundle).  With ``--id``, fetches the full
+    bundle JSON and prints it (or writes it to ``--out FILE``).
+    """
+    import json
+
+    base = args.url.rstrip("/")
+    if args.id is None:
+        payload = _fetch_json(base + "/v1/debug/dumps")
+        dumps = payload.get("dumps", [])
+        if not dumps:
+            print("no flight-recorder dumps captured")
+            return 0
+        rows = [
+            (
+                d["id"],
+                d["reason"],
+                d.get("request_id") or "-",
+                str(d.get("spans", 0)),
+                str(d.get("faults", 0)),
+                (d.get("detail") or "")[:60],
+            )
+            for d in dumps
+        ]
+        print(render_table(
+            ["dump", "reason", "request", "spans", "faults", "detail"],
+            rows,
+        ))
+        print(f"dump dir: {payload.get('dump_dir')}", file=sys.stderr)
+        return 0
+    bundle = _fetch_json(base + "/v1/debug/dumps/" + args.id)
+    body = json.dumps(bundle, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+        print(f"debug dump {args.id} -> {args.out}")
+    else:
+        print(body)
+    return 0
 
 
 def cmd_observe(args) -> int:
@@ -687,6 +779,51 @@ def make_parser() -> argparse.ArgumentParser:
         help="disable schedule-frame capture (the /ui observatory "
         "shows no live frames; zero per-step capture cost)",
     )
+    p.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON line per request to stderr "
+        "(request id, route, status, duration)",
+    )
+    p.add_argument(
+        "--dump-dir",
+        metavar="DIR",
+        help="directory for flight-recorder dump bundles (default: a "
+        "private temp dir, created lazily on first dump)",
+    )
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate a running server's service-level objectives "
+        "(/v1/slo); exit 0 when all hold, 1 on violation",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="root URL of a running repro server (default %(default)s)",
+    )
+
+    p = sub.add_parser(
+        "debug",
+        help="inspect the degradation flight recorder of a running "
+        "server (/v1/debug/dumps)",
+    )
+    p.add_argument(
+        "action", choices=("dump",),
+        help="'dump': list retained bundles, or fetch one with --id",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="root URL of a running repro server (default %(default)s)",
+    )
+    p.add_argument(
+        "--id", help="fetch this bundle (full JSON) instead of listing"
+    )
+    p.add_argument(
+        "--out", metavar="FILE",
+        help="write the fetched bundle to FILE instead of stdout",
+    )
 
     p = sub.add_parser(
         "watch",
@@ -788,6 +925,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve-metrics": cmd_serve_metrics,
         "watch": cmd_watch,
         "observe": cmd_observe,
+        "slo": cmd_slo,
+        "debug": cmd_debug,
     }
     trace_file = getattr(args, "trace", None)
     metrics_fmt = getattr(args, "metrics", None)

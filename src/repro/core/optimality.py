@@ -91,6 +91,11 @@ from dataclasses import dataclass
 
 from ..exceptions import OptimalityError
 from ..obs import MetricsRegistry, Tracer, global_registry, global_tracer, span
+from ..obs.context import (
+    current_request_id,
+    reset_request_id,
+    set_request_id,
+)
 from .dag import ComputationDag, Node
 from .schedule import Schedule
 
@@ -318,42 +323,52 @@ def _branch_worker(payload):
     every multiprocessing start method.
     """
     (children, parents_mask, nonsink_mask, init_eligible, first, n,
-     state_budget, name, first_mask, trace_enabled) = payload
+     state_budget, name, first_mask, trace_enabled, request_id) = payload
     from ..obs.tracing import detach_current_span
 
     detach_current_span()  # forked workers inherit the fan-out span
-    registry = MetricsRegistry()
-    tracer = Tracer(enabled=trace_enabled)
-    t0 = time.perf_counter()
-    bit = 1 << first
-    newly = 0
-    for c in children[first]:
-        if parents_mask[c] & ~bit == 0:
-            newly |= 1 << c
-    elig = (init_eligible ^ bit) | newly
-    with tracer.span("optimality.branch", dag=name, branch=first) as sp:
-        maxima, states, peak, owned_levels = _level_bfs(
-            children, parents_mask, nonsink_mask,
-            bit, elig, 1, n, state_budget, name,
-            own_bit=bit, own_mask=first_mask,
-        )
-        owned = [1] + owned_levels  # the start ideal {first} is owned
-        sp.set(states=states, owned=sum(owned), frontier_peak=peak)
-    registry.counter(
-        "search_branch_total",
-        "parallel search branches explored by pool workers",
-    ).inc()
-    registry.counter(
-        "search_branch_states_total",
-        "raw states expanded by parallel branch workers "
-        "(includes cross-branch duplicates)",
-    ).inc(states)
-    registry.histogram(
-        "search_branch_seconds",
-        "wall-clock duration of one branch exploration",
-    ).observe(time.perf_counter() - t0)
-    return ([elig.bit_count()] + maxima, owned,
-            registry.snapshot(), tracer.records())
+    # adopt the originating request: the branch's spans get stamped
+    # with the request that fanned it out, so ``/traces?request_id=``
+    # shows the whole parallel search.  Set/reset (not bare set) —
+    # the branch-retry fallback runs this function *in-process* on
+    # the coordinator thread, and pool processes are reused.
+    ctx_token = set_request_id(request_id)
+    try:
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=trace_enabled)
+        t0 = time.perf_counter()
+        bit = 1 << first
+        newly = 0
+        for c in children[first]:
+            if parents_mask[c] & ~bit == 0:
+                newly |= 1 << c
+        elig = (init_eligible ^ bit) | newly
+        with tracer.span("optimality.branch", dag=name,
+                         branch=first) as sp:
+            maxima, states, peak, owned_levels = _level_bfs(
+                children, parents_mask, nonsink_mask,
+                bit, elig, 1, n, state_budget, name,
+                own_bit=bit, own_mask=first_mask,
+            )
+            owned = [1] + owned_levels  # start ideal {first} is owned
+            sp.set(states=states, owned=sum(owned), frontier_peak=peak)
+        registry.counter(
+            "search_branch_total",
+            "parallel search branches explored by pool workers",
+        ).inc()
+        registry.counter(
+            "search_branch_states_total",
+            "raw states expanded by parallel branch workers "
+            "(includes cross-branch duplicates)",
+        ).inc(states)
+        registry.histogram(
+            "search_branch_seconds",
+            "wall-clock duration of one branch exploration",
+        ).observe(time.perf_counter() - t0)
+        return ([elig.bit_count()] + maxima, owned,
+                registry.snapshot(), tracer.records())
+    finally:
+        reset_request_id(ctx_token)
 
 
 def _iter_bits(mask: int):
@@ -428,10 +443,11 @@ def max_eligibility_profile(
         n_workers = _resolve_workers(workers, len(first_moves))
         first_mask = init_eligible & nonsink_mask
         tracer = global_tracer()
+        request_id = current_request_id()
         payloads = [
             (children, parents_mask, nonsink_mask, init_eligible,
              first, n, state_budget, dag.name, first_mask,
-             tracer.enabled)
+             tracer.enabled, request_id)
             for first in first_moves
         ]
         with span("optimality.max_profile", dag=dag.name, nodes=total,
@@ -638,6 +654,14 @@ def _record_pool_fallback(reason: str, exc: BaseException,
     _LOG.warning(
         "parallel search degraded [%s]%s: %s; continuing in-process "
         "(byte-identical result)", reason, detail, exc,
+    )
+    # the result is byte-identical, so nothing downstream will ever
+    # flag this — capture the black box while the context is hot
+    from ..obs.flightrecorder import global_flight_recorder
+    global_flight_recorder().trigger(
+        "pool-fallback",
+        request_id=current_request_id(),
+        detail=f"{reason}{detail}: {type(exc).__name__}: {exc}",
     )
 
 

@@ -34,6 +34,15 @@ Five pieces:
   imported lazily).
 """
 
+from .context import (
+    REQUEST_ID_HEADER,
+    accept_request_id,
+    current_request_id,
+    new_request_id,
+    request_scope,
+    reset_request_id,
+    set_request_id,
+)
 from .instrument import profiled, span
 from .metrics import (
     Counter,
@@ -53,26 +62,39 @@ from .tracing import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "FrameStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsServer",
+    "REQUEST_ID_HEADER",
+    "SLObjective",
     "ScheduleFrame",
     "TraceEvent",
     "Tracer",
+    "accept_request_id",
+    "current_request_id",
+    "evaluate_slos",
     "fetch_stats",
     "fetch_traces",
+    "global_flight_recorder",
     "global_frame_store",
     "global_registry",
     "global_tracer",
     "load_jsonl",
+    "new_request_id",
     "profiled",
     "render_dashboard",
     "render_frame_svg",
+    "request_scope",
+    "reset_request_id",
+    "set_global_flight_recorder",
     "set_global_frame_store",
     "set_global_registry",
     "set_global_tracer",
+    "set_request_id",
+    "slo_payload",
     "span",
     "watch",
 ]
@@ -92,6 +114,14 @@ _LAZY = {
     "set_global_frame_store": (
         "repro.obs.observatory", "set_global_frame_store"),
     "render_frame_svg": ("repro.obs.observatory", "render_frame_svg"),
+    "SLObjective": ("repro.obs.slo", "SLObjective"),
+    "evaluate_slos": ("repro.obs.slo", "evaluate"),
+    "slo_payload": ("repro.obs.slo", "slo_payload"),
+    "FlightRecorder": ("repro.obs.flightrecorder", "FlightRecorder"),
+    "global_flight_recorder": (
+        "repro.obs.flightrecorder", "global_flight_recorder"),
+    "set_global_flight_recorder": (
+        "repro.obs.flightrecorder", "set_global_flight_recorder"),
 }
 
 

@@ -204,6 +204,24 @@ def render_dashboard(stats: dict) -> str:
             render_table(["histogram", "count", "sum", "mean"], lat_rows)
         )
 
+    # -- service-level objectives (evaluated on the snapshot) ---------
+    from .slo import evaluate
+
+    slo_rows = [
+        (
+            r["name"],
+            "ok" if r["ok"] else "VIOLATED",
+            _fmt(r["value"]),
+            _fmt(r["threshold"]),
+            r["detail"],
+        )
+        for r in evaluate(metrics)
+    ]
+    sections.append(
+        render_table(["slo", "state", "value", "budget", "detail"],
+                     slo_rows)
+    )
+
     # -- scheduling-service section (when serving one) ----------------
     service = stats.get("service")
     if isinstance(service, dict):

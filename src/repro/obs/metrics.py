@@ -353,15 +353,28 @@ class Histogram(_Metric):
         self.bounds = tuple(bounds)
         self._counts = [0] * (len(bounds) + 1)  # +inf bucket last
         self._sum = 0.0
+        self._exemplar: dict | None = None
 
     def _make_child(self) -> "Histogram":
         return Histogram(buckets=self.bounds, _lock=self._lock)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` (optionally) names the correlation id — in
+        practice the request ID — behind this observation; the leaf
+        keeps the most recent one and surfaces it in snapshots, so a
+        latency series can be traced back to a concrete request.
+        Hot-path callers omit it and pay nothing.
+        """
         idx = bisect.bisect_left(self.bounds, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
+            if exemplar is not None:
+                self._exemplar = {
+                    "id": exemplar, "value": value, "ts": time.time(),
+                }
 
     @property
     def count(self) -> int:
@@ -409,6 +422,12 @@ class Histogram(_Metric):
             "inf": self._counts[-1],
         }
 
+    def _extra(self) -> dict:
+        with self._lock:
+            if self._exemplar is None:
+                return {}
+            return {"exemplar": dict(self._exemplar)}
+
     def _merge_value(self, value, extra: dict) -> None:
         incoming = value["buckets"]
         expected = [_format_value(b) for b in self.bounds]
@@ -422,6 +441,11 @@ class Histogram(_Metric):
                 self._counts[i] += c
             self._counts[-1] += value["inf"]
             self._sum += value["sum"]
+            ex = extra.get("exemplar")
+            if ex is not None and (
+                    self._exemplar is None
+                    or ex.get("ts", 0.0) >= self._exemplar.get("ts", 0.0)):
+                self._exemplar = dict(ex)
 
     def _sample_lines(self, name, labelnames, labelvalues) -> list[str]:
         lines = []
@@ -444,6 +468,7 @@ class Histogram(_Metric):
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
             self._sum = 0.0
+            self._exemplar = None
 
 
 class MetricsRegistry:

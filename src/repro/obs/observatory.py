@@ -54,6 +54,7 @@ import time
 from collections import OrderedDict, deque
 from typing import Any, NamedTuple
 
+from .context import current_request_id
 from .metrics import global_registry
 
 __all__ = [
@@ -110,6 +111,10 @@ class ScheduleFrame(NamedTuple):
     events: tuple[dict, ...]
     #: the simulation finished at (or before) this frame
     done: bool
+    #: the request ID active when the frame was captured, or ``None``
+    #: for runs outside any request scope (``docs/OBSERVABILITY.md``
+    #: §8 — correlation with ``/traces?request_id=``)
+    request: str | None = None
 
     def to_payload(self) -> dict:
         """The JSON wire form (``docs/OBSERVABILITY.md`` §7)."""
@@ -125,6 +130,7 @@ class ScheduleFrame(NamedTuple):
             "optimal": self.optimal,
             "events": [dict(e) for e in self.events],
             "done": self.done,
+            "request": self.request,
         }
 
 
@@ -336,6 +342,7 @@ class FrameStore:
                 optimal=optimal,
                 events=tuple(events),
                 done=done,
+                request=current_request_id(),
             ))
             self._channels.move_to_end(channel.fingerprint)
             self._m_frames().inc()
@@ -377,6 +384,17 @@ class FrameStore:
     def latest_seqs(self) -> dict[str, int]:
         with self._lock:
             return {fp: ch.seq for fp, ch in self._channels.items()}
+
+    def recent(self, per_channel: int = 8) -> dict[str, list[dict]]:
+        """The newest ``per_channel`` frame payloads of every channel,
+        keyed by fingerprint — the flight recorder's frame capture."""
+        with self._lock:
+            return {
+                fp: [f.to_payload()
+                     for f in list(ch.frames)[-per_channel:]]
+                for fp, ch in self._channels.items()
+                if ch.frames
+            }
 
     def wait(self, since: int, timeout: float) -> int:
         """Block until the global seq passes ``since`` (or ``timeout``
@@ -608,10 +626,14 @@ def _route_events(svc, handler, query: dict) -> None:
 
     from .exposition import SSE_CONTENT_TYPE
 
-    handler.send_response(200)
+    handler.response_status = 200  # bypasses respond(); keep the
+    handler.send_response(200)     # post-request accounting honest
     handler.send_header("Content-Type", SSE_CONTENT_TYPE)
     handler.send_header("Cache-Control", "no-store")
     handler.send_header("Connection", "close")
+    if getattr(handler, "request_id", None) is not None:
+        from .context import REQUEST_ID_HEADER
+        handler.send_header(REQUEST_ID_HEADER, handler.request_id)
     handler.close_connection = True
     handler.end_headers()
 

@@ -53,11 +53,18 @@ renders a live dashboard from ``/stats`` (see
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from .context import (
+    REQUEST_ID_HEADER,
+    accept_request_id,
+    reset_request_id,
+    set_request_id,
+)
 from .exposition import (
     JSON_CONTENT_TYPE,
     NDJSON_CONTENT_TYPE,
@@ -76,6 +83,7 @@ __all__ = [
     "ObsServer",
     "PROM_CONTENT_TYPE",
     "RequestError",
+    "route_template",
 ]
 
 
@@ -101,12 +109,47 @@ class RequestError(Exception):
 
     Raised inside a route handler with a status and message;
     :class:`HardenedHandler` converts it to a JSON error payload.
+    ``retry_after`` (seconds) adds a ``Retry-After`` header — every
+    backpressure rejection (429/503) should set it so well-behaved
+    clients know when to come back.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+
+#: route templates with a path parameter, longest prefix first —
+#: :func:`route_template` maps concrete paths onto these so the
+#: ``route`` label of ``service_request_seconds`` stays bounded.
+_ROUTE_PREFIXES = (
+    ("/v1/debug/dumps/", "/v1/debug/dumps/{id}"),
+    ("/v1/schedules/", "/v1/schedules/{fingerprint}"),
+    ("/v1/dags/", "/v1/dags/{fingerprint}/*"),
+)
+
+#: literal paths served somewhere in the repo's servers.
+_ROUTE_LITERALS = frozenset({
+    "/healthz", "/readyz", "/metrics", "/stats", "/traces", "/ui",
+    "/v1/dags", "/v1/simulate", "/v1/frames", "/v1/events",
+    "/v1/slo", "/v1/debug/dumps",
+})
+
+
+def route_template(path: str) -> str:
+    """The bounded-cardinality route label for a request path:
+    literal paths pass through, parameterized paths collapse to
+    their template, anything else becomes ``"other"`` (so hostile
+    paths cannot mint unbounded label values)."""
+    if path in _ROUTE_LITERALS:
+        return path
+    for prefix, template in _ROUTE_PREFIXES:
+        if path.startswith(prefix):
+            return template
+    return "other"
 
 
 class HardenedHandler(BaseHTTPRequestHandler):
@@ -127,15 +170,22 @@ class HardenedHandler(BaseHTTPRequestHandler):
     #: connection (the per-server subclass overrides this with
     #: ``HTTPServiceBase.request_timeout``).
     timeout = DEFAULT_REQUEST_TIMEOUT
+    #: the correlation ID of the request being served (set per request
+    #: in :meth:`_handle`; echoed by :meth:`respond`).
+    request_id: str | None = None
+    #: status of the response already sent (0 = none yet) — read by
+    #: :meth:`HTTPServiceBase.observe_request` after dispatch.
+    response_status: int = 0
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
-        pass  # scrapers poll; default stderr logging would spam
+        pass  # the opt-in JSON access log replaces stderr noise
 
     def respond(self, status: int, body: str, content_type: str,
                 close: bool = False,
                 headers: dict[str, str] | None = None) -> None:
         data = body.encode("utf-8")
+        self.response_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
@@ -143,6 +193,8 @@ class HardenedHandler(BaseHTTPRequestHandler):
         # an intermediary serving a cached copy would show the UI and
         # scrapers stale data, so caching is disabled across the board.
         self.send_header("Cache-Control", "no-store")
+        if self.request_id is not None:
+            self.send_header(REQUEST_ID_HEADER, self.request_id)
         if headers:
             for name, value in headers.items():
                 self.send_header(name, value)
@@ -187,6 +239,13 @@ class HardenedHandler(BaseHTTPRequestHandler):
         self._handle("POST")
 
     def _handle(self, method: str) -> None:
+        # request correlation starts here: accept the client's ID or
+        # mint one, bind it for everything this request causally
+        # touches (spans, frames, exemplars, dumps), echo it on the
+        # response — even the drain/hardening short-circuits below.
+        self.request_id = accept_request_id(
+            self.headers.get(REQUEST_ID_HEADER))
+        self.response_status = 0
         if self.svc.closing:
             # shutdown drain: answer (don't hang) and shed the
             # connection, so a client mid-request can never wedge
@@ -194,18 +253,33 @@ class HardenedHandler(BaseHTTPRequestHandler):
             self.respond(503, "shutting down\n", TEXT_CONTENT_TYPE,
                          close=True)
             return
-        if len(self.path) > self.svc.max_path_length:
-            self.respond(414, "request path too long\n",
-                         TEXT_CONTENT_TYPE, close=True)
-            return
         url = urlsplit(self.path)
+        token = set_request_id(self.request_id)
+        t0 = time.perf_counter()
         try:
-            self.svc.dispatch(self, method, url.path,
-                              parse_qs(url.query))
-        except RequestError as exc:
-            self.respond_json(exc.status, {"error": exc.message})
-        except BrokenPipeError:  # client went away mid-response
-            pass
+            if len(self.path) > self.svc.max_path_length:
+                self.respond(414, "request path too long\n",
+                             TEXT_CONTENT_TYPE, close=True)
+                return
+            try:
+                self.svc.dispatch(self, method, url.path,
+                                  parse_qs(url.query))
+            except RequestError as exc:
+                headers = None
+                if exc.retry_after is not None:
+                    headers = {"Retry-After":
+                               f"{exc.retry_after:g}"}
+                self.respond(exc.status,
+                             json_body({"error": exc.message}),
+                             JSON_CONTENT_TYPE, headers=headers)
+            except BrokenPipeError:  # client went away mid-response
+                pass
+        finally:
+            reset_request_id(token)
+            self.svc.observe_request(
+                method, url.path, self.response_status,
+                time.perf_counter() - t0, self.request_id,
+            )
 
 
 class HTTPServiceBase:
@@ -238,10 +312,18 @@ class HTTPServiceBase:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        access_log: bool = False,
     ) -> None:
         self.host = host
         self._port = port
         self.request_timeout = request_timeout
+        #: opt-in structured access log: one JSON line per request
+        #: (request ID, route, status, duration) on
+        #: :attr:`access_log_stream`; off by default.
+        self.access_log = access_log
+        #: where access-log lines go; ``None`` = ``sys.stderr``
+        #: resolved at write time (tests point this at a buffer).
+        self.access_log_stream = None
         self.ready = True
         self.closing = False
         self._httpd: ThreadingHTTPServer | None = None
@@ -253,6 +335,53 @@ class HTTPServiceBase:
                  path: str, query: dict) -> None:
         """Route one hardened request; subclasses override."""
         raise NotImplementedError
+
+    # -- request observation -------------------------------------------
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The registry request-level metrics and ``/v1/slo`` read
+        from; the process-wide default unless a subclass serves an
+        explicit one (:class:`ObsServer` does)."""
+        return global_registry()
+
+    def observe_request(self, method: str, path: str, status: int,
+                        duration: float, request_id: str) -> None:
+        """Post-response accounting, called once per request by
+        :meth:`HardenedHandler._handle`: the RED metric
+        ``service_request_seconds{route,status}`` (with the request
+        ID as exemplar), the opt-in access log, and the
+        flight-recorder trigger on unexpected 5xx.
+        """
+        route = route_template(path)
+        self.metrics_registry.histogram(
+            "service_request_seconds",
+            "end-to-end request latency by route and status",
+            ("route", "status"),
+        ).labels(route, str(status)).observe(
+            duration, exemplar=request_id)
+        if self.access_log:
+            line = json.dumps({
+                "ts": round(time.time(), 3),
+                "request_id": request_id,
+                "method": method,
+                "path": path,
+                "route": route,
+                "status": status,
+                "duration_ms": round(duration * 1e3, 3),
+            }, sort_keys=True)
+            stream = self.access_log_stream or sys.stderr
+            try:
+                print(line, file=stream, flush=True)
+            except (OSError, ValueError):
+                pass  # a dead log stream must not kill serving
+        # 5xx means the server failed the request — capture the black
+        # box.  503 is excluded: readiness probes and shutdown drains
+        # answer 503 by design.
+        if status >= 500 and status != 503:
+            from .flightrecorder import global_flight_recorder
+            global_flight_recorder().trigger(
+                "http-5xx", request_id=request_id,
+                detail=f"{method} {path} -> {status}")
 
     # -- introspection -------------------------------------------------
     @property
@@ -324,7 +453,8 @@ ENDPOINTS = (
     "/metrics", "/stats", "/healthz", "/readyz", "/traces",
     "/ui", "/v1/frames", "/v1/dags/{fingerprint}/frame",
     "/v1/dags/{fingerprint}/frames", "/v1/dags/{fingerprint}/graph",
-    "/v1/events",
+    "/v1/events", "/v1/slo", "/v1/debug/dumps",
+    "/v1/debug/dumps/{id}",
 )
 
 
@@ -348,8 +478,10 @@ class ObsServer(HTTPServiceBase):
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        access_log: bool = False,
     ) -> None:
-        super().__init__(host, port, request_timeout)
+        super().__init__(host, port, request_timeout,
+                         access_log=access_log)
         self._registry = registry
         self._tracer = tracer
 
@@ -358,6 +490,10 @@ class ObsServer(HTTPServiceBase):
     def registry(self) -> MetricsRegistry:
         return self._registry if self._registry is not None \
             else global_registry()
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        return self.registry
 
     @property
     def tracer(self) -> Tracer:
@@ -376,11 +512,17 @@ class ObsServer(HTTPServiceBase):
     # -- routes --------------------------------------------------------
     def dispatch(self, handler: HardenedHandler, method: str,
                  path: str, query: dict) -> None:
+        from .flightrecorder import dispatch_debug
         from .observatory import dispatch_observatory
+        from .slo import dispatch_slo
 
-        # observatory routes first: they contain slashes, which the
+        # shared routes first: they contain slashes, which the
         # attribute-based routing below cannot express
         if dispatch_observatory(self, handler, method, path, query):
+            return
+        if dispatch_slo(self, handler, method, path):
+            return
+        if dispatch_debug(self, handler, method, path, query):
             return
         if method != "GET":
             handler.respond_json(
@@ -427,6 +569,13 @@ class ObsServer(HTTPServiceBase):
             records, latest = tracer.records_since(since)
         else:
             records, latest = tracer.records(), tracer.seq
+        if "request_id" in query:
+            # correlation view: only the records stamped with this
+            # request (spans/events it causally touched, including
+            # adopted pool-worker branches)
+            wanted = query["request_id"][0]
+            records = [r for r in records
+                       if r.attrs.get("request") == wanted]
         if "limit" in query:
             try:
                 limit = int(query["limit"][0])

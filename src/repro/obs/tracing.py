@@ -38,6 +38,8 @@ from collections import deque
 from collections.abc import Sequence
 from typing import Any, NamedTuple
 
+from .context import current_request_id
+
 #: sentinel distinguishing "no parent given" from "top-level" in adopt().
 _UNSET = object()
 
@@ -146,6 +148,9 @@ class _LiveSpan:
         _current_span.reset(self._token)
         if exc_type is not None:
             self._attrs.setdefault("error", exc_type.__name__)
+        rid = current_request_id()
+        if rid is not None:
+            self._attrs.setdefault("request", rid)
         self._tracer._append(
             TraceEvent(
                 "span", self._name, self._id, self._parent,
@@ -197,6 +202,9 @@ class Tracer:
         """Record a point event under the current span (if any)."""
         if not self.enabled:
             return
+        rid = current_request_id()
+        if rid is not None:
+            attrs.setdefault("request", rid)
         self._append(
             TraceEvent(
                 "event", name, next(self._ids), _current_span.get(),

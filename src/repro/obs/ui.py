@@ -120,6 +120,9 @@ svg text { font-family: inherit; }
 .fleet-axis { display: flex; justify-content: space-between;
               font-size: 10px; color: var(--muted); }
 #empty { color: var(--text-secondary); padding: 30px 8px; }
+#slo span.obj { display: inline-flex; align-items: center; gap: 5px; }
+#slo .ok { color: var(--series-3); }
+#slo .bad { color: var(--series-2); font-weight: 600; }
 </style>
 </head>
 <body>
@@ -129,6 +132,7 @@ svg text { font-family: inherit; }
   <span id="conn">connecting&hellip;</span>
 </header>
 <div class="statrow" id="stats"></div>
+<div class="statrow" id="slo" title="service-level objectives (/v1/slo)"></div>
 <div id="empty">No frames yet &mdash; frame capture is enabled by
 <code>repro serve</code>; run a <code>POST /v1/simulate</code> (or
 <code>repro observe --snapshot</code> locally) and frames will stream
@@ -198,9 +202,9 @@ function onDelta(msg, hasFrames) {
   if (state.fp && (state.pendingSeqs[state.fp] || 0) > state.cursor) {
     pullFrames();
   }
-  // fleet view refresh rides the stream's heartbeat (every ~10 msgs),
-  // never its own timer
-  if (hasFrames || (tickCount++ % 10) === 0) refreshFleet();
+  // fleet + SLO refresh ride the stream's heartbeat (every ~10
+  // msgs), never their own timer
+  if (hasFrames || (tickCount++ % 10) === 0) { refreshFleet(); refreshSlo(); }
 }
 
 function refreshSelector(fps) {
@@ -397,6 +401,20 @@ function renderStats(s) {
   el("stats").innerHTML = pairs
     .map(([k, v]) => k + " <b>" + (v === undefined ? 0 : v) + "</b>")
     .join("<span style='color:var(--grid)'>|</span>");
+}
+
+function refreshSlo() {
+  fetch("/v1/slo").then(r => r.json()).then(doc => {
+    const objs = doc.objectives || [];
+    if (!objs.length) return;
+    el("slo").innerHTML = objs.map(o =>
+      "<span class='obj' title='" + o.description + " \\u2014 " +
+      o.detail + "'>" + o.name + " <b class='" +
+      (o.ok ? "ok" : "bad") + "'>" +
+      (o.ok ? o.value : o.value + " &gt; " + o.threshold) +
+      "</b></span>"
+    ).join("<span style='color:var(--grid)'>|</span>");
+  }).catch(() => {});
 }
 
 function refreshFleet() {

@@ -27,7 +27,18 @@ endpoint                    semantics
 ``GET /stats``              JSON: metrics snapshot + ``service``
                             section (registry occupancy, pipeline
                             config)
+``GET /v1/slo``             declarative service-level objectives
+                            evaluated live (:mod:`repro.obs.slo`)
+``GET /v1/debug/dumps``     flight-recorder bundle index (and
+                            ``/{id}`` fetches one;
+                            :mod:`repro.obs.flightrecorder`)
 ==========================  ==========================================
+
+Every request is correlated: the service accepts or mints an
+``X-Repro-Request-Id`` at ingress, binds it for everything the
+request touches (spans, frames, exemplars, flight-recorder dumps)
+and echoes it on the response; ``429`` backpressure responses carry
+``Retry-After`` (docs/OBSERVABILITY.md §8, docs/SERVICE.md).
 
 The service also mounts the live observatory
 (:mod:`repro.obs.observatory`): ``GET /ui`` serves the
@@ -48,6 +59,7 @@ CLI surface: ``repro serve --port P`` (see ``docs/SERVICE.md``).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..api import API_VERSION, dag_from_dict, schedule_to_dict
@@ -57,6 +69,12 @@ from ..obs.exposition import (
     TEXT_CONTENT_TYPE,
     prometheus_body,
     stats_payload,
+)
+from ..obs.flightrecorder import (
+    DEBUG_ENDPOINTS,
+    FlightRecorder,
+    dispatch_debug,
+    set_global_flight_recorder,
 )
 from ..obs.metrics import global_registry
 from ..obs.observatory import (
@@ -70,11 +88,22 @@ from ..obs.server import (
     HTTPServiceBase,
     RequestError,
 )
+from ..obs.slo import dispatch_slo
 from ..obs.tracing import global_tracer
-from .pipeline import PipelineConfig, RejectedError, RequestPipeline
+from .pipeline import (
+    PipelineConfig,
+    RejectedError,
+    RequestPipeline,
+    _observe_phase,
+)
 from .registry import DagRegistry
 
 __all__ = ["ENDPOINTS", "SchedulingService"]
+
+#: seconds a 429-rejected client should back off before retrying —
+#: sent as ``Retry-After`` on every backpressure response.  One
+#: second comfortably outlasts a batch window or a typical certify.
+RETRY_AFTER_SECONDS = 1.0
 
 #: served endpoints (the 404 payload lists them).
 ENDPOINTS = (
@@ -85,7 +114,8 @@ ENDPOINTS = (
     "GET /readyz",
     "GET /metrics",
     "GET /stats",
-) + OBSERVATORY_ENDPOINTS
+    "GET /v1/slo",
+) + OBSERVATORY_ENDPOINTS + DEBUG_ENDPOINTS
 
 #: simulation options accepted over the wire, with their validators.
 #: Everything else in :func:`repro.api.simulate`'s signature (work
@@ -123,6 +153,15 @@ class SchedulingService(HTTPServiceBase):
         driven through the service record schedule frames for the
         live observatory (``/ui``, ``/v1/events``).  Pass ``False``
         to keep frame capture off (zero per-step cost).
+    access_log:
+        Opt-in structured JSON access log (one line per request on
+        stderr: request ID, route, status, duration); off by
+        default.  See :class:`~repro.obs.server.HTTPServiceBase`.
+    dump_dir:
+        Where the flight recorder writes its bundles; installs a
+        fresh process-wide recorder targeting that directory.
+        Default ``None`` keeps the existing global recorder (which
+        lazily uses a private temp dir).
 
     ``start()`` spins up the request pipeline (collector thread +
     worker pool) alongside the listener; ``stop()`` drains both.
@@ -137,11 +176,16 @@ class SchedulingService(HTTPServiceBase):
         registry: DagRegistry | None = None,
         pipeline_config: PipelineConfig | None = None,
         frames: bool = True,
+        access_log: bool = False,
+        dump_dir: str | None = None,
     ) -> None:
-        super().__init__(host, port, request_timeout)
+        super().__init__(host, port, request_timeout,
+                         access_log=access_log)
         self.registry = registry if registry is not None else DagRegistry()
         self.pipeline = RequestPipeline(self.registry, pipeline_config)
         self.frames = frames
+        if dump_dir is not None:
+            set_global_flight_recorder(FlightRecorder(dump_dir))
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "SchedulingService":
@@ -163,6 +207,10 @@ class SchedulingService(HTTPServiceBase):
     def dispatch(self, handler: HardenedHandler, method: str,
                  path: str, query: dict) -> None:
         if dispatch_observatory(self, handler, method, path, query):
+            return
+        if dispatch_slo(self, handler, method, path):
+            return
+        if dispatch_debug(self, handler, method, path, query):
             return
         if path == "/v1/dags":
             self._require(method, "POST")
@@ -199,6 +247,15 @@ class SchedulingService(HTTPServiceBase):
         if method != expected:
             raise RequestError(405, f"method {method} not allowed")
 
+    @staticmethod
+    def _respond_timed(handler: HardenedHandler, route: str,
+                       payload: dict) -> None:
+        """``respond_json`` with the serialization + socket write
+        attributed as the route's ``serialize`` phase."""
+        t0 = time.perf_counter()
+        handler.respond_json(200, payload)
+        _observe_phase(route, "serialize", t0)
+
     # -- routes --------------------------------------------------------
     def _route_submit(self, handler: HardenedHandler) -> None:
         body = handler.read_json_body()
@@ -215,10 +272,12 @@ class SchedulingService(HTTPServiceBase):
         try:
             entry, how = self.pipeline.submit_dag(dag)
         except RejectedError as exc:
-            raise RequestError(429, str(exc)) from None
+            raise RequestError(429, str(exc),
+                               retry_after=RETRY_AFTER_SECONDS) \
+                from None
         sched = entry.schedule
         assert sched is not None, "submit_dag returns certified entries"
-        handler.respond_json(200, {
+        self._respond_timed(handler, "/v1/dags", {
             "api_version": API_VERSION,
             "fingerprint": entry.fingerprint,
             "how": how,
@@ -284,7 +343,9 @@ class SchedulingService(HTTPServiceBase):
         try:
             future = self.pipeline.submit_simulation(dag, **kwargs)
         except RejectedError as exc:
-            raise RequestError(429, str(exc)) from None
+            raise RequestError(429, str(exc),
+                               retry_after=RETRY_AFTER_SECONDS) \
+                from None
         try:
             result = future.result(
                 timeout=self.pipeline.config.request_timeout
@@ -293,11 +354,13 @@ class SchedulingService(HTTPServiceBase):
             future.cancel()
             raise RequestError(504, "simulation timed out") from None
         except RejectedError as exc:
-            raise RequestError(429, str(exc)) from None
+            raise RequestError(429, str(exc),
+                               retry_after=RETRY_AFTER_SECONDS) \
+                from None
         except (ReproError, SimulationError, ValueError) as exc:
             raise RequestError(400, f"simulation failed: {exc}") \
                 from None
-        handler.respond_json(200, {
+        self._respond_timed(handler, "/v1/simulate", {
             "api_version": API_VERSION,
             "fingerprint": result.fingerprint,
             "policy": result.policy,

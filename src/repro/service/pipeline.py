@@ -42,16 +42,41 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from .. import api
 from ..core.dag import ComputationDag
 from ..obs import global_registry, span
+from ..obs.context import (
+    current_request_id,
+    reset_request_id,
+    set_request_id,
+)
 from ..obs.observatory import global_frame_store
 from .registry import DagEntry, DagRegistry
 
 __all__ = ["PipelineConfig", "RejectedError", "RequestPipeline"]
+
+
+def _m_phases():
+    """``service_phase_seconds{route,phase}`` — where a request's
+    time went, attributable against the end-to-end
+    ``service_request_seconds`` (docs/OBSERVABILITY.md §8)."""
+    return global_registry().histogram(
+        "service_phase_seconds",
+        "time spent per pipeline phase, by route",
+        ("route", "phase"),
+    )
+
+
+def _observe_phase(route: str, phase: str, t0: float) -> float:
+    """Record one phase ending now; returns the new phase start."""
+    t1 = time.perf_counter()
+    _m_phases().labels(route, phase).observe(
+        t1 - t0, exemplar=current_request_id())
+    return t1
 
 
 class RejectedError(Exception):
@@ -106,14 +131,22 @@ class _Flight:
 
 
 class _SimRequest:
-    """One queued simulation request awaiting its micro-batch."""
+    """One queued simulation request awaiting its micro-batch.
 
-    __slots__ = ("dag", "kwargs", "future")
+    Captures the originating request ID at enqueue time so the worker
+    thread — a different context — can re-bind it around the actual
+    simulation (frames, spans, and exemplars stay correlated), and
+    the enqueue timestamp so queue time is attributable.
+    """
+
+    __slots__ = ("dag", "kwargs", "future", "request_id", "enqueued_at")
 
     def __init__(self, dag: ComputationDag, kwargs: dict) -> None:
         self.dag = dag
         self.kwargs = kwargs
         self.future: Future = Future()
+        self.request_id = current_request_id()
+        self.enqueued_at = time.perf_counter()
 
 
 class RequestPipeline:
@@ -231,11 +264,14 @@ class RequestPipeline:
         (the search failed and the greedy fallback was served).
         Raises :class:`RejectedError` under backpressure.
         """
+        t0 = time.perf_counter()
         if not self._admission.acquire(blocking=False):
             self._m_rejected().labels("schedule_capacity").inc()
             raise RejectedError("scheduling capacity exhausted")
+        t0 = _observe_phase("/v1/dags", "admission", t0)
         try:
             entry = self.registry.put(dag)
+            _observe_phase("/v1/dags", "registry", t0)
             if entry.schedule is not None:
                 self._m_cached().inc()
                 return entry, "cached"
@@ -253,7 +289,10 @@ class RequestPipeline:
                 self._flights[fp] = flight
         if not leader:
             self._m_coalesced().inc()
-            if not flight.done.wait(self.config.request_timeout):
+            t0 = time.perf_counter()
+            done = flight.done.wait(self.config.request_timeout)
+            _observe_phase("/v1/dags", "coalesce_wait", t0)
+            if not done:
                 raise RejectedError("coalesced wait timed out")
             if flight.error is not None:
                 raise flight.error
@@ -261,9 +300,11 @@ class RequestPipeline:
             return flight.entry, "coalesced"
         how = "search"
         try:
+            t0 = time.perf_counter()
             with span("service.schedule", fingerprint=fp,
                       dag=entry.dag.name):
                 how = self._certify(entry)
+            _observe_phase("/v1/dags", "certify", t0)
             flight.entry = entry
             return entry, how
         except BaseException as exc:
@@ -291,7 +332,7 @@ class RequestPipeline:
                 parallel=cfg.parallel,
             )
             how = "search"
-        except Exception:
+        except Exception as exc:
             # certification machinery failed — serve a labeled
             # fallback (anytime/heuristic strategies cannot fail)
             fallback = "anytime" if cfg.budget is not None \
@@ -301,6 +342,16 @@ class RequestPipeline:
             )
             self._m_degraded().inc()
             how = "degraded"
+            # black-box capture: the degradation is served silently
+            # (a 200 with a fallback certificate), so the flight
+            # recorder is the only place its cause survives
+            from ..obs.flightrecorder import global_flight_recorder
+            global_flight_recorder().trigger(
+                "degradation",
+                request_id=current_request_id(),
+                detail=(f"{entry.dag.name} ({entry.fingerprint}): "
+                        f"{type(exc).__name__}: {exc} -> {fallback}"),
+            )
         self._m_certificates().labels(result.kind).inc()
         entry.schedule = result
         self.registry.attach_schedule(entry.fingerprint, result)
@@ -323,12 +374,14 @@ class RequestPipeline:
         if self._pool is None or self._stopping:
             self._m_rejected().labels("not_running").inc()
             raise RejectedError("pipeline not running")
+        t0 = time.perf_counter()
         req = _SimRequest(dag, kwargs)
         try:
             self._sim_queue.put_nowait(req)
         except queue.Full:
             self._m_rejected().labels("simulate_capacity").inc()
             raise RejectedError("simulation queue full") from None
+        _observe_phase("/v1/simulate", "admission", t0)
         return req.future
 
     def _collect_batches(self) -> None:
@@ -386,10 +439,19 @@ class RequestPipeline:
     def _run_simulation(req: _SimRequest) -> None:
         if not req.future.set_running_or_notify_cancel():
             return
+        # the worker thread runs outside the HTTP handler's context —
+        # re-bind the originating request so the simulation's spans,
+        # frames, and exemplars stay correlated with it
+        token = set_request_id(req.request_id)
         try:
+            t0 = time.perf_counter()
+            _m_phases().labels("/v1/simulate", "queue").observe(
+                t0 - req.enqueued_at, exemplar=req.request_id)
             with span("service.simulate", dag=req.dag.name):
-                req.future.set_result(
-                    api.simulate(req.dag, **req.kwargs)
-                )
+                result = api.simulate(req.dag, **req.kwargs)
+            _observe_phase("/v1/simulate", "simulate", t0)
+            req.future.set_result(result)
         except BaseException as exc:
             req.future.set_exception(exc)
+        finally:
+            reset_request_id(token)

@@ -51,6 +51,7 @@ from math import isfinite
 from ..core.dag import ComputationDag, Node
 from ..exceptions import FaultPlanError, ServerPolicyError, SimulationError
 from ..obs import global_registry, global_tracer, span
+from ..obs.context import current_request_id
 from .heuristics import Policy
 from .server import ClientSpec, SimulationResult, TraceRecord, _record_quality
 
@@ -811,10 +812,22 @@ class _FaultEngine:
         self.ever_quarantined.add(cid)
         self.g_quar.set(len(self.quarantined))
         self.tracer.event("sim.quarantine", client=cid, t=now)
+        rid = current_request_id()
         if self.channel is not None:
-            self.frame_events.append(
-                {"kind": "quarantine", "client": cid, "t": round(now, 6)}
-            )
+            ev = {"kind": "quarantine", "client": cid,
+                  "t": round(now, 6)}
+            if rid is not None:
+                ev["request"] = rid
+            self.frame_events.append(ev)
+        # a quarantine means the fault plan beat a client's streak
+        # budget — black-box the surrounding context
+        from ..obs.flightrecorder import global_flight_recorder
+        global_flight_recorder().trigger(
+            "quarantine", request_id=rid,
+            detail=f"client {cid} quarantined at t={round(now, 6)} "
+                   f"after {self.fail_streak[cid]} consecutive "
+                   f"failures",
+        )
         if cid in self.idle:
             self.idle.remove(cid)
             self.idle_time += now - self.idle_since.pop(cid)

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from ..exceptions import SimulationError
 from ..core.dag import ComputationDag, Node
 from ..obs import global_registry, global_tracer, span
+from ..obs.context import current_request_id
 from .heuristics import Policy
 
 __all__ = [
@@ -385,9 +386,12 @@ def _simulate_ideal(
             if channel is not None:
                 occupancy[cid] = None
                 if kind == "lost":
-                    frame_events.append(
-                        {"kind": "loss", "client": cid, "task": str(task)}
-                    )
+                    ev = {"kind": "loss", "client": cid,
+                          "task": str(task)}
+                    rid = current_request_id()
+                    if rid is not None:
+                        ev["request"] = rid
+                    frame_events.append(ev)
             if kind == "lost":
                 # server detects the loss; the task goes back in the pool
                 allocated.discard(task)

@@ -188,6 +188,43 @@ class TestHistogram:
         assert h.count == 1
         assert h.quantile(0.5) == 1.0  # clamped to the last bound
 
+    def test_quantile_edge_cases(self):
+        # empty histogram: every quantile collapses to 0.0
+        e = MetricsRegistry().histogram("e", buckets=(1, 2))
+        assert e.quantile(0.0) == 0.0
+        assert e.quantile(1.0) == 0.0
+        # q=0 is the distribution floor, q=1 its ceiling
+        h = MetricsRegistry().histogram("h", buckets=(10, 20))
+        h.observe(5)
+        h.observe(15)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 20
+        # all mass in the overflow (+Inf) bucket: clamped to the
+        # last finite bound — the estimator cannot see past it
+        o = MetricsRegistry().histogram("o", buckets=(1.0, 2.0))
+        o.observe(50.0)
+        o.observe(99.0)
+        assert o.quantile(0.5) == 2.0
+        assert o.quantile(1.0) == 2.0
+
+    def test_merged_histogram_quantiles(self):
+        # quantiles over a merged snapshot reflect the combined
+        # distribution (the pool-worker merge path)
+        bounds = (10, 20, 30, 40)
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        ha = a.histogram("lat", buckets=bounds)
+        hb = b.histogram("lat", buckets=bounds)
+        for _ in range(3):
+            ha.observe(5)
+            hb.observe(35)
+        a.merge(b.snapshot())
+        merged = a.histogram("lat", buckets=bounds)
+        assert merged.count == 6
+        assert merged.sum == pytest.approx(120.0)
+        assert merged.quantile(0.25) == pytest.approx(5.0)
+        assert merged.quantile(0.75) == pytest.approx(35.0)
+
 
 class TestExposition:
     def _sample_registry(self):

@@ -361,6 +361,45 @@ class TestSchedulingServiceHTTP:
         assert svc_block["pipeline"]["workers"] == 2
         assert stats["metrics"]["service_searches_total"]["value"] == 1
 
+    def test_submit_429_carries_retry_after(self, registry):
+        # max_inflight=0: admission rejects every submission, so the
+        # backpressure path is deterministic (no racing threads)
+        svc = SchedulingService(
+            pipeline_config=PipelineConfig(max_inflight=0, workers=1))
+        with svc:
+            req = urllib.request.Request(
+                svc.url + "/v1/dags",
+                data=json.dumps(dag_to_dict(out_mesh_dag(3))).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as ei:
+                urllib.request.urlopen(req, timeout=10)
+            err = ei.value
+            assert err.code == 429
+            retry = err.headers.get("Retry-After")
+            assert retry is not None and float(retry) > 0
+            body = json.loads(err.read())
+            assert "capacity" in body["error"]
+
+    def test_simulate_429_carries_retry_after(self, service,
+                                              monkeypatch):
+        def reject(dag, **kwargs):
+            raise RejectedError("simulation queue full")
+
+        monkeypatch.setattr(service.pipeline, "submit_simulation",
+                            reject)
+        req = urllib.request.Request(
+            service.url + "/v1/simulate",
+            data=json.dumps(
+                {"dag": dag_to_dict(out_mesh_dag(3))}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            urllib.request.urlopen(req, timeout=10)
+        err = ei.value
+        assert err.code == 429
+        assert float(err.headers.get("Retry-After")) > 0
+
     def test_schedule_spilled_entry_404(self, registry):
         svc = SchedulingService(
             registry=DagRegistry(shards=1, capacity_per_shard=1),

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Gate the declared service-level objectives against a fresh
+``BENCH_service.json``.
+
+``repro.obs.slo`` declares the service's objectives (submit p99,
+simulate p99, error rate, degradation rate) as data;
+``benchmarks/bench_service.py`` measures the service over real
+loopback HTTP and records per-phase latency percentiles.  This tool
+closes the loop in CI: it reads the fresh record
+(``benchmarks/out/BENCH_service.json``) and checks every *latency*
+objective whose route the benchmark exercised against its declared
+budget, so a latency-budget violation fails the build with the same
+numbers ``GET /v1/slo`` would report in production.
+
+Rate objectives (error rate, degradation rate) are not gated here:
+the benchmark drives only well-formed traffic, so their numerators
+are structurally zero — asserting that would test nothing.  They are
+exercised by ``tests/test_request_obs.py`` and served live by
+``/v1/slo`` instead.
+
+The benchmark's p99 is host-dependent, so the budget is intentionally
+generous (seconds, not milliseconds — see ``DEFAULT_OBJECTIVES``); a
+violation means *pathology* (a lost lock, an accidental serial path),
+not noise.  ``--slack`` multiplies every budget for especially slow
+hosts.
+
+Usage::
+
+    python benchmarks/bench_service.py      # writes the fresh record
+    python tools/check_slo.py               # gate vs declared budgets
+    python tools/check_slo.py --slack 2.0   # double every budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.slo import DEFAULT_OBJECTIVES  # noqa: E402
+
+FRESH = REPO / "benchmarks" / "out" / "BENCH_service.json"
+
+#: route label (as declared on the objective) -> section of the
+#: bench record that measured it.
+ROUTE_SECTIONS = {
+    "/v1/dags": "submit",
+    "/v1/simulate": "simulate",
+}
+
+
+def check(record: dict, slack: float = 1.0) -> list[str]:
+    """Return one failure line per violated latency objective."""
+    failures: list[str] = []
+    checked = 0
+    for obj in DEFAULT_OBJECTIVES:
+        if obj.kind != "latency":
+            continue
+        route = dict(obj.labels).get("route")
+        section = ROUTE_SECTIONS.get(route)
+        if section is None or section not in record:
+            continue
+        key = f"p{int(round(obj.quantile * 100))}_ms"
+        measured_ms = record[section].get(key)
+        if measured_ms is None:
+            failures.append(
+                f"{obj.name}: record section {section!r} has no "
+                f"{key!r} field (schema drift?)"
+            )
+            continue
+        checked += 1
+        budget_ms = obj.threshold * 1000.0 * slack
+        verdict = "ok" if measured_ms <= budget_ms else "VIOLATED"
+        print(
+            f"  {obj.name}: {measured_ms:.1f} ms vs budget "
+            f"{budget_ms:.0f} ms ({route} {key}) ... {verdict}"
+        )
+        if measured_ms > budget_ms:
+            failures.append(
+                f"{obj.name}: {route} {key} = {measured_ms:.1f} ms "
+                f"exceeds the declared budget of {budget_ms:.0f} ms"
+            )
+    if not checked:
+        failures.append(
+            "no latency objective matched the bench record — the "
+            "gate is vacuous (route labels or record schema drifted)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--record", default=str(FRESH),
+        help="fresh BENCH_service.json (default %(default)s)",
+    )
+    ap.add_argument(
+        "--slack", type=float, default=1.0,
+        help="budget multiplier for slow hosts (default %(default)s)",
+    )
+    args = ap.parse_args(argv)
+
+    path = pathlib.Path(args.record)
+    if not path.exists():
+        print(f"check_slo: no fresh record at {path}; run "
+              "benchmarks/bench_service.py first", file=sys.stderr)
+        return 1
+    record = json.loads(path.read_text())
+    print(f"check_slo: gating {path} against declared SLO budgets")
+    failures = check(record, slack=args.slack)
+    if failures:
+        for line in failures:
+            print(f"check_slo: FAIL: {line}", file=sys.stderr)
+        return 1
+    print("check_slo: all latency objectives within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

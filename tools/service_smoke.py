@@ -16,7 +16,14 @@ client would:
    response (no external assets), ``GET /v1/dags/{fp}/frame`` holds
    captured frames whose seq advances across simulations (the
    headless stand-in for watching the page animate), and one
-   ``GET /v1/events`` SSE delta parses.
+   ``GET /v1/events`` SSE delta parses;
+8. request-scoped observability — a client-supplied
+   ``X-Repro-Request-Id`` round-trips onto the response (and the
+   server mints one when absent), ``GET /v1/slo`` evaluates the
+   declared objectives, and a seeded certification fault degrades
+   one submission and leaves exactly one flight-recorder bundle
+   retrievable over ``GET /v1/debug/dumps/{id}`` carrying the
+   triggering request id.
 
 Exits 0 on success, 1 with a diagnostic on the first failure.  No
 arguments; stdlib only::
@@ -180,6 +187,77 @@ def main() -> int:
                   and delta["seq"] == seq_after
                   and delta["dags"].get(fp) == seq_after,
                   "GET /v1/events delivers a frame-seq delta (SSE)")
+
+            # -- request correlation, SLOs, flight recorder -----------
+            rid = "smoke-req-0001"
+            req = urllib.request.Request(
+                svc.url + "/stats",
+                headers={"X-Repro-Request-Id": rid})
+            with urllib.request.urlopen(req, timeout=30) as r:
+                check(r.headers.get("X-Repro-Request-Id") == rid,
+                      "client-supplied request id echoed on response")
+            with urllib.request.urlopen(svc.url + "/healthz",
+                                        timeout=30) as r:
+                minted = r.headers.get("X-Repro-Request-Id")
+            check(bool(minted) and minted != rid,
+                  "server mints a request id when the client sends "
+                  "none")
+
+            status, body = _get(svc.url + "/v1/slo")
+            slo = json.loads(body)
+            check(status == 200 and slo["ok"] is True
+                  and len(slo["objectives"]) >= 4,
+                  "GET /v1/slo evaluates the declared objectives "
+                  "(all ok)")
+
+            # seed exactly one degradation: fail the primary
+            # certification of a fresh dag so the pipeline degrades
+            # to its stamped fallback and the flight recorder
+            # captures a bundle correlated with our request id
+            real_schedule = api.schedule
+            drid = "smoke-degraded-0001"
+
+            def failing(target, strategy="auto", **kw):
+                if strategy not in ("heuristic", "anytime"):
+                    raise RuntimeError(
+                        "smoke: seeded certification fault")
+                return real_schedule(target, strategy=strategy, **kw)
+
+            wire2 = api.dag_to_dict(out_mesh_chain(5).dag)
+            api.schedule = failing
+            try:
+                req = urllib.request.Request(
+                    svc.url + "/v1/dags",
+                    data=json.dumps(wire2).encode(),
+                    headers={"Content-Type": "application/json",
+                             "X-Repro-Request-Id": drid})
+                with urllib.request.urlopen(req, timeout=30) as r:
+                    degraded = json.loads(r.read())
+                    check(r.headers.get("X-Repro-Request-Id") == drid,
+                          "request id echoed on the degraded "
+                          "submission too")
+            finally:
+                api.schedule = real_schedule
+            check(degraded["how"] == "degraded",
+                  "seeded fault degrades the submission "
+                  f"({degraded['certificate']})")
+
+            status, body = _get(svc.url + "/v1/debug/dumps")
+            index = json.loads(body)
+            hits = [d for d in index["dumps"]
+                    if d["request_id"] == drid]
+            check(len(hits) == 1,
+                  "flight recorder holds exactly one dump for the "
+                  "degraded request")
+            status, body = _get(
+                svc.url + "/v1/debug/dumps/" + hits[0]["id"])
+            bundle = json.loads(body)
+            check(status == 200
+                  and bundle["reason"] == "degradation"
+                  and bundle["request_id"] == drid
+                  and bundle["schema"] == 1,
+                  "GET /v1/debug/dumps/{id} returns the correlated "
+                  "bundle")
     finally:
         set_global_registry(old)
 
