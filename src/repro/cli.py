@@ -13,6 +13,8 @@
     python -m repro batch mesh 4 --capacity 3
     python -m repro stats --format prom
     python -m repro serve --port 8080
+    python -m repro serve --port 8080 --data-dir var/repro --fsync always
+    python -m repro journal stat --data-dir var/repro
     python -m repro serve-metrics --port 9100
     python -m repro watch --url http://127.0.0.1:9100
     python -m repro observe --url http://127.0.0.1:8080
@@ -361,8 +363,17 @@ def cmd_serve_metrics(args) -> int:
     return 0
 
 
+#: ``repro serve`` exit code when the listener cannot bind (port
+#: already in use / permission denied) — distinct from crashes so
+#: supervisors and the chaos harness can tell "misconfigured" apart
+#: from "broken".
+SERVE_EXIT_BIND = 2
+
+
 def cmd_serve(args) -> int:
-    import time
+    import errno
+    import signal
+    import threading
 
     from .service import PipelineConfig, SchedulingService
 
@@ -381,23 +392,143 @@ def cmd_serve(args) -> int:
         frames=not args.no_frames,
         access_log=args.access_log,
         dump_dir=args.dump_dir,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
-    with svc:
-        print(
+    try:
+        svc.start()
+    except OSError as exc:
+        if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+            print(
+                f"error: cannot listen on {args.host}:{args.port}: "
+                f"{exc.strerror or exc} — is another service already "
+                f"bound there?  (pick a different --port, or stop the "
+                f"other process)",
+                file=sys.stderr,
+            )
+            return SERVE_EXIT_BIND
+        raise
+    # drain-on-signal: SIGTERM (systemd/k8s stop) and SIGINT (Ctrl-C)
+    # both finish in-flight requests, flush+snapshot the journal, and
+    # exit 0 — a supervised restart must look like a clean deploy
+    stop = threading.Event()
+
+    def _drain(signum, _frame):
+        print(f"repro serve: received "
+              f"{signal.Signals(signum).name}, draining",
+              file=sys.stderr)
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        banner = (
             f"scheduling service on {svc.url} "
             "(POST /v1/dags, GET /v1/schedules/{fp}, POST /v1/simulate, "
             "/healthz /readyz /metrics /stats); "
-            f"live observatory at {svc.url}/ui; Ctrl-C to stop",
-            file=sys.stderr,
+            f"live observatory at {svc.url}/ui; Ctrl-C to stop"
         )
-        try:
-            if args.duration is not None:
-                time.sleep(args.duration)
-            else:
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            pass
+        if svc.durability is not None and svc.recovery is not None:
+            rec = svc.recovery
+            banner += (
+                f"\ndurable state in {args.data_dir} (fsync="
+                f"{args.fsync}): recovered {rec.entries_restored} "
+                f"entries ({rec.certified_restored} certified) in "
+                f"{rec.seconds:.3f}s"
+            )
+            if rec.anomalies:
+                banner += "; anomalies: " + "; ".join(rec.anomalies)
+        print(banner, file=sys.stderr)
+        stop.wait(args.duration)  # duration=None waits forever
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        svc.stop()
+    return 0
+
+
+def cmd_journal(args) -> int:
+    """``repro journal {stat,verify,compact}``: offline tools for a
+    service data dir (``docs/SERVICE.md``).
+
+    ``stat`` summarizes the journal and snapshots read-only;
+    ``verify`` replays everything through full validation (checksums,
+    schedule re-execution, profile equality) without modifying disk —
+    exit 1 when anything is corrupt; ``compact`` replays then writes
+    a fresh snapshot and truncates the journal.
+    """
+    import os
+    from collections import Counter
+
+    from .service.durability import (
+        JOURNAL_FILE,
+        SNAPSHOT_FILE,
+        SNAPSHOT_PREV_FILE,
+        DurabilityManager,
+        scan_journal,
+    )
+
+    data_dir = args.data_dir
+    if not os.path.isdir(data_dir):
+        raise SystemExit(f"no such data dir: {data_dir!r}")
+
+    if args.action == "stat":
+        scan = scan_journal(os.path.join(data_dir, JOURNAL_FILE))
+        by_type = Counter(str(r.get("type", "?")) for r in scan.records)
+        seqs = [r["seq"] for r in scan.records
+                if isinstance(r.get("seq"), int)]
+        rows = [
+            ("journal records", str(len(scan.records))),
+            ("journal bytes (valid prefix)", str(scan.good_bytes)),
+            ("journal bytes (torn tail)", str(scan.torn_bytes)),
+            ("seq range",
+             f"{min(seqs)}..{max(seqs)}" if seqs else "-"),
+        ]
+        rows += [(f"records: {t}", str(n))
+                 for t, n in sorted(by_type.items())]
+        for fname in (SNAPSHOT_FILE, SNAPSHOT_PREV_FILE):
+            path = os.path.join(data_dir, fname)
+            rows.append((
+                fname,
+                f"{os.path.getsize(path)} bytes"
+                if os.path.exists(path) else "absent",
+            ))
+        print(render_table(["journal", "value"], rows,
+                           title=f"data dir: {data_dir}"))
+        return 0
+
+    mgr = DurabilityManager(data_dir)
+    if args.action == "verify":
+        report = mgr.recover(truncate=False)
+        rows = [(k, str(v)) for k, v in report.to_dict().items()
+                if k != "anomalies"]
+        print(render_table(["recovery", "value"], rows,
+                           title=f"data dir: {data_dir}"))
+        if report.anomalies:
+            for issue in report.anomalies:
+                print(f"journal verify: {issue}", file=sys.stderr)
+            return 1
+        print("journal verify: clean")
+        return 0
+
+    # compact: replay (repairing any torn tail), snapshot, truncate
+    report = mgr.recover()
+    if not mgr.snapshot_now():
+        print(f"journal compact failed: {mgr.last_error}",
+              file=sys.stderr)
+        return 1
+    stats = mgr.stats()
+    print(
+        f"journal compact: {report.entries_restored} entries "
+        f"({report.certified_restored} certified) -> "
+        f"{stats['snapshot_bytes']} byte snapshot, journal reset to "
+        f"{stats['journal_bytes']} bytes"
+    )
     return 0
 
 
@@ -791,6 +922,47 @@ def make_parser() -> argparse.ArgumentParser:
         help="directory for flight-recorder dump bundles (default: a "
         "private temp dir, created lazily on first dump)",
     )
+    p.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="durable state directory (write-ahead journal + "
+        "snapshots): admitted dags and certified schedules survive "
+        "crashes and replay on boot (docs/ROBUSTNESS.md); default: "
+        "in-memory only",
+    )
+    p.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="journal fsync policy with --data-dir: 'always' = "
+        "zero-loss, 'interval' = bounded loss on power failure "
+        "(process kills lose nothing), 'never' = flush only "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="journal appends between automatic snapshot+truncate "
+        "cycles with --data-dir (0 disables; default %(default)s)",
+    )
+
+    p = sub.add_parser(
+        "journal",
+        help="offline tools for a --data-dir journal: stat, verify "
+        "(deep validation, exit 1 on corruption), compact",
+    )
+    p.add_argument(
+        "action", choices=("stat", "verify", "compact"),
+        help="'stat': summarize read-only; 'verify': full replay "
+        "validation without touching disk; 'compact': snapshot + "
+        "truncate",
+    )
+    p.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="the service data directory to inspect",
+    )
 
     p = sub.add_parser(
         "slo",
@@ -922,6 +1094,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": cmd_batch,
         "stats": cmd_stats,
         "serve": cmd_serve,
+        "journal": cmd_journal,
         "serve-metrics": cmd_serve_metrics,
         "watch": cmd_watch,
         "observe": cmd_observe,

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..exceptions import OptimalityError, ScheduleError
+from ..fsio import atomic_write_json
 from ..obs import global_registry, span
 from .composition import BlockRecord, CompositionChain, linear_composition_schedule
 from .dag import ComputationDag
@@ -108,6 +109,14 @@ def _lookup_counter():
     return global_registry().counter(
         "certify_block_cache_lookups_total",
         "block-certificate library lookups", ("result",),
+    )
+
+
+def _load_skip_counter():
+    return global_registry().counter(
+        "certify_block_cache_load_skipped_total",
+        "corrupt or malformed block-certificate library files/entries "
+        "discarded on load",
     )
 
 
@@ -184,30 +193,37 @@ class BlockCertificateLibrary:
     # -- persistence ---------------------------------------------------
     def load(self) -> int:
         """(Re)load entries from :attr:`path`; returns how many were
-        accepted.  Malformed files or entries are skipped silently —
+        accepted.  Malformed files or entries are skipped and counted
+        (``certify_block_cache_load_skipped_total``), never raised —
         the library is a cache, correctness never depends on it."""
         if self.path is None:
             return 0
+        skipped = 0
         try:
             data = json.loads(self.path.read_text())
         except (OSError, ValueError):
+            _load_skip_counter().inc()
             return 0
         if not isinstance(data, dict) or \
                 data.get("version") != _LIBRARY_VERSION:
+            _load_skip_counter().inc()
             return 0
         loaded = 0
         for fp, entry in data.get("blocks", {}).items():
             if not isinstance(entry, dict):
+                skipped += 1
                 continue
             profile = entry.get("profile")
             order = entry.get("order")
             if not isinstance(profile, list) or \
                     not all(isinstance(x, int) for x in profile):
+                skipped += 1
                 continue
             if order is not None and (
                 not isinstance(order, list)
                 or not all(isinstance(x, int) for x in order)
             ):
+                skipped += 1
                 continue
             self._entries[str(fp)] = {
                 "name": str(entry.get("name", "")),
@@ -215,21 +231,22 @@ class BlockCertificateLibrary:
                 "order": order,
             }
             loaded += 1
+        if skipped:
+            _load_skip_counter().inc(skipped)
         _size_gauge().set(len(self._entries))
         return loaded
 
     def save(self) -> None:
-        """Write every entry to :attr:`path` (atomic replace)."""
+        """Write every entry to :attr:`path` (power-loss-safe atomic
+        replace: temp → fsync → rename → fsync-dir, via
+        :func:`repro.fsio.atomic_write_json`)."""
         if self.path is None:
             return
         payload = {
             "version": _LIBRARY_VERSION,
             "blocks": dict(self._entries),
         }
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1)
-                       + "\n")
-        tmp.replace(self.path)
+        atomic_write_json(str(self.path), payload, indent=1)
 
     def _put(self, fingerprint: str, entry: dict) -> None:
         self._entries[fingerprint] = entry

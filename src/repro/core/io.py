@@ -33,13 +33,24 @@ FORMAT_VERSION = 1
 
 def dag_to_dict(dag: ComputationDag) -> dict[str, Any]:
     """A JSON-able description of ``dag`` (index-based; see module
-    docstring)."""
+    docstring).
+
+    A dag that came out of :func:`dag_from_dict` carries the original
+    labels' legend as ``dag.label_reprs``; re-serializing emits that
+    legend instead of the integer indices' reprs, so the round-trip
+    ``to -> from -> to`` is byte-stable (the durability journal and
+    the crash harness rely on replayed schedules serializing
+    identically to their pre-crash wire form).
+    """
     index = {v: i for i, v in enumerate(dag.nodes)}
+    legend = getattr(dag, "label_reprs", None)
+    if not isinstance(legend, list) or len(legend) != len(dag):
+        legend = [repr(v) for v in dag.nodes]
     return {
         "format": FORMAT_VERSION,
         "name": dag.name,
         "n": len(dag),
-        "label_reprs": [repr(v) for v in dag.nodes],
+        "label_reprs": list(legend),
         "arcs": [[index[u], index[v]] for u, v in dag.arcs],
     }
 

@@ -27,13 +27,28 @@ smuggle in an invalid order.
 Entries record nothing about the ``state_budget`` they were computed
 under: a search that *completed* within any budget is correct under
 every budget, and failed searches are never cached.
+
+The cache can optionally round-trip through a JSON file
+(:meth:`ProfileCache.save` / :meth:`ProfileCache.load`, both built on
+the power-loss-safe :func:`repro.fsio.atomic_write_json`), so a
+service restart or deploy starts warm instead of re-running every
+search.  Persistence is strictly best-effort: corrupt files or
+entries are skipped and counted
+(``profile_cache_load_skipped_total``), never raised, and a loaded
+schedule order is still re-validated against the requesting dag on
+every hit exactly like an in-process entry.  Only entries with
+JSON-native node labels (ints/strings, e.g. every dag that arrived
+over the service wire format) are persisted — exotic labels stay
+in-memory-only rather than round-tripping lossily.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from ..fsio import atomic_write_json
 from ..obs import global_registry
 from .dag import ComputationDag, Node
 from .optimality import DEFAULT_STATE_BUDGET, max_eligibility_profile
@@ -152,6 +167,97 @@ class ProfileCache:
                 "profile_cache_evictions_total",
                 "certification cache entries dropped by the LRU bound",
             ).inc()
+
+    # -- persistence ---------------------------------------------------
+    _FILE_VERSION = 1
+
+    def save(self, path: str) -> int:
+        """Persist every JSON-representable entry to ``path``
+        (atomic, fsync'd); returns how many were written.
+
+        Profile entries always persist; schedule entries persist only
+        when every node label is an int or str (lossless round-trip).
+        """
+        entries = []
+        for (fp, kind), value in self._entries.items():
+            if value is _NO_SCHEDULE:
+                entries.append({"fingerprint": fp, "kind": kind,
+                                "none_exists": True})
+                continue
+            seq = list(value)  # tuple of ints (profile) or labels
+            if kind == "schedule" and not all(
+                isinstance(x, (int, str)) for x in seq
+            ):
+                continue
+            entries.append({"fingerprint": fp, "kind": kind,
+                            "value": seq})
+        atomic_write_json(path, {
+            "version": self._FILE_VERSION,
+            "entries": entries,
+        })
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Merge entries from ``path`` (written by :meth:`save`);
+        returns how many were accepted.  Corrupt files and malformed
+        entries are skipped and counted
+        (``profile_cache_load_skipped_total``), never raised.
+        """
+        def skip(n: int = 1) -> None:
+            global_registry().counter(
+                "profile_cache_load_skipped_total",
+                "corrupt or malformed profile-cache files/entries "
+                "discarded on load",
+            ).inc(n)
+
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            skip()
+            return 0
+        if not isinstance(data, dict) or \
+                data.get("version") != self._FILE_VERSION:
+            skip()
+            return 0
+        loaded = skipped = 0
+        for entry in data.get("entries", ()):
+            if not isinstance(entry, dict):
+                skipped += 1
+                continue
+            fp = entry.get("fingerprint")
+            kind = entry.get("kind")
+            if not isinstance(fp, str) or kind not in ("profile",
+                                                       "schedule"):
+                skipped += 1
+                continue
+            if entry.get("none_exists"):
+                if kind != "schedule":
+                    skipped += 1
+                    continue
+                self._put((fp, kind), _NO_SCHEDULE)
+                loaded += 1
+                continue
+            value = entry.get("value")
+            if not isinstance(value, list):
+                skipped += 1
+                continue
+            if kind == "profile" and not all(
+                isinstance(x, int) and not isinstance(x, bool)
+                for x in value
+            ):
+                skipped += 1
+                continue
+            if kind == "schedule" and not all(
+                isinstance(x, (int, str)) for x in value
+            ):
+                skipped += 1
+                continue
+            self._put((fp, kind), tuple(value))
+            loaded += 1
+        if skipped:
+            skip(skipped)
+        return loaded
 
     # ------------------------------------------------------------------
     def max_profile(

@@ -1,0 +1,88 @@
+"""Crash-consistent filesystem primitives.
+
+Every persistent artifact in the repository — the block-certificate
+library, profile-cache spills, flight-recorder bundles, durability
+snapshots — goes through :func:`atomic_write_json`, the one
+write-temp → fsync → rename → fsync-directory sequence that survives
+both a killed process and a power loss:
+
+* the payload is written to a temp file *in the same directory* (so
+  the final rename never crosses a filesystem boundary);
+* the temp file is flushed and ``fsync``'d before the rename — a bare
+  ``os.replace`` persists the *name* atomically but not necessarily
+  the *bytes*, so rename-without-fsync can leave an empty or partial
+  file under the final name after power loss;
+* the containing directory is ``fsync``'d after the rename, so the
+  new directory entry itself is durable.
+
+Readers of these artifacts treat them as caches: a file that fails to
+parse is discarded (and counted), never raised — correctness must
+not depend on anything :mod:`repro.fsio` wrote.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "fsync_dir"]
+
+
+def fsync_dir(path: str) -> None:
+    """``fsync`` the directory ``path`` so a just-renamed entry in it
+    is durable.  Best-effort: platforms/filesystems that refuse to
+    open directories (or to fsync them) are tolerated silently."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, *,
+                       fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (temp → rename).
+
+    With ``fsync`` (the default) the temp file is fsync'd before the
+    rename and the directory after it, making the write power-loss
+    safe; ``fsync=False`` keeps the atomic-rename property only
+    (enough against process kills, not against power loss).
+    Raises ``OSError`` on failure; the destination is never left
+    half-written.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(directory)
+
+
+def atomic_write_json(path: str, payload, *, fsync: bool = True,
+                      indent: int | None = None,
+                      sort_keys: bool = True) -> None:
+    """Serialize ``payload`` as JSON and write it atomically to
+    ``path`` (see :func:`atomic_write_bytes` for the durability
+    contract).  The encoding is canonical: sorted keys, UTF-8, one
+    trailing newline."""
+    body = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write_bytes(path, (body + "\n").encode("utf-8"), fsync=fsync)

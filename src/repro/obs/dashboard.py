@@ -14,11 +14,12 @@ network; :func:`watch` adds the poll-render-sleep loop.  Snapshot
 decoding (values, labeled series, number formatting) comes from
 :mod:`repro.obs.exposition`, the same helper the servers encode with.
 
-:func:`fetch_stats` retries once on a reset connection (servers
-restart; one refused poll should not kill a ``watch`` session), and
-:func:`fetch_traces` follows the ``/traces?since=`` cursor so
-repeated polls ship only new records instead of the full ring
-buffer.
+:func:`fetch_stats` and :func:`fetch_traces` retry reset connections
+through the shared bounded-backoff helper (:mod:`repro.retry` —
+servers restart; one refused poll should not kill a ``watch``
+session), and :func:`fetch_traces` follows the ``/traces?since=``
+cursor so repeated polls ship only new records instead of the full
+ring buffer.
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ import time
 import urllib.error
 import urllib.request
 
+from ..retry import retry_call
 from .exposition import format_number as _fmt
 from .exposition import snapshot_series as _series
 from .exposition import snapshot_value as _value
@@ -39,29 +41,35 @@ __all__ = ["fetch_stats", "fetch_traces", "render_dashboard", "watch"]
 _CLEAR = "\x1b[2J\x1b[H"
 
 
+def _is_reset(exc: BaseException) -> bool:
+    """A connection reset, bare or wrapped in a ``URLError``."""
+    return isinstance(exc, ConnectionResetError) or isinstance(
+        getattr(exc, "reason", None), ConnectionResetError
+    )
+
+
 def fetch_stats(url: str, timeout: float = 5.0) -> dict:
     """GET ``<url>/stats`` and parse the JSON payload.
 
     ``url`` is the server root (e.g. ``http://127.0.0.1:9100``); a
     trailing slash or an explicit ``/stats`` suffix are both accepted.
     A connection reset mid-poll (server restarting, listener cycling)
-    is retried once before the error propagates.
+    is retried with a short jittered backoff before the error
+    propagates.
     """
     base = url.rstrip("/")
     if not base.endswith("/stats"):
         base += "/stats"
-    for attempt in (0, 1):
-        try:
-            with urllib.request.urlopen(base, timeout=timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except (ConnectionResetError, urllib.error.URLError) as exc:
-            reset = isinstance(exc, ConnectionResetError) or isinstance(
-                getattr(exc, "reason", None), ConnectionResetError
-            )
-            if attempt or not reset:
-                raise
-            time.sleep(0.05)
-    raise AssertionError("unreachable")  # pragma: no cover
+
+    def poll() -> dict:
+        with urllib.request.urlopen(base, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    return retry_call(
+        poll, attempts=2, base_delay=0.05,
+        retry_on=(ConnectionResetError, urllib.error.URLError),
+        should_retry=_is_reset,
+    )
 
 
 def fetch_traces(url: str, since: int = 0,
@@ -73,20 +81,30 @@ def fetch_traces(url: str, since: int = 0,
     the server's ``X-Repro-Trace-Seq`` header (falling back to
     ``since + len(records)`` for older servers).  Feed ``latest_seq``
     back as ``since`` on the next poll so repeated scrapes ship only
-    the delta, not the whole ring buffer.
+    the delta, not the whole ring buffer.  Reset connections retry
+    like :func:`fetch_stats`.
     """
     base = url.rstrip("/")
     if not base.endswith("/traces"):
         base += "/traces"
     sep = "&" if "?" in base else "?"
-    with urllib.request.urlopen(
-        f"{base}{sep}since={int(since)}", timeout=timeout
-    ) as resp:
-        body = resp.read().decode("utf-8")
-        header = resp.headers.get("X-Repro-Trace-Seq")
-    records = [json.loads(line) for line in body.splitlines() if line]
-    latest = int(header) if header is not None else since + len(records)
-    return records, latest
+
+    def poll() -> tuple[list[dict], int]:
+        with urllib.request.urlopen(
+            f"{base}{sep}since={int(since)}", timeout=timeout
+        ) as resp:
+            body = resp.read().decode("utf-8")
+            header = resp.headers.get("X-Repro-Trace-Seq")
+        records = [json.loads(line) for line in body.splitlines() if line]
+        latest = (int(header) if header is not None
+                  else since + len(records))
+        return records, latest
+
+    return retry_call(
+        poll, attempts=2, base_delay=0.05,
+        retry_on=(ConnectionResetError, urllib.error.URLError),
+        should_retry=_is_reset,
+    )
 
 
 # ----------------------------------------------------------------------

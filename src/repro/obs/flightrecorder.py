@@ -43,6 +43,7 @@ import threading
 import time
 from collections import OrderedDict
 
+from ..fsio import atomic_write_json
 from .metrics import global_registry
 from .observatory import global_frame_store
 from .tracing import global_tracer
@@ -202,10 +203,9 @@ class FlightRecorder:
 
     def _persist(self, dump_id: str, bundle: dict) -> None:
         path = os.path.join(self._ensure_dir(), f"{dump_id}.json")
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(bundle, f, sort_keys=True)
-        os.replace(tmp, path)
+        # power-loss-safe atomic replace: a half-written black box is
+        # worse than none (it reads as evidence but lies)
+        atomic_write_json(path, bundle)
         with self._lock:
             self._index[dump_id] = {
                 "id": dump_id,

@@ -1,0 +1,96 @@
+"""Bounded retry with jittered exponential backoff.
+
+One shared helper for every "the other side may be restarting" call
+site: the terminal dashboard's ``/stats`` poll, the trace-cursor
+fetch, and the chaos harness's wait-until-``/readyz`` restart poll.
+The policy is deliberately boring and *bounded* — a fixed attempt
+budget with exponentially growing, jittered sleeps — because an
+unbounded retry loop turns a dead server into a hung client, and
+synchronized (jitter-free) retries turn a restart into a thundering
+herd.
+
+The jitter source and sleep function are injectable so tests are
+deterministic and instant.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Sequence
+
+__all__ = ["RetryBudgetExceeded", "backoff_delays", "retry_call"]
+
+
+class RetryBudgetExceeded(Exception):
+    """Every attempt failed; ``last`` carries the final exception."""
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"gave up after {attempts} attempts: "
+            f"{type(last).__name__}: {last}"
+        )
+        self.attempts = attempts
+        self.last = last
+
+
+def backoff_delays(
+    attempts: int,
+    *,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 2.0,
+    jitter: float = 0.5,
+    rng: random.Random | None = None,
+) -> list[float]:
+    """The sleep schedule between ``attempts`` tries: exponential
+    growth from ``base_delay`` capped at ``max_delay``, each delay
+    stretched by up to ``jitter`` (relative, uniform).  Length is
+    ``attempts - 1`` — there is no sleep after the last failure."""
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    rand = rng.random if rng is not None else random.random
+    delays = []
+    for i in range(attempts - 1):
+        delay = min(max_delay, base_delay * (factor ** i))
+        delays.append(delay * (1.0 + jitter * rand()))
+    return delays
+
+
+def retry_call(
+    fn: Callable,
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 2.0,
+    jitter: float = 0.5,
+    retry_on: Sequence[type[BaseException]] = (OSError,),
+    should_retry: Callable[[BaseException], bool] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+):
+    """Call ``fn()`` up to ``attempts`` times, sleeping a jittered
+    exponential backoff between failures.
+
+    An exception is retried only when it is an instance of a
+    ``retry_on`` type *and* ``should_retry`` (when given) approves
+    it; anything else propagates immediately.  When the attempt
+    budget runs out the *original* final exception is re-raised (not
+    a wrapper), so callers' existing error handling keeps working.
+    """
+    delays = backoff_delays(
+        attempts, base_delay=base_delay, factor=factor,
+        max_delay=max_delay, jitter=jitter, rng=rng,
+    )
+    for i in range(attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            retryable = isinstance(exc, tuple(retry_on)) and (
+                should_retry is None or should_retry(exc)
+            )
+            if not retryable or i == attempts - 1:
+                raise
+            sleep(delays[i])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -12,31 +12,46 @@ long-lived, multi-client HTTP endpoint (see ``docs/SERVICE.md``):
     429), single-flight coalescing of concurrent certification
     requests per fingerprint, micro-batched simulation on a worker
     pool, and graceful degradation to the heuristic schedule.
+:mod:`repro.service.durability`
+    :class:`DurabilityManager` — the opt-in durable core: a
+    CRC32-checksummed write-ahead journal of registry events,
+    atomic snapshots, and replay-on-boot crash recovery
+    (``docs/ROBUSTNESS.md``; proven by ``tools/chaos_restart.py``).
 :mod:`repro.service.http`
     :class:`SchedulingService` — the stdlib HTTP JSON API on the
     hardened :class:`~repro.obs.server.HTTPServiceBase`.
 
 The service consumes the library only through the stable
 :mod:`repro.api` facade.  Start one with ``repro serve --port 8080``
-or programmatically::
+(add ``--data-dir`` for crash-durable state) or programmatically::
 
     from repro.service import SchedulingService
 
-    with SchedulingService(port=8080) as svc:
+    with SchedulingService(port=8080, data_dir="var/repro") as svc:
         print("serving on", svc.url)
         ...
 """
 
+from .durability import (
+    FSYNC_POLICIES,
+    DurabilityManager,
+    RecoveryReport,
+    scan_journal,
+)
 from .http import ENDPOINTS, SchedulingService
 from .pipeline import PipelineConfig, RejectedError, RequestPipeline
 from .registry import DagEntry, DagRegistry
 
 __all__ = [
     "ENDPOINTS",
+    "FSYNC_POLICIES",
     "DagEntry",
     "DagRegistry",
+    "DurabilityManager",
     "PipelineConfig",
+    "RecoveryReport",
     "RejectedError",
     "RequestPipeline",
     "SchedulingService",
+    "scan_journal",
 ]

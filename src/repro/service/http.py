@@ -26,7 +26,8 @@ endpoint                    semantics
 ``GET /metrics``            Prometheus text format 0.0.4
 ``GET /stats``              JSON: metrics snapshot + ``service``
                             section (registry occupancy, pipeline
-                            config)
+                            config, journal/recovery state when
+                            serving with ``--data-dir``)
 ``GET /v1/slo``             declarative service-level objectives
                             evaluated live (:mod:`repro.obs.slo`)
 ``GET /v1/debug/dumps``     flight-recorder bundle index (and
@@ -90,6 +91,7 @@ from ..obs.server import (
 )
 from ..obs.slo import dispatch_slo
 from ..obs.tracing import global_tracer
+from .durability import DurabilityManager, RecoveryReport
 from .pipeline import (
     PipelineConfig,
     RejectedError,
@@ -162,6 +164,19 @@ class SchedulingService(HTTPServiceBase):
         fresh process-wide recorder targeting that directory.
         Default ``None`` keeps the existing global recorder (which
         lazily uses a private temp dir).
+    data_dir:
+        Opt-in durability (:mod:`repro.service.durability`): a
+        directory for the write-ahead journal and snapshots.  On
+        ``start()`` the listener comes up **not ready** (``/readyz``
+        → 503) while the journal replays into the registry, flipping
+        ready only once replay completes; every subsequent store /
+        certificate / spill is journaled, and a graceful ``stop()``
+        snapshots + fsyncs before exit.  ``None`` (default) serves
+        purely in-memory, exactly as before.
+    fsync, snapshot_every:
+        Journal knobs, forwarded to
+        :class:`~repro.service.durability.DurabilityManager`;
+        ignored without ``data_dir``.
 
     ``start()`` spins up the request pipeline (collector thread +
     worker pool) alongside the listener; ``stop()`` drains both.
@@ -178,6 +193,9 @@ class SchedulingService(HTTPServiceBase):
         frames: bool = True,
         access_log: bool = False,
         dump_dir: str | None = None,
+        data_dir: str | None = None,
+        fsync: str = "interval",
+        snapshot_every: int = 1024,
     ) -> None:
         super().__init__(host, port, request_timeout,
                          access_log=access_log)
@@ -186,22 +204,43 @@ class SchedulingService(HTTPServiceBase):
         self.frames = frames
         if dump_dir is not None:
             set_global_flight_recorder(FlightRecorder(dump_dir))
+        self.durability: DurabilityManager | None = None
+        self.recovery: RecoveryReport | None = None
+        if data_dir is not None:
+            self.durability = DurabilityManager(
+                data_dir, fsync=fsync, snapshot_every=snapshot_every,
+            )
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "SchedulingService":
         if self.frames:
             global_frame_store().enable()
         self.pipeline.start()
+        if self.durability is not None:
+            # come up NOT ready: the listener answers (503 on
+            # /readyz, 200 on /healthz) while the journal replays,
+            # so orchestrators see "alive, warming" — never a served
+            # request against a half-recovered registry
+            self.ready = False
         try:
             super().start()
         except BaseException:
             self.pipeline.stop()
             raise
+        if self.durability is not None:
+            self.recovery = self.durability.recover(self.registry)
+            # replay done — journal future writes, open for traffic
+            self.registry.journal = self.durability
+            self.ready = True
         return self
 
     def stop(self) -> None:
         super().stop()  # drain HTTP first so no new work arrives
         self.pipeline.stop()
+        if self.durability is not None:
+            # every journaled write is already on disk; snapshot +
+            # fsync so the next boot replays from a compact prefix
+            self.durability.close()
 
     # -- routing -------------------------------------------------------
     def dispatch(self, handler: HardenedHandler, method: str,
@@ -398,6 +437,13 @@ class SchedulingService(HTTPServiceBase):
     # -- stats ---------------------------------------------------------
     def stats(self) -> dict:
         cfg = self.pipeline.config
+        durability = None
+        if self.durability is not None:
+            durability = self.durability.stats()
+            durability["recovery"] = (
+                self.recovery.to_dict()
+                if self.recovery is not None else None
+            )
         return stats_payload(
             global_registry(),
             global_tracer(),
@@ -418,6 +464,7 @@ class SchedulingService(HTTPServiceBase):
                         "strategy": cfg.strategy,
                         "budget": cfg.budget,
                     },
+                    "durability": durability,
                 },
             },
         )

@@ -35,7 +35,17 @@ heavy-traffic goal needs:
   loss bounds), else ``strategy="heuristic"`` — never an unlabeled
   schedule.  Every certified result's coarse kind is counted under
   ``service_certificates_total{kind}``, degradations under
-  ``service_degraded_total``.
+  ``service_degraded_total``;
+* **durability without availability coupling** — when the registry
+  carries a write-ahead journal
+  (:class:`~repro.service.durability.DurabilityManager`), each
+  certified result is journaled as part of
+  :meth:`~repro.service.registry.DagRegistry.attach_schedule` (timed
+  as the ``journal`` phase of ``/v1/dags``).  A failing disk
+  *degrades durability, never requests*: the manager flips itself to
+  in-memory mode (``service_durability_degraded_total``, flight
+  recorder) and appends become no-ops — the pipeline keeps serving
+  200s from memory.
 """
 
 from __future__ import annotations
@@ -354,7 +364,10 @@ class RequestPipeline:
             )
         self._m_certificates().labels(result.kind).inc()
         entry.schedule = result
+        t_journal = time.perf_counter()
         self.registry.attach_schedule(entry.fingerprint, result)
+        if self.registry.journal is not None:
+            _observe_phase("/v1/dags", "journal", t_journal)
         store = global_frame_store()
         if store.enabled:
             # attach the certified M(t) so subsequent frames carry the

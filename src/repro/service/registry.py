@@ -23,7 +23,17 @@ Scale properties:
 * **observable** — every lookup, store, and eviction is counted in
   the process-wide metrics registry (``registry_*`` series), and the
   entry count is published as a gauge the dashboard and ``/stats``
-  expose.
+  expose;
+* **durable (opt-in)** — attach a
+  :class:`~repro.service.durability.DurabilityManager` as
+  :attr:`DagRegistry.journal` and every store, certificate attach,
+  and LRU spill is journaled write-ahead, so a crashed service
+  replays back to this registry's pre-crash contents on boot
+  (:meth:`restore_entry` is the replay entry point).  Journal appends
+  happen *outside* the shard locks: the journal serializes on its own
+  lock, and the worst interleaving under concurrent writers is a
+  reordered admit/spill pair for the same fingerprint — both orders
+  replay to a state the LRU could legitimately have reached.
 """
 
 from __future__ import annotations
@@ -89,6 +99,9 @@ class DagRegistry:
         self.shards = shards
         self.capacity_per_shard = capacity_per_shard
         self._shards = [_Shard() for _ in range(shards)]
+        #: optional :class:`~repro.service.durability.DurabilityManager`;
+        #: when set, stores/attaches/spills are journaled write-ahead
+        self.journal = None
 
     # -- metrics -------------------------------------------------------
     @staticmethod
@@ -140,12 +153,16 @@ class DagRegistry:
             entry = DagEntry(fingerprint=fp, dag=dag)
             shard.entries[fp] = entry
             self._m_stores().inc()
-            evicted = 0
+            evicted: list[str] = []
             while len(shard.entries) > self.capacity_per_shard:
-                shard.entries.popitem(last=False)
-                evicted += 1
+                old_fp, _ = shard.entries.popitem(last=False)
+                evicted.append(old_fp)
         if evicted:
-            self._m_evictions().inc(evicted)
+            self._m_evictions().inc(len(evicted))
+        if self.journal is not None:
+            self.journal.record_admitted(fp, dag)
+            for old_fp in evicted:
+                self.journal.record_spilled(old_fp)
         self._publish_size()
         return entry
 
@@ -176,6 +193,38 @@ class DagRegistry:
             entry = shard.entries.get(fingerprint)
             if entry is not None:
                 entry.schedule = schedule
+        if entry is not None and self.journal is not None:
+            # journaled only when actually attached: replaying a
+            # certificate for an entry the LRU already dropped would
+            # resurrect state the live registry never held
+            self.journal.record_certificate(fingerprint, schedule)
+
+    def restore_entry(self, fingerprint: str, dag: ComputationDag,
+                      schedule: ScheduleResult | None = None) -> DagEntry:
+        """Re-insert an entry during replay-on-boot, keyed by its
+        *journaled* fingerprint (authoritative even if the rebuilt
+        dag's labels hash differently — clients hold the journaled
+        key).  Does **not** journal (the records being replayed are
+        already on disk) and does not count as a store; the volatile
+        ``hits`` counter restarts at 0.  LRU capacity still applies.
+        """
+        shard = self._shard_for(fingerprint)
+        with shard.lock:
+            entry = shard.entries.get(fingerprint)
+            if entry is None:
+                entry = DagEntry(fingerprint=fingerprint, dag=dag)
+                shard.entries[fingerprint] = entry
+            if schedule is not None:
+                entry.schedule = schedule
+            shard.entries.move_to_end(fingerprint)
+            evicted = 0
+            while len(shard.entries) > self.capacity_per_shard:
+                shard.entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self._m_evictions().inc(evicted)
+        self._publish_size()
+        return entry
 
     # -- introspection -------------------------------------------------
     def __len__(self) -> int:

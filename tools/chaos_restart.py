@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""Kill-and-restart chaos harness for the durable service core.
+
+Proves the crash-recovery contract of
+:mod:`repro.service.durability` against a *real* process the way an
+operator would experience it (``docs/ROBUSTNESS.md``):
+
+**Phase 1 — SIGKILL mid-workload.**  Boots ``repro serve --data-dir``
+as a subprocess, certifies a workload of family dags over HTTP,
+records every ``GET /v1/schedules/{fp}`` payload, then ``SIGKILL``\\ s
+the process while a background submitter is still writing journal
+records (no drain, no snapshot — the worst case).  A fresh process on
+the same data dir must then:
+
+* come up answering ``/readyz`` with 503 (or refuse connections)
+  until replay completes — the first 200 must carry a completed
+  recovery report in ``/stats`` and ``registry_recovered_entries``
+  > 0;
+* serve **every** previously-certified fingerprint with HTTP 200 and
+  a payload byte-identical to the pre-kill one (modulo the volatile
+  ``hits`` counter — explicitly not part of the durability contract);
+* exit 0 on SIGTERM (graceful drain), and a second server racing for
+  the same port must exit with the distinct bind-failure code 2.
+
+**Phase 2 — crash-consistency fuzz.**  Builds a pristine data dir
+in-process, then replays recovery over ``--points`` seeded corruption
+scenarios (torn truncation at an arbitrary byte, single bit flips in
+journal and snapshot, garbage appends, deleted snapshots).  For every
+scenario recovery must not raise, must never restore a fingerprint
+that was not in the pristine state or serve a certificate differing
+from the pristine one, and must account exactly for what it kept and
+discarded (valid-prefix arithmetic against the CRC ground truth).
+
+Exit 0 on success, 1 with a diagnostic on the first violation.
+Stdlib only::
+
+    PYTHONPATH=src python tools/chaos_restart.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+#: (family, param) workload; small enough that every certification is
+#: instant, structurally distinct so every fingerprint is unique.
+WORKLOAD = [
+    ("diamond", 2),
+    ("mesh", 3),
+    ("butterfly", 2),
+    ("prefix", 3),
+    ("out-tree", 2),
+    ("in-tree", 2),
+    ("dlt", 3),
+    ("paths", 2),
+]
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"chaos_restart: FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def log(msg: str) -> None:
+    print(f"chaos_restart: {msg}")
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+# ----------------------------------------------------------------------
+
+
+def post(url: str, payload: dict, timeout: float = 30.0) -> dict:
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as r:
+        return json.loads(r.read())
+
+
+def get_json(url: str, timeout: float = 10.0) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            return exc.code, json.loads(body)
+        except ValueError:
+            return exc.code, {}
+
+
+def probe(url: str, timeout: float = 2.0) -> int | None:
+    """Status of one GET, ``None`` while the listener is down."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as r:
+            return r.status
+    except urllib.error.HTTPError as exc:
+        return exc.code
+    except (urllib.error.URLError, OSError):
+        return None
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# phase 1: SIGKILL -> restart -> identical schedules
+# ----------------------------------------------------------------------
+
+
+def spawn_server(port: int, data_dir: str, *,
+                 fsync: str = "interval") -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--data-dir", data_dir,
+         "--fsync", fsync, "--no-frames"],
+        env=env, cwd=str(REPO),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def await_ready(base: str, proc: subprocess.Popen,
+                deadline: float = 30.0) -> list[int | None]:
+    """Poll ``/readyz`` until 200; returns the observed status
+    sequence (Nones are refused connections)."""
+    from repro.retry import backoff_delays
+
+    observed: list[int | None] = []
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline:
+        if proc.poll() is not None:
+            fail(f"server exited early with code {proc.returncode}")
+        status = probe(base + "/readyz", timeout=1.0)
+        observed.append(status)
+        if status == 200:
+            return observed
+        time.sleep(0.05)
+    # bounded-retry helper is also used here for the final verdict
+    # poll, so a last-instant listener still passes
+    for delay in backoff_delays(3, base_delay=0.2, jitter=0.0):
+        time.sleep(delay)
+        status = probe(base + "/readyz", timeout=1.0)
+        observed.append(status)
+        if status == 200:
+            return observed
+    fail(f"server on {base} never became ready "
+         f"(last status {observed[-1]!r})")
+
+
+def canonical_schedule(payload: dict) -> str:
+    """The durable part of a ``/v1/schedules`` payload: everything
+    except the volatile ``hits`` counter, canonically encoded."""
+    stripped = {k: v for k, v in payload.items() if k != "hits"}
+    return json.dumps(stripped, sort_keys=True)
+
+
+def phase_kill_restart(n_dags: int, fsync: str) -> None:
+    from repro.cli import build_family
+    from repro.core.io import dag_to_dict
+
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-")
+    data_dir = os.path.join(tmp, "data")
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    proc = spawn_server(port, data_dir, fsync=fsync)
+    certified: dict[str, str] = {}
+    try:
+        await_ready(base, proc)
+        wires = [dag_to_dict(build_family(f, p).dag)
+                 for f, p in WORKLOAD[:n_dags]]
+        for wire in wires:
+            out = post(base + "/v1/dags", {"dag": wire})
+            fp = out["fingerprint"]
+            status, payload = get_json(base + f"/v1/schedules/{fp}")
+            if status != 200:
+                fail(f"pre-kill GET /v1/schedules/{fp} -> {status}")
+            certified[fp] = canonical_schedule(payload)
+        log(f"phase 1: certified {len(certified)} dags on {base} "
+            f"(fsync={fsync})")
+
+        # keep the journal hot while the SIGKILL lands: a background
+        # submitter re-posts dags (journal appends) with no drain
+        import threading
+
+        def churn() -> None:
+            while True:
+                try:
+                    post(base + "/v1/dags", {"dag": wires[0]},
+                         timeout=2.0)
+                except Exception:
+                    return
+
+        for _ in range(2):
+            threading.Thread(target=churn, daemon=True).start()
+        time.sleep(0.1)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        log(f"phase 1: SIGKILL delivered (exit {proc.returncode})")
+
+        # ---- restart on the same data dir ----
+        proc = spawn_server(port, data_dir, fsync=fsync)
+        observed = await_ready(base, proc)
+        not_ready = [s for s in observed if s != 200]
+        log(f"phase 1: restarted; readiness probe saw "
+            f"{len(not_ready)} not-ready polls "
+            f"({sorted(set(map(str, not_ready)))}) before 200")
+        if any(s not in (None, 503, 200) for s in observed):
+            fail(f"unexpected /readyz status sequence: {observed}")
+
+        # ready implies a completed recovery, visible in /stats
+        status, stats = get_json(base + "/stats")
+        if status != 200:
+            fail(f"/stats after restart -> {status}")
+        durability = (stats.get("service") or {}).get("durability")
+        if not durability:
+            fail("no durability section in /stats after restart")
+        recovery = durability.get("recovery")
+        if not recovery:
+            fail("server is ready but reports no recovery")
+        if recovery["entries_restored"] < len(certified):
+            fail(f"recovered {recovery['entries_restored']} entries, "
+                 f"expected >= {len(certified)}")
+        gauge = (stats.get("metrics", {})
+                 .get("registry_recovered_entries", {}).get("value"))
+        if not gauge or gauge <= 0:
+            fail(f"registry_recovered_entries gauge is {gauge!r}, "
+                 f"expected > 0")
+        log(f"phase 1: recovery replayed "
+            f"{recovery['records_applied']} records from "
+            f"{recovery['snapshot_used']} snapshot in "
+            f"{recovery['seconds']:.3f}s"
+            + (f"; anomalies: {recovery['anomalies']}"
+               if recovery["anomalies"] else ""))
+
+        # every certified fingerprint must serve identically from disk
+        for fp, before in certified.items():
+            status, payload = get_json(base + f"/v1/schedules/{fp}")
+            if status != 200:
+                fail(f"post-restart GET /v1/schedules/{fp} -> {status}")
+            after = canonical_schedule(payload)
+            if after != before:
+                fail(f"schedule for {fp[:12]} changed across the "
+                     f"crash:\n  before: {before}\n  after:  {after}")
+        log(f"phase 1: all {len(certified)} schedules byte-identical "
+            f"across SIGKILL")
+
+        # a second server racing for the same port: exit code 2
+        rival = spawn_server(port, os.path.join(tmp, "rival"))
+        rc = rival.wait(timeout=30)
+        if rc != 2:
+            fail(f"port-conflict server exited {rc}, expected 2")
+        log("phase 1: port-conflict rival exited 2 as documented")
+
+        # graceful drain: SIGTERM -> exit 0
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=30)
+        if rc != 0:
+            fail(f"SIGTERM drain exited {rc}, expected 0")
+        log("phase 1: SIGTERM drained cleanly (exit 0)")
+        proc = None
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# phase 2: seeded crash-consistency fuzz
+# ----------------------------------------------------------------------
+
+
+def build_pristine(base_dir: str, *, with_snapshot: bool) -> dict:
+    """A data dir with journaled certified entries; returns
+    ``fp -> canonical result wire dict`` (the ground truth)."""
+    from repro.api import schedule as api_schedule
+    from repro.cli import build_family
+    from repro.core.io import dag_from_dict, dag_to_dict
+    from repro.service.durability import (
+        DurabilityManager,
+        result_to_dict,
+    )
+
+    mgr = DurabilityManager(base_dir, fsync="never", snapshot_every=0)
+    golden: dict[str, dict] = {}
+    for i, (family, param) in enumerate(WORKLOAD[:6]):
+        # round-trip through the wire format exactly like a service
+        # submission, so fingerprints are the wire-native ones
+        dag = dag_from_dict(dag_to_dict(build_family(family, param).dag))
+        fp = dag.fingerprint()
+        result = api_schedule(dag)
+        mgr.record_admitted(fp, dag)
+        mgr.record_certificate(fp, result)
+        golden[fp] = result_to_dict(result)
+        if with_snapshot and i == 2:
+            # half the history in the snapshot, half journal-only
+            mgr.snapshot_now()
+    mgr.flush()
+    # abandoned without close(): exactly what a crash leaves behind
+    return golden
+
+
+def corrupt(data_dir: str, rng: random.Random) -> str:
+    """Apply one seeded corruption; returns its description."""
+    from repro.service.durability import JOURNAL_FILE, SNAPSHOT_FILE
+
+    journal = os.path.join(data_dir, JOURNAL_FILE)
+    snapshot = os.path.join(data_dir, SNAPSHOT_FILE)
+    kinds = ["truncate", "bitflip-journal", "garbage-append",
+             "bitflip-snapshot", "drop-snapshot"]
+    kind = rng.choice(kinds)
+    if kind in ("bitflip-snapshot", "drop-snapshot") and \
+            not os.path.exists(snapshot):
+        kind = "bitflip-journal"
+    if kind == "truncate":
+        size = os.path.getsize(journal)
+        cut = rng.randrange(0, size)
+        os.truncate(journal, cut)
+        return f"torn write: journal truncated {size} -> {cut} bytes"
+    if kind == "bitflip-journal":
+        with open(journal, "r+b") as fh:
+            data = bytearray(fh.read())
+            if not data:
+                return "bit flip skipped: empty journal"
+            pos = rng.randrange(len(data))
+            data[pos] ^= 1 << rng.randrange(8)
+            fh.seek(0)
+            fh.write(data)
+        return f"bit flip: journal byte {pos}"
+    if kind == "garbage-append":
+        blob = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 64)))
+        with open(journal, "ab") as fh:
+            fh.write(blob)
+        return f"garbage append: {len(blob)} bytes"
+    if kind == "bitflip-snapshot":
+        with open(snapshot, "r+b") as fh:
+            data = bytearray(fh.read())
+            pos = rng.randrange(len(data))
+            data[pos] ^= 1 << rng.randrange(8)
+            fh.seek(0)
+            fh.write(data)
+        return f"bit flip: snapshot byte {pos}"
+    os.unlink(snapshot)
+    return "snapshot deleted"
+
+
+def phase_fuzz(points: int, seed: int) -> None:
+    from repro.service.durability import (
+        JOURNAL_FILE,
+        DurabilityManager,
+        result_to_dict,
+        scan_journal,
+    )
+    from repro.service.registry import DagRegistry
+
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-fuzz-")
+    try:
+        pristine_plain = os.path.join(tmp, "plain")
+        pristine_snap = os.path.join(tmp, "snap")
+        golden_plain = build_pristine(pristine_plain,
+                                      with_snapshot=False)
+        golden_snap = build_pristine(pristine_snap, with_snapshot=True)
+        log(f"phase 2: pristine dirs built "
+            f"({len(golden_plain)} journal-only entries, "
+            f"{len(golden_snap)} snapshot+journal entries)")
+
+        for point in range(points):
+            rng = random.Random(seed * 10_000 + point)
+            use_snap = point % 2 == 1
+            src = pristine_snap if use_snap else pristine_plain
+            golden = golden_snap if use_snap else golden_plain
+            case = os.path.join(tmp, f"case-{point:03d}")
+            shutil.copytree(src, case)
+            what = corrupt(case, rng)
+
+            registry = DagRegistry()
+            mgr = DurabilityManager(case, fsync="never")
+            try:
+                report = mgr.recover(registry)
+            except Exception as exc:  # the one unforgivable outcome
+                fail(f"point {point} ({what}): recovery raised "
+                     f"{type(exc).__name__}: {exc}")
+
+            # 1. nothing foreign, nothing corrupt served
+            restored = 0
+            for fp, truth in golden.items():
+                entry = registry.get(fp)
+                if entry is None:
+                    continue
+                restored += 1
+                if entry.fingerprint not in golden:
+                    fail(f"point {point} ({what}): restored unknown "
+                         f"fingerprint {entry.fingerprint[:12]}")
+                if entry.schedule is not None and \
+                        result_to_dict(entry.schedule) != truth:
+                    fail(f"point {point} ({what}): served a "
+                         f"certificate differing from the pristine "
+                         f"one for {fp[:12]}")
+            if len(registry) > len(golden):
+                fail(f"point {point} ({what}): {len(registry)} "
+                     f"entries restored from {len(golden)} golden")
+
+            # 2. exact discard accounting against the CRC ground truth
+            post_scan = scan_journal(os.path.join(case, JOURNAL_FILE))
+            processed = (report.records_applied
+                         + report.records_duplicate)
+            if not post_scan.missing and \
+                    processed > len(post_scan.records):
+                fail(f"point {point} ({what}): report claims "
+                     f"{processed} journal records but the valid "
+                     f"prefix holds {len(post_scan.records)}")
+            if post_scan.torn_bytes:  # truncate=True must have fired
+                fail(f"point {point} ({what}): torn tail "
+                     f"({post_scan.torn_bytes}B) survived recovery")
+            if report.entries_restored != restored:
+                fail(f"point {point} ({what}): report counts "
+                     f"{report.entries_restored} restored, registry "
+                     f"holds {restored}")
+            shutil.rmtree(case, ignore_errors=True)
+        log(f"phase 2: {points} seeded corruption points recovered "
+            f"without a crash, a foreign fingerprint, or a corrupt "
+            f"certificate")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI mode: 4 workload dags, 20 fuzz points")
+    ap.add_argument("--points", type=int, default=None,
+                    help="crash-consistency corruption points "
+                         "(default 40, or 20 with --quick)")
+    ap.add_argument("--seed", type=int, default=7,
+                    help="fuzz seed (default %(default)s)")
+    ap.add_argument("--fsync", default="interval",
+                    choices=("always", "interval", "never"),
+                    help="server fsync policy for phase 1 "
+                         "(default %(default)s)")
+    args = ap.parse_args(argv)
+    n_dags = 4 if args.quick else len(WORKLOAD)
+    points = args.points if args.points is not None else \
+        (20 if args.quick else 40)
+
+    phase_kill_restart(n_dags, args.fsync)
+    phase_fuzz(points, args.seed)
+    log("PASS: crash recovery held under SIGKILL and "
+        f"{points} corruption points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

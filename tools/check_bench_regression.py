@@ -29,6 +29,13 @@ is gated: the deterministic states-expanded counts per family, the
 warm-library zero-search invariant, and the headline claim that
 compositional certification of ``B_3`` expands at least 10x fewer
 states than the exhaustive search (``docs/CERTIFICATION.md``).
+When a fresh ``BENCH_durability.json`` (written by
+``benchmarks/bench_durability.py``) is present, the durability layer
+is gated: the journal-disabled submit overhead against its absolute
+5% budget, the deterministic journal accounting (records per submit)
+and recovery counts (entries/certificates restored, zero invalid
+records) exactly against the committed baseline, and the 200-entry
+replay wall time against the absolute pin the record carries.
 Baselines are read from the committed
 copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
 (gitignored fresh-run output) are rejected.
@@ -78,6 +85,8 @@ SERVICE_BASELINE = REPO / "benchmarks" / "BENCH_service.json"
 SERVICE_FRESH = REPO / "benchmarks" / "out" / "BENCH_service.json"
 CERTIFY_BASELINE = REPO / "benchmarks" / "BENCH_certify.json"
 CERTIFY_FRESH = REPO / "benchmarks" / "out" / "BENCH_certify.json"
+DURABILITY_BASELINE = REPO / "benchmarks" / "BENCH_durability.json"
+DURABILITY_FRESH = REPO / "benchmarks" / "out" / "BENCH_durability.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -357,6 +366,75 @@ def compare_certify(fresh: dict, baseline: dict | None,
     return failures
 
 
+def compare_durability(fresh: dict,
+                       baseline: dict | None) -> list[str]:
+    """Gate the durability record (empty list = pass).
+
+    Three kinds of guard:
+
+    * the journal-*disabled* submit overhead is an absolute budget the
+      record carries (``overhead.limit_disabled_pct``, 5%) — a service
+      that never opts into durability must not pay for the journal
+      hooks;
+    * the journal accounting and recovery counts are *deterministic
+      and machine-independent* (fixed workload, CRC-verified scan), so
+      they must match the baseline exactly: records per submit (the
+      write-amplification contract), entries and certificates
+      restored, and zero invalid records on a clean journal.  A drift
+      means the journal format or replay semantics changed — a
+      deliberate, baseline-updating decision, never an accident;
+    * the replay wall time is gated against the absolute
+      ``recovery.limit_seconds`` pin the record carries — generous for
+      any host, but a backstop against an accidentally quadratic
+      replay.
+    """
+    failures: list[str] = []
+    overhead = fresh.get("overhead", {})
+    limit = overhead.get("limit_disabled_pct", 5.0)
+    pct = overhead.get("disabled_pct")
+    if pct is None:
+        failures.append("durability record lacks overhead.disabled_pct")
+    elif pct >= limit:
+        failures.append(
+            f"durability overhead.disabled_pct: {pct}% breaches the "
+            f"{limit}% journal-disabled budget"
+        )
+    recovery = fresh.get("recovery", {})
+    if recovery.get("records_invalid", 0) != 0:
+        failures.append(
+            f"durability recovery.records_invalid: "
+            f"{recovery.get('records_invalid')} != 0 on a clean journal"
+        )
+    replay_s = recovery.get("journal_replay_s", 0.0)
+    pin = recovery.get("limit_seconds", 10.0)
+    if replay_s >= pin:
+        failures.append(
+            f"durability recovery.journal_replay_s: {replay_s}s "
+            f"breaches the {pin}s replay pin"
+        )
+    base = baseline or {}
+    base_journal = base.get("journal", {})
+    per_submit = fresh.get("journal", {}).get("records_per_submit")
+    base_per_submit = base_journal.get("records_per_submit")
+    if base_per_submit is not None and per_submit != base_per_submit:
+        failures.append(
+            f"durability journal.records_per_submit: {per_submit} != "
+            f"baseline {base_per_submit} (write amplification drifted)"
+        )
+    base_recovery = base.get("recovery", {})
+    for key in ("entries_restored", "certified_restored",
+                "records_applied"):
+        if key not in base_recovery:
+            continue
+        if recovery.get(key) != base_recovery[key]:
+            failures.append(
+                f"durability recovery.{key}: {recovery.get(key)} != "
+                f"baseline {base_recovery[key]} "
+                f"(deterministic count drifted)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -396,6 +474,14 @@ def main(argv=None) -> int:
                     default=CERTIFY_BASELINE,
                     help="committed certification-engine baseline "
                          f"(default: {CERTIFY_BASELINE})")
+    ap.add_argument("--durability-fresh", type=pathlib.Path,
+                    default=DURABILITY_FRESH,
+                    help="fresh durability record (gated when "
+                         f"present; default: {DURABILITY_FRESH})")
+    ap.add_argument("--durability-baseline", type=pathlib.Path,
+                    default=DURABILITY_BASELINE,
+                    help="committed durability baseline "
+                         f"(default: {DURABILITY_BASELINE})")
     args = ap.parse_args(argv)
 
     # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
@@ -403,7 +489,8 @@ def main(argv=None) -> int:
     # silently gate a run against itself.
     out_dir = (REPO / "benchmarks" / "out").resolve()
     for base_path in (args.baseline, args.faults_baseline,
-                      args.service_baseline, args.certify_baseline):
+                      args.service_baseline, args.certify_baseline,
+                      args.durability_baseline):
         if out_dir in base_path.resolve().parents:
             sys.exit(
                 f"error: baseline {base_path} is inside benchmarks/out/ "
@@ -475,6 +562,22 @@ def main(argv=None) -> int:
             f"{certify_fresh['headline']['ratio']}x"
         )
 
+    durability_note = "no fresh durability record (gate skipped)"
+    if args.durability_fresh.exists():
+        durability_fresh = _load(args.durability_fresh)
+        durability_baseline = (
+            _load(args.durability_baseline)
+            if args.durability_baseline.exists() else None
+        )
+        failures.extend(
+            compare_durability(durability_fresh, durability_baseline)
+        )
+        durability_note = (
+            f"journal-disabled overhead "
+            f"{durability_fresh['overhead']['disabled_pct']}%, replay "
+            f"{durability_fresh['recovery']['journal_replay_s']}s"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -484,7 +587,8 @@ def main(argv=None) -> int:
         f"ok: no guarded metric regressed more than {args.threshold:.0%} "
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
         f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
-        f"{obs_note}, {faults_note}, {service_note}, {certify_note})"
+        f"{obs_note}, {faults_note}, {service_note}, {certify_note}, "
+        f"{durability_note})"
     )
     return 0
 
