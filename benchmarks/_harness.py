@@ -32,7 +32,8 @@ def policy_table(dag, schedule, clients=8, seed=0):
     cmp = compare_policies(dag, schedule, clients=clients, seed=seed)
     n = clients if isinstance(clients, int) else len(clients)
     return render_table(
-        ["policy", "makespan", "starvation", "idle", "util", "headroom"],
+        ["policy", "makespan", "starvation", "idle", "util",
+         "headroom", "seed"],
         cmp.table_rows(),
         title=f"{dag.name}: {n} clients",
     )

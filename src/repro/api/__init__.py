@@ -75,6 +75,7 @@ from ..core.quality import quality_report
 from ..core.schedule import Schedule
 from ..core.scheduler import schedule_dag as _schedule_dag
 from ..granularity.clustering import clustering_report
+from .specs import MachineSpec, parse_machine
 from .results import (
     BatchResult,
     CoarsenResult,
@@ -90,6 +91,8 @@ __all__ = [
     "BatchResult",
     "ClientSpec",
     "FaultPlan",
+    "MachineReport",
+    "MachineSpec",
     "ServerPolicy",
     "CoarsenResult",
     "CompareResult",
@@ -104,6 +107,7 @@ __all__ = [
     "dag_from_json",
     "dag_to_dict",
     "dag_to_json",
+    "parse_machine",
     "priority",
     "schedule",
     "schedule_from_dict",
@@ -117,9 +121,11 @@ API_VERSION = 1
 
 #: input-builder types re-exported lazily (PEP 562) from the
 #: simulation layer, so facade callers never import ``repro.sim``:
-#: client populations, chaos scripts, and fault-tolerance policies
-#: are *inputs* to :func:`simulate` / :func:`compare`.
-_LAZY_SIM_TYPES = ("ClientSpec", "FaultPlan", "ServerPolicy")
+#: client populations, chaos scripts, fault-tolerance policies, and
+#: machine-model reports are *inputs to / outputs of*
+#: :func:`simulate` / :func:`compare`.  (:class:`MachineSpec` itself
+#: lives in :mod:`repro.api.specs` and is re-exported eagerly above.)
+_LAZY_SIM_TYPES = ("ClientSpec", "FaultPlan", "MachineReport", "ServerPolicy")
 
 
 def __getattr__(name: str):
@@ -280,6 +286,7 @@ def simulate(
     record_trace: bool = False,
     server_policy=None,
     fault_plan=None,
+    machine: str | MachineSpec = "ideal",
     strategy: str = "auto",
     budget: int | None = None,
     exhaustive_limit: int = 24,
@@ -308,26 +315,41 @@ def simulate(
     ``clients``, ``work``, ``seed``, ``comm_per_input``,
     ``record_trace``, ``server_policy``, and ``fault_plan`` pass
     through to the event loop (see :func:`repro.sim.server.simulate`);
-    the remaining options tune the certification path of the default
+    ``machine`` selects the machine model the clients run on — a spec
+    string such as ``"bsp:g=1,L=2"`` or a :class:`MachineSpec`
+    (``"ideal"``, the default, is the free-communication model and
+    leaves the run bit-for-bit identical to earlier releases); the
+    remaining options tune the certification path of the default
     regime.
     """
+    from ..exceptions import SimulationError
     from ..sim.heuristics import make_policy
     from ..sim.server import _simulate_batched_impl, simulate as _simulate
 
+    spec = parse_machine(machine) if isinstance(machine, str) else machine
+    model = None if spec.kind == "ideal" else spec
     dag = _as_dag(target)
     fingerprint = dag.fingerprint()
     if batches is not None:
+        if model is not None:
+            raise SimulationError(
+                "the batched regimen supports only the ideal machine; "
+                f"got machine={str(spec)!r}"
+            )
         res = _simulate_batched_impl(
             dag, batches, clients, work, seed, comm_per_input
         )
-        return _wrap_simulation(fingerprint, res, None, None)
+        return _wrap_simulation(fingerprint, res, None, None, machine=spec)
     if schedule_order is not None:
         res = _simulate(
             dag, make_policy("IC-OPT", schedule_order), clients, work,
             seed, comm_per_input, record_trace,
             server_policy=server_policy, fault_plan=fault_plan,
+            machine=model,
         )
-        return _wrap_simulation(fingerprint, res, None, schedule_order)
+        return _wrap_simulation(
+            fingerprint, res, None, schedule_order, machine=spec
+        )
     if policy == "IC-OPT":
         scheduled = schedule(
             target,
@@ -350,21 +372,24 @@ def simulate(
             dag, make_policy("IC-OPT", scheduled.schedule), clients,
             work, seed, comm_per_input, record_trace,
             server_policy=server_policy, fault_plan=fault_plan,
+            machine=model,
         )
         return _wrap_simulation(
             fingerprint, res, scheduled.certificate, scheduled.schedule,
-            kind=scheduled.kind,
+            kind=scheduled.kind, machine=spec,
         )
     res = _simulate(
         dag, make_policy(policy), clients, work, seed, comm_per_input,
         record_trace, server_policy=server_policy, fault_plan=fault_plan,
+        machine=model,
     )
-    return _wrap_simulation(fingerprint, res, None, None)
+    return _wrap_simulation(fingerprint, res, None, None, machine=spec)
 
 
 def _wrap_simulation(
     fingerprint: str, res, certificate: str | None,
     schedule_order: Schedule | None, kind: str | None = None,
+    machine: MachineSpec | None = None,
 ) -> SimulateResult:
     return SimulateResult(
         fingerprint=fingerprint,
@@ -380,6 +405,8 @@ def _wrap_simulation(
         result=res,
         schedule=schedule_order,
         kind=kind,
+        machine="ideal" if machine is None else str(machine),
+        machine_report=getattr(res, "machine_report", None),
     )
 
 
@@ -395,6 +422,7 @@ def compare(
     comm_per_input: float = 0.0,
     server_policy=None,
     fault_plan=None,
+    machine: str | MachineSpec = "ideal",
     include_ic_optimal: bool = True,
     strategy: str = "auto",
     budget: int | None = None,
@@ -406,10 +434,12 @@ def compare(
 ) -> CompareResult:
     """Run every baseline policy — plus IC-OPT, scheduled through the
     certification path, unless ``include_ic_optimal=False`` — on
-    identical clients, seeds, and (when given) an identical chaos
-    script, and tabulate the quality gap."""
+    identical clients, seeds, identical machine model (``machine=``,
+    spec string or :class:`MachineSpec`), and (when given) an
+    identical chaos script, and tabulate the quality gap."""
     from ..sim.metrics import compare_policies
 
+    spec = parse_machine(machine) if isinstance(machine, str) else machine
     dag = _as_dag(target)
     certificate = None
     ic_schedule = None
@@ -430,6 +460,7 @@ def compare(
         dag, ic_schedule, clients=clients, policies=tuple(policies),
         work=work, seed=seed, comm_per_input=comm_per_input,
         server_policy=server_policy, fault_plan=fault_plan,
+        machine=None if spec.kind == "ideal" else spec,
     )
     return CompareResult(
         fingerprint=dag.fingerprint(),
@@ -440,6 +471,7 @@ def compare(
         best_policy=cmp.best_by("makespan"),
         certificate=certificate,
         comparison=cmp,
+        machine=str(spec),
     )
 
 

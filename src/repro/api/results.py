@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..core.dag import ComputationDag
 from ..core.schedule import Schedule
 from ..granularity.clustering import ClusteringReport
+from ..sim.machines import MachineReport
 from ..sim.metrics import PolicyComparison
 from ..sim.server import SimulationResult
 
@@ -131,6 +132,12 @@ class SimulateResult:
     #: coarse certificate kind backing ``certificate`` (``None`` when
     #: the facade did not schedule the dag itself)
     kind: str | None = None
+    #: canonical spec string of the machine model the run used
+    #: (``"ideal"`` for the free-communication default)
+    machine: str = "ideal"
+    #: per-model accounting (supersteps, spills, duration factors);
+    #: ``None`` on the ideal path
+    machine_report: MachineReport | None = field(repr=False, default=None)
 
 
 @dataclass(frozen=True)
@@ -144,7 +151,8 @@ class CompareResult:
     #: policies in run order (``IC-OPT`` first when scheduled)
     policies: tuple[str, ...]
     #: rows ``(policy, makespan, starvation, idle, utilization,
-    #: mean_headroom)`` — the standard report table
+    #: mean_headroom, seed)`` — the standard report table; the trailing
+    #: seed column records the rng seed each policy's run used
     rows: tuple[tuple, ...]
     #: policy with the smallest makespan
     best_policy: str
@@ -153,6 +161,8 @@ class CompareResult:
     certificate: str | None
     #: per-policy :class:`~repro.sim.server.SimulationResult` details
     comparison: PolicyComparison = field(repr=False)
+    #: canonical spec string of the machine model every policy ran on
+    machine: str = "ideal"
 
 
 @dataclass(frozen=True)

@@ -220,6 +220,7 @@ def cmd_simulate(args) -> int:
     ][: args.clients]
     fault_plan = None
     server_policy = None
+    machine = api.MachineSpec()
     try:
         if args.faults:
             fault_plan = api.FaultPlan.parse(args.faults,
@@ -228,22 +229,51 @@ def cmd_simulate(args) -> int:
             server_policy = api.ServerPolicy.parse(args.server_policy)
         elif fault_plan is not None:
             server_policy = api.ServerPolicy()
+        if args.machine is not None:
+            machine = api.MachineSpec.parse(args.machine)
     except SimulationError as exc:
         raise SystemExit(f"error: {exc}") from None
     result = api.compare(
         chain, clients=clients, seed=args.seed,
         server_policy=server_policy, fault_plan=fault_plan,
+        machine=machine,
     )
     title = f"{chain.dag.name}: {args.clients} clients (seed {args.seed})"
     if fault_plan is not None:
         title += f", faults: {fault_plan.name}"
+    if machine.kind != "ideal":
+        title += f", machine: {machine}"
     print(
         render_table(
-            ["policy", "makespan", "starvation", "idle", "util", "headroom"],
+            ["policy", "makespan", "starvation", "idle", "util",
+             "headroom", "seed"],
             result.rows,
             title=title,
         )
     )
+    if machine.kind != "ideal":
+        rows = [
+            (
+                name,
+                r.machine_report.supersteps,
+                round(r.machine_report.barrier_cost, 3),
+                r.machine_report.placement_stalls,
+                r.machine_report.spills,
+                r.machine_report.peak_memory,
+                round(r.machine_report.duration_max_factor, 3),
+            )
+            for name, r in result.comparison.results.items()
+            if r.machine_report is not None
+        ]
+        print()
+        print(
+            render_table(
+                ["policy", "supersteps", "barrier-cost", "stalls",
+                 "spills", "peak-mem", "max-slowdown"],
+                rows,
+                title=f"machine report ({machine})",
+            )
+        )
     if server_policy is not None:
         rows = [
             (
@@ -821,6 +851,14 @@ def make_parser() -> argparse.ArgumentParser:
         "replicas, critical, quarantine; e.g. "
         "'timeout=4,retries=3,speculate=off' (implied default policy "
         "when --faults is given)",
+    )
+    p.add_argument(
+        "--machine",
+        metavar="SPEC",
+        help="machine model: KIND[:key=val,...] with kinds ideal, "
+        "bsp (g, L), memcap (cap, spill), hetero (spread, seed); "
+        "e.g. 'bsp:g=1,L=2' or 'memcap:cap=3' "
+        "(see docs/MACHINES.md)",
     )
     _add_obs_flags(p)
 

@@ -17,6 +17,7 @@ __all__ = [
     "ClusteringError",
     "SimulationError",
     "FaultPlanError",
+    "MachineSpecError",
     "ServerPolicyError",
     "ComputeError",
 ]
@@ -103,6 +104,15 @@ class ServerPolicyError(SimulationError):
     write off tasks before they can nominally finish), a non-finite
     timeout (permanently lost tasks could never be detected, breaking
     the completion guarantee), or a replication degree below 1.
+    """
+
+
+class MachineSpecError(SimulationError):
+    """A machine-model spec is malformed.
+
+    Examples: an unknown machine kind, a parameter key the kind does
+    not accept, a memory cap below one slot (no task could ever be
+    placed), or a heterogeneity spread outside [0, 1).
     """
 
 

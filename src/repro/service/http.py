@@ -60,10 +60,11 @@ CLI surface: ``repro serve --port P`` (see ``docs/SERVICE.md``).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 
-from ..api import API_VERSION, dag_from_dict, schedule_to_dict
+from ..api import API_VERSION, MachineSpec, dag_from_dict, schedule_to_dict
 from ..exceptions import ReproError, SimulationError
 from ..obs.exposition import (
     PROM_CONTENT_TYPE,
@@ -133,6 +134,7 @@ _SIM_OPTIONS: dict[str, type] = {
     "state_budget": int,
     "strategy": str,
     "budget": int,
+    "machine": str,
 }
 
 
@@ -379,6 +381,15 @@ class SchedulingService(HTTPServiceBase):
                 raise RequestError(
                     400, f"option {key!r} must be {caster.__name__}"
                 ) from None
+        if "machine" in kwargs:
+            # validate the spec at admission so a typo is a fast 400,
+            # not a queued simulation that fails later
+            try:
+                MachineSpec.parse(kwargs["machine"])
+            except SimulationError as exc:
+                raise RequestError(
+                    400, f"invalid machine spec: {exc}"
+                ) from None
         try:
             future = self.pipeline.submit_simulation(dag, **kwargs)
         except RejectedError as exc:
@@ -412,6 +423,11 @@ class SchedulingService(HTTPServiceBase):
             "completed": result.completed,
             "lost_allocations": result.lost_allocations,
             "mean_headroom": result.mean_headroom,
+            "machine": result.machine,
+            "machine_report": (
+                None if result.machine_report is None
+                else dataclasses.asdict(result.machine_report)
+            ),
         })
 
     def _resolve_sim_dag(self, body: dict):

@@ -2,7 +2,7 @@
 the assessment substrate standing in for the studies the paper cites
 ([15], [19]); see DESIGN.md "Substitutions"."""
 
-from . import faults, heuristics, metrics, scientific, server, workloads
+from . import faults, heuristics, machines, metrics, scientific, server, workloads
 from .scientific import SCIENTIFIC_WORKFLOWS
 from .faults import (
     FAULT_SCENARIOS,
@@ -13,6 +13,16 @@ from .faults import (
     simulate_with_faults,
 )
 from .heuristics import BASELINE_POLICIES, Policy, make_policy
+from .machines import (
+    BspMachine,
+    HeteroMachine,
+    IdealMachine,
+    MachineModel,
+    MachineReport,
+    MemcapMachine,
+    build_machine,
+    resolve_machine,
+)
 from .metrics import (
     PolicyComparison,
     batch_satisfaction,
@@ -30,23 +40,32 @@ from .server import (
 
 __all__ = [
     "BASELINE_POLICIES",
+    "BspMachine",
     "ClientSpec",
     "FAULT_SCENARIOS",
     "FaultEvent",
     "FaultPlan",
     "FaultReport",
+    "HeteroMachine",
+    "IdealMachine",
+    "MachineModel",
+    "MachineReport",
+    "MemcapMachine",
     "Policy",
     "PolicyComparison",
     "ServerPolicy",
     "SimulationResult",
     "TraceRecord",
     "batch_satisfaction",
+    "build_machine",
     "compare_policies",
     "faults",
     "granularity_tradeoff",
     "heuristics",
+    "machines",
     "make_policy",
     "metrics",
+    "resolve_machine",
     "SCIENTIFIC_WORKFLOWS",
     "scientific",
     "server",

@@ -162,7 +162,8 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, spec: str, n_clients: int = 4) -> "FaultPlan":
-        """Parse a CLI fault spec.
+        """Parse a CLI fault spec (the shared grammar of
+        :mod:`repro.api.specs`).
 
         Either a scenario name with optional seed —
         ``churn`` / ``churn:seed=3`` — or a comma-separated event
@@ -176,85 +177,57 @@ class FaultPlan:
 
         Example: ``crash:0@2,stall:1@1.5x4,join@5x2.0,corrupt=0.1``.
         """
-        spec = spec.strip()
-        if not spec:
-            raise FaultPlanError("empty fault spec")
-        head, _, tail = spec.partition(":")
-        if head in FAULT_SCENARIOS:
-            seed = 0
-            if tail:
-                key, _, val = tail.partition("=")
-                if key != "seed":
-                    raise FaultPlanError(
-                        f"scenario option must be seed=N, got {tail!r}"
-                    )
-                seed = _parse_int(val, "scenario seed")
-            return cls.scenario(head, n_clients=n_clients, seed=seed)
-        events: list[FaultEvent] = []
-        corrupt = 0.0
-        seed = 0
-        for token in spec.split(","):
-            token = token.strip()
-            if not token:
-                continue
-            if token.startswith("corrupt="):
-                corrupt = _parse_float(token[8:], "corrupt rate")
-            elif token.startswith("seed="):
-                seed = _parse_int(token[5:], "plan seed")
-            elif token.startswith("crash:"):
-                cid, t = _parse_at(token[6:], "crash")
-                events.append(FaultEvent(
-                    time=_parse_float(t, "crash time"), kind="crash",
-                    client=cid))
-            elif token.startswith("stall:"):
-                cid, t = _parse_at(token[6:], "stall")
-                t, dur = _parse_x(t, token)
-                events.append(FaultEvent(time=t, kind="stall",
-                                         client=int(cid), duration=dur))
-            elif token.startswith("join@"):
-                t, speed = _parse_x(token[5:], token, default=1.0)
-                events.append(FaultEvent(
-                    time=t, kind="join", spec=ClientSpec(speed=speed)))
-            else:
-                raise FaultPlanError(
-                    f"bad fault token {token!r} (try crash:0@2, "
-                    "stall:1@1.5x4, join@5, corrupt=0.1, seed=7, or a "
-                    f"scenario name: {sorted(FAULT_SCENARIOS)})"
-                )
-        return cls(events=tuple(events), corrupt_rate=corrupt,
-                   seed=seed, name="custom")
+        from ..api.specs import parse_fault_plan
+
+        return parse_fault_plan(spec, n_clients=n_clients)
+
+    def __str__(self) -> str:
+        """The plan's round-trip spec form (see
+        :func:`repro.api.specs.fault_plan_str`)."""
+        from ..api.specs import fault_plan_str
+
+        return fault_plan_str(self)
 
 
-def _parse_float(text: str, what: str) -> float:
-    try:
-        return float(text)
-    except ValueError:
-        raise FaultPlanError(f"bad {what} {text!r}") from None
+def _deprecated_parser(name: str, impl):
+    """A shim for the grammar helpers that moved to
+    :mod:`repro.api.specs`: same behavior, plus a
+    ``DeprecationWarning`` pointing at the shared parser."""
+
+    def shim(*args, **kwargs):
+        import warnings
+
+        warnings.warn(
+            f"repro.sim.faults.{name} moved to repro.api.specs as part "
+            "of the unified spec grammar; import it from there",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    shim.__name__ = name
+    shim.__doc__ = impl.__doc__
+    return shim
 
 
-def _parse_int(text: str, what: str) -> int:
-    try:
-        return int(text)
-    except ValueError:
-        raise FaultPlanError(f"bad {what} {text!r}") from None
+def _specs_module():
+    from ..api import specs
+
+    return specs
 
 
-def _parse_at(text: str, what: str) -> tuple[int, str]:
-    cid, sep, t = text.partition("@")
-    if not sep:
-        raise FaultPlanError(f"{what} token needs CID@TIME, got {text!r}")
-    return _parse_int(cid, f"{what} client"), t
-
-
-def _parse_x(text: str, token: str, default: float | None = None):
-    """Split ``AxB`` into floats; ``A`` alone uses ``default`` for B."""
-    a, sep, b = text.partition("x")
-    t = _parse_float(a, f"time in {token!r}")
-    if sep:
-        return t, _parse_float(b, f"value in {token!r}")
-    if default is None:
-        raise FaultPlanError(f"token {token!r} needs TIMExVALUE")
-    return t, default
+_parse_float = _deprecated_parser(
+    "_parse_float", lambda *a, **k: _specs_module()._parse_float(*a, **k)
+)
+_parse_int = _deprecated_parser(
+    "_parse_int", lambda *a, **k: _specs_module()._parse_int(*a, **k)
+)
+_parse_at = _deprecated_parser(
+    "_parse_at", lambda *a, **k: _specs_module()._parse_at(*a, **k)
+)
+_parse_x = _deprecated_parser(
+    "_parse_x", lambda *a, **k: _specs_module()._parse_x(*a, **k)
+)
 
 
 # ----------------------------------------------------------------------
@@ -439,34 +412,24 @@ class ServerPolicy:
 
     @classmethod
     def parse(cls, spec: str) -> "ServerPolicy":
-        """Parse a CLI policy spec: comma-separated ``key=value`` with
+        """Parse a CLI policy spec (the shared grammar of
+        :mod:`repro.api.specs`): comma-separated ``key=value`` with
         keys ``timeout``, ``retries``, ``backoff``, ``jitter``,
         ``speculate`` (a factor, or ``off``), ``replicas``,
         ``critical``, ``quarantine``.  An empty spec is the default
         policy.  Example: ``timeout=4,retries=3,speculate=off``.
         """
-        kwargs: dict = {}
-        for token in spec.split(","):
-            token = token.strip()
-            if not token:
-                continue
-            key, sep, val = token.partition("=")
-            if not sep or key not in cls._PARSE_KEYS:
-                raise ServerPolicyError(
-                    f"bad server-policy token {token!r}; known keys: "
-                    f"{sorted(cls._PARSE_KEYS)}"
-                )
-            field_name, conv = cls._PARSE_KEYS[key]
-            if key == "speculate" and val.lower() in ("off", "none"):
-                kwargs[field_name] = None
-                continue
-            try:
-                kwargs[field_name] = conv(val)
-            except ValueError:
-                raise ServerPolicyError(
-                    f"bad value {val!r} for server-policy key {key!r}"
-                ) from None
-        return cls(**kwargs)
+        from ..api.specs import parse_server_policy
+
+        return parse_server_policy(spec)
+
+    def __str__(self) -> str:
+        """The policy's round-trip spec form:
+        ``ServerPolicy.parse(str(p)) == p`` (see
+        :func:`repro.api.specs.server_policy_str`)."""
+        from ..api.specs import server_policy_str
+
+        return server_policy_str(self)
 
 
 @dataclass
@@ -545,6 +508,7 @@ class _FaultEngine:
         record_trace: bool,
         server_policy: ServerPolicy,
         fault_plan: FaultPlan,
+        machine=None,
     ) -> None:
         self.dag = dag
         self.policy = policy
@@ -555,6 +519,12 @@ class _FaultEngine:
         self.sp = server_policy
         self.plan = fault_plan
         self.total = len(dag)
+        #: machine model (:mod:`repro.sim.machines`) threading the
+        #: same pricing/placement hooks as the no-fault machine loop;
+        #: ``None`` keeps the pre-machine event sequence byte-exact.
+        self.machine = machine
+        if machine is not None:
+            machine.attach(dag, len(self.clients), work_fn)
 
         #: client-behaviour stream (dropout/loss draws) — seeded the
         #: same way the ideal engine seeds its stream.
@@ -691,7 +661,14 @@ class _FaultEngine:
     def _launch(self, cid: int, task: Node, now: float,
                 speculative: bool = False, replica: bool = False) -> None:
         spec = self.clients[cid]
-        base = self.work_fn(task) / spec.speed
+        compute = self.work_fn(task)
+        if self.machine is not None:
+            # the machine transforms the task's work (hetero duration
+            # factors) before the client-speed division; the server
+            # knows the model, so nominal expectations shift with it
+            compute = self.machine.duration(task, cid, compute)
+            self.machine.on_start(task, cid, now)
+        base = compute / spec.speed
         duration = base
         if spec.dropout and self.rng.random() < spec.dropout:
             duration *= spec.slowdown
@@ -722,8 +699,17 @@ class _FaultEngine:
             self._push(now + self.sp.speculate_factor * nominal,
                        "speculate", aid)
 
+    def _pool(self, cid: int, now: float) -> list[Node]:
+        """The allocatable tasks the machine will place on ``cid``
+        (the allocatable list itself when no machine interposes, so
+        the pre-machine selection sequence stays byte-exact)."""
+        if self.machine is None:
+            return self.allocatable
+        return [t for t in self.allocatable
+                if self.machine.placeable(t, cid, now)]
+
     def _allocate_next(self, cid: int, now: float) -> None:
-        task = self.policy.select(self.allocatable)
+        task = self.policy.select(self._pool(cid, now))
         self.allocatable.remove(task)
         self._launch(cid, task, now)
 
@@ -738,7 +724,15 @@ class _FaultEngine:
         if self.stalled_until.get(cid, 0.0) > now:
             return  # a wake event will re-request
         if self.allocatable:
-            self._allocate_next(cid, now)
+            if self._pool(cid, now):
+                self._allocate_next(cid, now)
+                return
+            # work exists but the machine refuses to place it here
+            # (barrier wait, memory-full client): idle without a
+            # starvation count — the dag is not the bottleneck
+            self.machine.note_stall()
+            self.idle.append(cid)
+            self.idle_since[cid] = now
             return
         if len(self.done) < self.total:
             self.starvation += 1
@@ -751,26 +745,55 @@ class _FaultEngine:
         self.idle_time += now - self.idle_since.pop(cid)
         return cid
 
+    def _take_idle_for(self, task: Node, now: float) -> int | None:
+        """The first idle client the machine lets run ``task``; the
+        head of the queue when no machine interposes."""
+        if self.machine is None:
+            return self._take_idle(now)
+        for i, cid in enumerate(self.idle):
+            if self.machine.placeable(task, cid, now):
+                self.idle.pop(i)
+                self.idle_time += now - self.idle_since.pop(cid)
+                return cid
+        return None
+
     def _dispatch_idle(self, now: float) -> None:
         """Put spare clients to use: fresh tasks first, then pending
         speculative re-executions, then eager replicas of critical
         in-flight tasks."""
         while self.idle and self.allocatable:
-            self._allocate_next(self._take_idle(now), now)
+            if self.machine is None:
+                self._allocate_next(self._take_idle(now), now)
+                continue
+            picked = None
+            for i, cid in enumerate(self.idle):
+                if self._pool(cid, now):
+                    picked = i
+                    break
+            if picked is None:
+                break
+            cid = self.idle.pop(picked)
+            self.idle_time += now - self.idle_since.pop(cid)
+            self._allocate_next(cid, now)
         while self.idle and self.want_spec:
             task = self.want_spec.pop(0)
             if task in self.done or not self.in_flight.get(task):
                 continue
-            self._launch(self._take_idle(now), task, now,
-                         speculative=True)
+            cid = self._take_idle_for(task, now)
+            if cid is None:
+                self.want_spec.insert(0, task)
+                break
+            self._launch(cid, task, now, speculative=True)
         if self.sp.replicas > 1 and self.idle:
             for task in [v for v in self.dag.nodes
                          if v in self.critical and v not in self.done]:
                 live = self.in_flight.get(task)
                 while (self.idle and live
                        and 0 < len(live) < self.sp.replicas):
-                    self._launch(self._take_idle(now), task, now,
-                                 replica=True)
+                    cid = self._take_idle_for(task, now)
+                    if cid is None:
+                        break
+                    self._launch(cid, task, now, replica=True)
                 if not self.idle:
                     break
 
@@ -878,6 +901,8 @@ class _FaultEngine:
             # the result silently never arrives (the client vanished
             # transiently); the deadline will detect it.  The client
             # itself resurfaces and asks for more work.
+            if self.machine is not None:
+                self.machine.on_abort(att.task, cid, now)
             if self.current.get(cid) == aid:
                 self._request(cid, now)
             return
@@ -886,11 +911,15 @@ class _FaultEngine:
         if att.task in self.done:
             # a duplicate (replica / speculative / written-off
             # straggler) landed after the winner: pure waste.
+            if self.machine is not None:
+                self.machine.on_abort(att.task, cid, now)
             self.report.wasted_replica_time += att.duration
             self._emit(att, now, "replica")
             self.fail_streak[cid] = 0
         elif (self.plan.corrupt_rate
                 and self.frng.random() < self.plan.corrupt_rate):
+            if self.machine is not None:
+                self.machine.on_abort(att.task, cid, now)
             self.report.corruptions += 1
             self.wasted_work += att.duration
             self.m_lost.inc()
@@ -901,6 +930,10 @@ class _FaultEngine:
             self._client_failed(cid, now)
             self._schedule_retry(att.task, now)
         else:
+            if self.machine is not None:
+                release = self.machine.on_complete(att.task, cid, now)
+                if release is not None:
+                    self._push(release, "machine", None)
             self.done.add(att.task)
             self.busy_time += att.duration
             self.m_done.inc()
@@ -976,6 +1009,8 @@ class _FaultEngine:
             cid = ev.client
             if cid not in self.alive:
                 return
+            if self.machine is not None:
+                self.machine.on_crash(cid, now)
             self.alive.discard(cid)
             self.service_end[cid] = now
             self.report.crashes += 1
@@ -1021,6 +1056,13 @@ class _FaultEngine:
                 self.idle_time += now - self.idle_since.pop(cid)
             self._push(until, "wake", cid)
 
+    def _on_machine(self, _payload, now: float) -> None:
+        """A machine release time arrived (bsp barrier opening, memcap
+        spill completing); ``_dispatch_idle`` re-examines blocked
+        clients right after."""
+        if self.machine is not None:
+            self.machine.on_release(now)
+
     # -- main loop -----------------------------------------------------
     _HANDLERS = {
         "finish": _on_finish,
@@ -1029,6 +1071,7 @@ class _FaultEngine:
         "retry": _on_retry,
         "wake": _on_wake,
         "fault": _on_fault,
+        "machine": _on_machine,
     }
 
     def _publish(self, now: float = 0.0) -> None:
@@ -1081,6 +1124,13 @@ class _FaultEngine:
                 self._dispatch_idle(now)
                 self.headroom.append((now, len(self.allocatable)))
                 self._publish(now)
+                if (not self.events and self.machine is not None
+                        and self.allocatable):
+                    # wedged by the machine (all clients blocked, no
+                    # attempt in flight): trade for progress or stall
+                    wake = self.machine.force_progress(now)
+                    if wake is not None:
+                        self._push(wake, "machine", None)
 
         if len(self.done) != self.total:
             raise SimulationError(
@@ -1121,6 +1171,11 @@ class _FaultEngine:
             trace=self.trace,
             fault_report=self.report,
         )
+        if self.machine is not None:
+            from .machines import _record_machine
+
+            result.machine_report = self.machine.report()
+            _record_machine(self.reg, result.machine_report)
         _record_quality(self.reg, result)
         return result
 
@@ -1135,6 +1190,7 @@ def simulate_with_faults(
     record_trace: bool = False,
     server_policy: ServerPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    machine=None,
 ) -> SimulationResult:
     """Simulate ``dag`` under ``policy`` with fault injection and a
     fault-tolerant server.
@@ -1168,5 +1224,6 @@ def simulate_with_faults(
         record_trace,
         server_policy if server_policy is not None else ServerPolicy(),
         fault_plan if fault_plan is not None else FaultPlan(name="none"),
+        machine=machine,
     )
     return engine.run()

@@ -10,7 +10,11 @@ FIFO and other natural heuristics; [19] against Condor DAGMan's FIFO):
 * ``RANDOM``   — uniformly among eligible tasks (seeded);
 * ``MAXOUT``   — greatest out-degree first (most immediate children);
 * ``CRITPATH`` — longest path to a sink first (classic list
-  scheduling).
+  scheduling);
+* ``PACKING``  — largest resource footprint (degree sum) first, after
+  the packing heuristics of DAGPS/Graphene;
+* ``TROUBLESOME`` — most descendants first: clear the tasks that
+  gate the largest residual subgraph (DAGPS "troublesome first").
 
 A policy is an object with ``select(eligible, context) -> Node``;
 ``eligible`` is the allocatable-task list in the order they became
@@ -33,6 +37,8 @@ __all__ = [
     "RandomPolicy",
     "MaxOutDegreePolicy",
     "CriticalPathPolicy",
+    "PackingPolicy",
+    "TroublesomePolicy",
     "SchedulePolicy",
     "make_policy",
     "BASELINE_POLICIES",
@@ -113,6 +119,52 @@ class CriticalPathPolicy(Policy):
         return max(eligible, key=lambda v: (self._height[v], -self._idx[v]))
 
 
+class PackingPolicy(Policy):
+    """Largest resource footprint first.
+
+    The footprint of a task is its degree sum (inputs it must gather
+    plus outputs it must ship) — the simulator's analogue of the
+    multi-resource demand vector that DAGPS-style packers schedule
+    early so fragmentation does not strand them at the end."""
+
+    name = "PACKING"
+
+    def attach(self, dag: ComputationDag) -> None:
+        self._foot = {
+            v: dag.indegree(v) + dag.outdegree(v) for v in dag.nodes
+        }
+        self._idx = {v: i for i, v in enumerate(dag.nodes)}
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return max(eligible, key=lambda v: (self._foot[v], -self._idx[v]))
+
+
+class TroublesomePolicy(Policy):
+    """Most descendants first (DAGPS "troublesome tasks first").
+
+    A task's descendant count measures how much of the dag is gated
+    behind it; finishing high-count tasks early keeps the eligible
+    frontier from collapsing when a machine model delays them."""
+
+    name = "TROUBLESOME"
+
+    def attach(self, dag: ComputationDag) -> None:
+        height: dict[Node, int] = {}
+        for v in reversed(dag.topological_order()):
+            height[v] = 1 + max(
+                (height[c] for c in dag.children(v)), default=-1
+            )
+        self._desc = {v: len(dag.descendants(v)) for v in dag.nodes}
+        self._height = height
+        self._idx = {v: i for i, v in enumerate(dag.nodes)}
+
+    def select(self, eligible: Sequence[Node]) -> Node:
+        return max(
+            eligible,
+            key=lambda v: (self._desc[v], self._height[v], -self._idx[v]),
+        )
+
+
 class SchedulePolicy(Policy):
     """Follow a precomputed schedule as a priority list: allocate the
     eligible task that appears earliest in the schedule.
@@ -131,24 +183,38 @@ class SchedulePolicy(Policy):
         return min(eligible, key=lambda v: self._rank[v])
 
 
-#: zero-argument constructors for the baseline policies of [15]/[19].
+#: zero-argument constructors for the baseline policies of [15]/[19]
+#: plus the DAGPS-inspired packers.
 BASELINE_POLICIES = {
     "FIFO": FifoPolicy,
     "LIFO": LifoPolicy,
     "RANDOM": RandomPolicy,
     "MAXOUT": MaxOutDegreePolicy,
     "CRITPATH": CriticalPathPolicy,
+    "PACKING": PackingPolicy,
+    "TROUBLESOME": TroublesomePolicy,
+}
+
+#: accepted alternate spellings for :func:`make_policy`.
+_POLICY_ALIASES = {
+    "PACKING-FIRST": "PACKING",
+    "TROUBLESOME-FIRST": "TROUBLESOME",
 }
 
 
 def make_policy(name: str, schedule: Schedule | None = None) -> Policy:
-    """Instantiate a policy by name (``IC-OPT`` requires ``schedule``)."""
-    if name == "IC-OPT":
+    """Instantiate a policy by name (``IC-OPT`` requires ``schedule``).
+
+    Lookup is case-insensitive and accepts the ``-first`` aliases
+    (``troublesome-first``, ``packing-first``)."""
+    key = name.upper()
+    key = _POLICY_ALIASES.get(key, key)
+    if key == "IC-OPT":
         if schedule is None:
             raise SimulationError("IC-OPT policy needs a schedule")
         return SchedulePolicy(schedule)
     try:
-        return BASELINE_POLICIES[name]()
+        return BASELINE_POLICIES[key]()
     except KeyError:
         raise SimulationError(
             f"unknown policy {name!r}; known: "

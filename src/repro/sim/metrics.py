@@ -12,7 +12,7 @@ here:
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.dag import ComputationDag
 from ..core.schedule import Schedule
@@ -48,6 +48,8 @@ class PolicyComparison:
     dag_name: str
     n_clients: int
     results: dict[str, SimulationResult]
+    machine: str = "ideal"
+    seeds: dict[str, int] = field(default_factory=dict)
 
     def best_by(self, attr: str, minimize: bool = True) -> str:
         vals = {k: getattr(r, attr) for k, r in self.results.items()}
@@ -56,7 +58,9 @@ class PolicyComparison:
 
     def table_rows(self) -> list[tuple]:
         """Rows ``(policy, makespan, starvation, idle, utilization,
-        mean_headroom)`` for report rendering."""
+        mean_headroom, seed)`` for report rendering.  The seed column
+        records the rng seed each policy's run actually used, so a row
+        can be reproduced in isolation."""
         return [
             (
                 name,
@@ -65,6 +69,7 @@ class PolicyComparison:
                 round(r.idle_time, 3),
                 round(r.utilization, 4),
                 round(r.mean_headroom, 3),
+                self.seeds.get(name, 0),
             )
             for name, r in self.results.items()
         ]
@@ -80,13 +85,26 @@ def compare_policies(
     comm_per_input: float = 0.0,
     server_policy=None,
     fault_plan=None,
+    machine=None,
 ) -> PolicyComparison:
     """Run the server simulation under each policy (plus IC-OPT when a
     schedule is given) with identical clients, seeds, and — when
     ``server_policy`` / ``fault_plan`` are given — an identical chaos
     script (every policy faces the same scripted faults and the same
-    fault-tolerance machinery; see :mod:`repro.sim.faults`)."""
+    fault-tolerance machinery; see :mod:`repro.sim.faults`).
+
+    ``machine`` selects the machine model every policy runs on (a
+    :class:`~repro.api.specs.MachineSpec`, a spec string such as
+    ``"bsp:g=1"``, or ``None``/``"ideal"`` for the free-communication
+    default); each policy gets a fresh model instance built from the
+    same spec, so model state never leaks between runs."""
+    spec = machine
+    if isinstance(machine, str):
+        from ..api.specs import MachineSpec
+
+        spec = MachineSpec.parse(machine)
     results: dict[str, SimulationResult] = {}
+    seeds: dict[str, int] = {}
     if ic_schedule is not None:
         results["IC-OPT"] = simulate(
             dag,
@@ -97,15 +115,21 @@ def compare_policies(
             comm_per_input,
             server_policy=server_policy,
             fault_plan=fault_plan,
+            machine=spec,
         )
+        seeds["IC-OPT"] = seed
     for name in policies:
         results[name] = simulate(
             dag, make_policy(name), clients, work, seed, comm_per_input,
             server_policy=server_policy, fault_plan=fault_plan,
+            machine=spec,
         )
+        seeds[name] = seed
     n = clients if isinstance(clients, int) else len(clients)
+    machine_name = "ideal" if spec is None else str(spec)
     return PolicyComparison(
-        dag_name=dag.name, n_clients=n, results=results
+        dag_name=dag.name, n_clients=n, results=results,
+        machine=machine_name, seeds=seeds,
     )
 
 

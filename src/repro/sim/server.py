@@ -30,7 +30,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, NamedTuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..api.specs import MachineSpec
     from .faults import FaultPlan, FaultReport, ServerPolicy
+    from .machines import MachineModel, MachineReport
 
 from ..exceptions import SimulationError
 from ..core.dag import ComputationDag, Node
@@ -140,6 +142,11 @@ class SimulationResult:
     #: fault-path accounting (:class:`~repro.sim.faults.FaultReport`);
     #: ``None`` on the ideal (no server policy, no fault plan) path
     fault_report: "FaultReport | None" = None
+    #: machine-model accounting
+    #: (:class:`~repro.sim.machines.MachineReport`); ``None`` on the
+    #: ideal machine (the default), so ideal results stay byte-
+    #: identical to the pre-machine simulator
+    machine_report: "MachineReport | None" = None
 
     @property
     def mean_headroom(self) -> float:
@@ -166,6 +173,7 @@ def simulate(
     *,
     server_policy: "ServerPolicy | None" = None,
     fault_plan: "FaultPlan | None" = None,
+    machine: "MachineSpec | MachineModel | str | None" = None,
 ) -> SimulationResult:
     """Simulate executing ``dag`` on remote clients under ``policy``.
 
@@ -198,6 +206,16 @@ def simulate(
         :func:`~repro.sim.faults.simulate_with_faults` and populates
         ``SimulationResult.fault_report``; the default (both ``None``)
         keeps the ideal model and its exact event sequence.
+    machine:
+        A machine model (``docs/MACHINES.md``): a spec string
+        (``"bsp:g=1.0"``), a :class:`~repro.api.specs.MachineSpec`, or
+        a ready :class:`~repro.sim.machines.MachineModel`.  ``None``
+        and ``"ideal"`` keep today's free-communication semantics on
+        the untouched ideal kernel — byte-identical results, pinned by
+        ``benchmarks/bench_machines.py``; any other kind routes to the
+        machine-aware loop (or threads the model through the fault
+        engine — fault plans compose with any machine) and populates
+        ``SimulationResult.machine_report``.
 
     Allocation/completion/loss/starvation counts, the per-step
     eligibility / allocatable / completed gauges, and (on completion)
@@ -206,16 +224,29 @@ def simulate(
     renders live; with tracing enabled, every allocation outcome also
     emits a structured trace event under the ``sim.simulate`` span.
     """
+    model = None
+    if machine is not None:
+        from .machines import resolve_machine
+
+        model = resolve_machine(machine)
     if server_policy is not None or fault_plan is not None:
         from .faults import simulate_with_faults
 
         return simulate_with_faults(
             dag, policy, clients, work, seed, comm_per_input,
             record_trace, server_policy=server_policy,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, machine=model,
         )
-    return _simulate_ideal(
-        dag, policy, clients, work, seed, comm_per_input, record_trace
+    if model is None:
+        return _simulate_ideal(
+            dag, policy, clients, work, seed, comm_per_input,
+            record_trace
+        )
+    from .machines import _simulate_machine
+
+    return _simulate_machine(
+        dag, policy, clients, work, seed, comm_per_input, record_trace,
+        model,
     )
 
 

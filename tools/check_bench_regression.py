@@ -36,6 +36,12 @@ is gated: the journal-disabled submit overhead against its absolute
 and recovery counts (entries/certificates restored, zero invalid
 records) exactly against the committed baseline, and the 200-entry
 replay wall time against the absolute pin the record carries.
+When a fresh ``BENCH_machines.json`` (written by
+``benchmarks/bench_machines.py``) is present, the pluggable machine
+layer is gated: the ideal-machine dispatch overhead against its
+absolute 5% budget, and the deterministic machine x policy makespan
+sweep exactly against the committed
+``benchmarks/BENCH_machines.json`` baseline.
 Baselines are read from the committed
 copies in ``benchmarks/`` only — paths under ``benchmarks/out/``
 (gitignored fresh-run output) are rejected.
@@ -87,6 +93,8 @@ CERTIFY_BASELINE = REPO / "benchmarks" / "BENCH_certify.json"
 CERTIFY_FRESH = REPO / "benchmarks" / "out" / "BENCH_certify.json"
 DURABILITY_BASELINE = REPO / "benchmarks" / "BENCH_durability.json"
 DURABILITY_FRESH = REPO / "benchmarks" / "out" / "BENCH_durability.json"
+MACHINES_BASELINE = REPO / "benchmarks" / "BENCH_machines.json"
+MACHINES_FRESH = REPO / "benchmarks" / "out" / "BENCH_machines.json"
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -435,6 +443,63 @@ def compare_durability(fresh: dict,
     return failures
 
 
+def compare_machines(fresh: dict,
+                     baseline: dict | None) -> list[str]:
+    """Gate the machine-model record (empty list = pass).
+
+    Two kinds of guard:
+
+    * the *ideal*-machine dispatch overhead is an absolute budget the
+      record carries (``overhead.limit_ideal_pct``, 5%) — the
+      pluggable machine layer must cost nothing on the default path
+      (which is additionally asserted byte-identical inside the
+      bench before the record is written);
+    * the machine x policy sweep is *deterministic and
+      machine-independent* (seeded event-driven simulation), so every
+      cell's makespan must match the committed baseline exactly, and
+      no family/machine/policy cell may disappear.  A drift means a
+      machine model's semantics changed — a deliberate,
+      baseline-updating decision, never an accident.
+    """
+    failures: list[str] = []
+    overhead = fresh.get("overhead", {})
+    limit = overhead.get("limit_ideal_pct", 5.0)
+    pct = overhead.get("ideal_pct")
+    if pct is None:
+        failures.append("machines record lacks overhead.ideal_pct")
+    elif pct >= limit:
+        failures.append(
+            f"machines overhead.ideal_pct: {pct}% breaches the "
+            f"{limit}% ideal-dispatch budget"
+        )
+    base_fams = (baseline or {}).get("sweep", {}).get("families", {})
+    fresh_fams = fresh.get("sweep", {}).get("families", {})
+    for fam_name, base_fam in base_fams.items():
+        fam = fresh_fams.get(fam_name)
+        if fam is None:
+            failures.append(
+                f"machines sweep lost family {fam_name!r}"
+            )
+            continue
+        for machine, base_cell in base_fam.get("machines", {}).items():
+            cell = fam.get("machines", {}).get(machine)
+            if cell is None:
+                failures.append(
+                    f"machines sweep {fam_name} lost machine "
+                    f"{machine!r}"
+                )
+                continue
+            for policy, bm in base_cell.get("makespans", {}).items():
+                fm = cell.get("makespans", {}).get(policy)
+                if fm != bm:
+                    failures.append(
+                        f"machines {fam_name}/{machine}/{policy} "
+                        f"makespan: {fm} != baseline {bm} "
+                        f"(deterministic cell drifted)"
+                    )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="?", type=pathlib.Path,
@@ -482,6 +547,14 @@ def main(argv=None) -> int:
                     default=DURABILITY_BASELINE,
                     help="committed durability baseline "
                          f"(default: {DURABILITY_BASELINE})")
+    ap.add_argument("--machines-fresh", type=pathlib.Path,
+                    default=MACHINES_FRESH,
+                    help="fresh machine-model record (gated when "
+                         f"present; default: {MACHINES_FRESH})")
+    ap.add_argument("--machines-baseline", type=pathlib.Path,
+                    default=MACHINES_BASELINE,
+                    help="committed machine-model baseline "
+                         f"(default: {MACHINES_BASELINE})")
     args = ap.parse_args(argv)
 
     # Baselines live in benchmarks/ only; benchmarks/out/ holds fresh
@@ -490,7 +563,7 @@ def main(argv=None) -> int:
     out_dir = (REPO / "benchmarks" / "out").resolve()
     for base_path in (args.baseline, args.faults_baseline,
                       args.service_baseline, args.certify_baseline,
-                      args.durability_baseline):
+                      args.durability_baseline, args.machines_baseline):
         if out_dir in base_path.resolve().parents:
             sys.exit(
                 f"error: baseline {base_path} is inside benchmarks/out/ "
@@ -578,6 +651,21 @@ def main(argv=None) -> int:
             f"{durability_fresh['recovery']['journal_replay_s']}s"
         )
 
+    machines_note = "no fresh machines record (gate skipped)"
+    if args.machines_fresh.exists():
+        machines_fresh = _load(args.machines_fresh)
+        machines_baseline = (
+            _load(args.machines_baseline)
+            if args.machines_baseline.exists() else None
+        )
+        failures.extend(
+            compare_machines(machines_fresh, machines_baseline)
+        )
+        machines_note = (
+            f"ideal-machine overhead "
+            f"{machines_fresh['overhead']['ideal_pct']}%"
+        )
+
     if failures:
         print("PERF REGRESSION:")
         for msg in failures:
@@ -588,7 +676,7 @@ def main(argv=None) -> int:
         f"(largest speedup {fresh['largest']['speedup_vs_legacy']}x, "
         f"sim cache hit rate {fresh['sim_server']['cache_hit_rate']}, "
         f"{obs_note}, {faults_note}, {service_note}, {certify_note}, "
-        f"{durability_note})"
+        f"{durability_note}, {machines_note})"
     )
     return 0
 
